@@ -1,0 +1,325 @@
+// Package repro holds the top-level benchmark harness: one benchmark per
+// table and figure of the paper's evaluation (§7), plus micro-benchmarks of
+// the underlying machinery. Figure benchmarks run the corresponding
+// experiment at reduced scale per iteration and report the headline metric
+// with b.ReportMetric; `go run ./cmd/exspan-bench` regenerates the figures
+// at full paper scale.
+package repro
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/apps"
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/ndlog"
+	"repro/internal/provquery"
+	"repro/internal/topology"
+	"repro/internal/types"
+)
+
+func benchParams() experiments.Params { return experiments.Params{Scale: 0.2, Seed: 42} }
+
+func mustFloat(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// --- Tables 1-2 -----------------------------------------------------------
+
+func BenchmarkTable1Table2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t1, t2, err := experiments.Tables12(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t1.Rows) == 0 || len(t2.Rows) == 0 {
+			b.Fatal("empty tables")
+		}
+	}
+}
+
+// --- Figures 6-15 (simulation) ---------------------------------------------
+
+func benchFigure(b *testing.B, fn func(experiments.Params) (*experiments.Result, error),
+	metric func(*experiments.Result) (float64, string)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := fn(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != nil {
+			v, unit := metric(res)
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func BenchmarkFig06MinCostCommCost(b *testing.B) {
+	benchFigure(b, experiments.Fig06, func(r *experiments.Result) (float64, string) {
+		last := r.Rows[len(r.Rows)-1]
+		return mustFloat(b, last[2]), "refMB/node"
+	})
+}
+
+func BenchmarkFig07PathVectorCommCost(b *testing.B) {
+	benchFigure(b, experiments.Fig07, func(r *experiments.Result) (float64, string) {
+		last := r.Rows[len(r.Rows)-1]
+		return mustFloat(b, last[2]), "refMB/node"
+	})
+}
+
+func BenchmarkFig08PacketForward(b *testing.B) {
+	benchFigure(b, experiments.Fig08, nil)
+}
+
+func BenchmarkFig09MinCostChurn(b *testing.B) {
+	benchFigure(b, experiments.Fig09, nil)
+}
+
+func BenchmarkFig10PathVectorChurn(b *testing.B) {
+	benchFigure(b, experiments.Fig10, nil)
+}
+
+func BenchmarkFig11QueryCaching(b *testing.B) {
+	benchFigure(b, experiments.Fig11, nil)
+}
+
+func BenchmarkFig12QueryLatencyCDF(b *testing.B) {
+	benchFigure(b, experiments.Fig12, nil)
+}
+
+func BenchmarkFig13TraversalOrders(b *testing.B) {
+	benchFigure(b, experiments.Fig13, func(r *experiments.Result) (float64, string) {
+		return mustFloat(b, r.Rows[2][2]), "thresholdKB/node"
+	})
+}
+
+func BenchmarkFig14TraversalLatencyCDF(b *testing.B) {
+	benchFigure(b, experiments.Fig14, nil)
+}
+
+func BenchmarkFig15PolynomialVsBDD(b *testing.B) {
+	benchFigure(b, experiments.Fig15, func(r *experiments.Result) (float64, string) {
+		return mustFloat(b, r.Rows[1][2]), "bddKB/node"
+	})
+}
+
+// --- Figures 16-17 (UDP deployment) ----------------------------------------
+
+func BenchmarkFig16TestbedBandwidth(b *testing.B) {
+	benchFigure(b, experiments.Fig16, nil)
+}
+
+func BenchmarkFig17TestbedFixpoint(b *testing.B) {
+	benchFigure(b, experiments.Fig17, nil)
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationModes compares all four provenance distribution modes,
+// including the centralized baseline the paper argues against.
+func BenchmarkAblationModes(b *testing.B) {
+	benchFigure(b, experiments.AblationModes, func(r *experiments.Result) (float64, string) {
+		return mustFloat(b, r.Rows[3][2]), "centralShare"
+	})
+}
+
+// BenchmarkAblationInvalidation measures the bandwidth price of §6.1 cache
+// invalidation under churn.
+func BenchmarkAblationInvalidation(b *testing.B) {
+	benchFigure(b, experiments.AblationInvalidation, func(r *experiments.Result) (float64, string) {
+		return mustFloat(b, r.Rows[1][1]), "churnKB/node"
+	})
+}
+
+// --- Micro-benchmarks -------------------------------------------------------
+
+// BenchmarkEngineFixpoint measures raw PSN evaluation: one MINCOST run to
+// fixpoint on a 100-node transit-stub network (reference provenance).
+func BenchmarkEngineFixpoint(b *testing.B) {
+	topo := topology.TransitStub(topology.DefaultTransitStub(1), rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := core.NewCluster(core.Config{Topo: topo, Prog: apps.MinCost(), Mode: engine.ProvReference})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.RunToFixpoint(); err != nil {
+			b.Fatal(err)
+		}
+		var deltas int64
+		for _, h := range c.Hosts {
+			deltas += h.Engine.DeltasProcessed
+		}
+		b.ReportMetric(float64(deltas), "deltas/op")
+	}
+}
+
+// BenchmarkQueryBFS measures end-to-end distributed polynomial queries on a
+// converged 100-node network.
+func BenchmarkQueryBFS(b *testing.B) {
+	topo := topology.TransitStub(topology.DefaultTransitStub(1), rand.New(rand.NewSource(1)))
+	c, err := core.NewCluster(core.Config{Topo: topo, Prog: apps.MinCost(), Mode: engine.ProvReference})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.RunToFixpoint(); err != nil {
+		b.Fatal(err)
+	}
+	targets := c.TuplesOf("bestPathCost")
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := targets[rng.Intn(len(targets))]
+		done := false
+		c.Query(types.NodeID(rng.Intn(topo.N)), ref.VID, ref.Loc, func([]byte) { done = true })
+		c.Sim.Run()
+		if !done {
+			b.Fatal("query incomplete")
+		}
+	}
+}
+
+// BenchmarkProvenanceRewrite measures the Algorithm 1 source-to-source
+// transformation.
+func BenchmarkProvenanceRewrite(b *testing.B) {
+	prog := apps.PacketForward()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ndlog.ProvenanceRewrite(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBDDOps measures BDD construction over provenance-shaped
+// expressions: a union of path-like joins over overlapping consecutive
+// variable windows, the structure route derivations produce (arbitrary
+// variable interleavings would blow up any ordered BDD — network
+// provenance stays compact because derivations share locality).
+func BenchmarkBDDOps(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := bdd.New()
+		acc := bdd.False
+		for d := 0; d < 50; d++ {
+			term := bdd.True
+			for v := 0; v < 6; v++ {
+				term = m.And(term, m.Var(d+v))
+			}
+			acc = m.Or(acc, term)
+		}
+		if acc == bdd.False {
+			b.Fatal("unexpected false")
+		}
+	}
+}
+
+// BenchmarkPolynomialEncode measures polynomial wire encoding/decoding.
+func BenchmarkPolynomialEncode(b *testing.B) {
+	var kids []*algebra.Expr
+	for i := 0; i < 32; i++ {
+		var vid types.ID
+		vid[0] = byte(i)
+		kids = append(kids, algebra.NewBase(algebra.Base{VID: vid, Label: "link(@a,b,1)", Node: 1}))
+	}
+	expr := algebra.Sum("@a", algebra.Prod("r1@a", kids[:16]...), algebra.Prod("r2@b", kids[16:]...))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := expr.EncodePayload()
+		if _, _, err := algebra.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageCodec measures tuple-message serialization (the per-hop
+// cost on the UDP path).
+func BenchmarkMessageCodec(b *testing.B) {
+	m := &engine.Message{
+		Tuple:  types.NewTuple("pathCost", types.Node(3), types.Node(9), types.Int(12)),
+		Delta:  engine.Insert,
+		HasRef: true,
+		RID:    types.HashString("rid"),
+		RLoc:   3,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := m.Encode(nil)
+		if _, err := engine.DecodeMessage(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheInvalidation measures provenance-change invalidation under
+// churn with warm caches.
+func BenchmarkCacheInvalidation(b *testing.B) {
+	topo := topology.TransitStub(topology.DefaultTransitStub(1), rand.New(rand.NewSource(1)))
+	c, err := core.NewCluster(core.Config{
+		Topo: topo, Prog: apps.MinCost(), Mode: engine.ProvReference, CacheOn: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.RunToFixpoint(); err != nil {
+		b.Fatal(err)
+	}
+	// Warm caches with queries.
+	rng := rand.New(rand.NewSource(3))
+	targets := c.TuplesOf("bestPathCost")
+	for i := 0; i < 200; i++ {
+		ref := targets[rng.Intn(len(targets))]
+		c.Query(types.NodeID(rng.Intn(topo.N)), ref.VID, ref.Loc, func([]byte) {})
+	}
+	c.Sim.Run()
+	link := topo.Links[topo.StubStubLinks[0]]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.RemoveLink(link)
+		c.Sim.Run()
+		c.AddLink(link)
+		c.Sim.Run()
+	}
+	if err := c.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProvQuery is provquery.Processor in isolation: repeated local
+// polynomial queries against a converged Figure 3 store.
+func BenchmarkProvQuery(b *testing.B) {
+	c, err := core.NewCluster(core.Config{Topo: topology.Figure3(), Prog: apps.MinCost(), Mode: engine.ProvReference})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.RunToFixpoint(); err != nil {
+		b.Fatal(err)
+	}
+	ref, ok := c.FindTuple(apps.BestPathCostTuple(0, 2, 5))
+	if !ok {
+		b.Fatal("missing tuple")
+	}
+	var out provquery.UDF = provquery.Polynomial{}
+	_ = out
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		c.Query(ref.Loc, ref.VID, ref.Loc, func([]byte) { done = true })
+		c.Sim.Run()
+		if !done {
+			b.Fatal("query incomplete")
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// exspan runs an NDlog program over a simulated topology with a chosen
+// provenance mode, reports fixpoint statistics, and optionally executes a
+// provenance query against a named tuple.
+//
+// Examples:
+//
+//	exspan -app mincost -topo fig3 -mode reference -query 'bestPathCost(@a,c,5)'
+//	exspan -app pathvector -topo transitstub -nodes 200 -mode value
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/engine"
+	"repro/internal/ndlog"
+	"repro/internal/provquery"
+	"repro/internal/topology"
+	"repro/internal/types"
+)
+
+func main() {
+	app := flag.String("app", "mincost", "program: mincost, pathvector, packetforward, or a .ndlog file path")
+	topoName := flag.String("topo", "fig3", "topology: fig3, transitstub, ring")
+	nodes := flag.Int("nodes", 100, "node count for generated topologies")
+	modeName := flag.String("mode", "reference", "provenance mode: none, reference, value, centralized")
+	seed := flag.Int64("seed", 42, "random seed")
+	query := flag.String("query", "", "tuple to query after fixpoint, e.g. 'bestPathCost(@a,c,5)'")
+	udfName := flag.String("udf", "polynomial", "query representation: polynomial, bdd, derivations, nodeset, derivability")
+	dumpProv := flag.Bool("dump-prov", false, "print the prov/ruleExec partitions after fixpoint")
+	deployMode := flag.Bool("deploy", false, "run over real UDP sockets (testbed mode) instead of the simulator")
+	flag.Parse()
+
+	prog, err := loadProgram(*app)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := loadTopology(*topoName, *nodes, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *deployMode {
+		runDeployment(topo, prog, mode)
+		return
+	}
+
+	cfg := core.Config{Topo: topo, Prog: prog, Mode: mode}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	switch *udfName {
+	case "polynomial":
+	case "bdd":
+		setUDF(c, provquery.BDDProv{Alloc: c.Alloc})
+	case "derivations":
+		setUDF(c, provquery.Derivations{})
+	case "nodeset":
+		setUDF(c, provquery.NodeSet{})
+	case "derivability":
+		setUDF(c, provquery.Derivability{})
+	default:
+		fatal(fmt.Errorf("unknown -udf %q", *udfName))
+	}
+
+	fix, err := c.RunToFixpoint()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fixpoint: %.3fs virtual time, %d nodes, %d links\n",
+		fix.Seconds(), topo.N, c.Net.NumLinks())
+	fmt.Printf("communication: %.3f MB total, %.4f MB avg per node\n",
+		float64(c.Net.TotalBytes)/1e6, c.AvgCommMB())
+	var deltas, fired int64
+	for _, h := range c.Hosts {
+		deltas += h.Engine.DeltasProcessed
+		fired += h.Engine.RulesFired
+	}
+	fmt.Printf("engine: %d deltas processed, %d rule firings\n", deltas, fired)
+	for _, pred := range []string{"bestPathCost", "bestPath", "pathCost", "path"} {
+		if n := len(c.TuplesOf(pred)); n > 0 {
+			fmt.Printf("  %-14s %6d tuples\n", pred, n)
+		}
+	}
+
+	if *dumpProv {
+		for _, h := range c.Hosts {
+			for _, row := range h.Engine.Store.ProvRows() {
+				fmt.Println("prov    ", row)
+			}
+			for _, row := range h.Engine.Store.RuleExecRows() {
+				fmt.Println("ruleExec", row)
+			}
+		}
+	}
+
+	if *query != "" {
+		runQuery(c, *query, *udfName)
+	}
+}
+
+// runDeployment executes the program over real UDP sockets on loopback
+// (the paper's testbed mode) and prints byte and latency statistics.
+func runDeployment(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode) {
+	cl, err := deploy.NewCluster(deploy.Config{Topo: topo, Prog: prog, Mode: mode})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Stop()
+	cl.Start()
+	startAt := time.Now()
+	cl.InsertLinks()
+	elapsed, ok := cl.WaitFixpoint(120 * time.Second)
+	_ = elapsed
+	if !ok {
+		fatal(fmt.Errorf("no fixpoint within timeout"))
+	}
+	if err := cl.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("deployment fixpoint: %.3fs wall clock, %d UDP nodes\n",
+		time.Since(startAt).Seconds(), topo.N)
+	fmt.Printf("communication: %.1f KB total, %.2f KB avg per node\n",
+		float64(cl.TotalSentBytes())/1e3, cl.AvgSentKB())
+	for _, pred := range []string{"bestPathCost", "bestPath"} {
+		if n := len(cl.Snapshot(pred)); n > 0 {
+			fmt.Printf("  %-14s %6d tuples\n", pred, n)
+		}
+	}
+}
+
+func setUDF(c *core.Cluster, u provquery.UDF) {
+	for _, h := range c.Hosts {
+		h.Query.UDF = u
+	}
+}
+
+func runQuery(c *core.Cluster, q, udfName string) {
+	t, err := parseTupleLiteral(q)
+	if err != nil {
+		fatal(err)
+	}
+	ref, ok := c.FindTuple(t)
+	if !ok {
+		fatal(fmt.Errorf("tuple %s not found (is it visible at node %s?)", t, t.Loc()))
+	}
+	issued := c.Sim.Now()
+	var result []byte
+	c.Query(ref.Loc, ref.VID, ref.Loc, func(payload []byte) { result = payload })
+	if _, err := c.RunToFixpoint(); err != nil {
+		fatal(err)
+	}
+	if result == nil {
+		fatal(fmt.Errorf("query did not complete"))
+	}
+	fmt.Printf("query %s completed in %.4fs (virtual)\n", t, (c.Sim.Now() - issued).Seconds())
+	switch udfName {
+	case "polynomial":
+		expr, err := provquery.DecodePolynomial(result)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("provenance:", expr)
+	case "derivations":
+		fmt.Println("derivations:", provquery.DecodeCount(result))
+	case "nodeset":
+		fmt.Println("nodes:", provquery.DecodeNodeSet(result))
+	case "derivability":
+		fmt.Println("derivable:", provquery.DecodeBool(result))
+	default:
+		fmt.Printf("result: %d bytes\n", len(result))
+	}
+}
+
+func loadProgram(name string) (*ndlog.Program, error) {
+	switch name {
+	case "mincost":
+		return apps.MinCost(), nil
+	case "pathvector":
+		return apps.PathVector(), nil
+	case "packetforward":
+		return apps.PacketForward(), nil
+	}
+	b, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return ndlog.Parse(string(b))
+}
+
+func loadTopology(name string, n int, seed int64) (*topology.Topology, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "fig3":
+		return topology.Figure3(), nil
+	case "transitstub":
+		domains := n / 100
+		if domains < 1 {
+			domains = 1
+		}
+		return topology.TransitStub(topology.DefaultTransitStub(domains), rng), nil
+	case "ring":
+		return topology.Ring(n, rng), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}
+
+func parseMode(s string) (engine.ProvMode, error) {
+	switch s {
+	case "none":
+		return engine.ProvNone, nil
+	case "reference":
+		return engine.ProvReference, nil
+	case "value":
+		return engine.ProvValue, nil
+	case "centralized":
+		return engine.ProvCentralized, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+// parseTupleLiteral parses e.g. bestPathCost(@a,c,5) into a tuple, using
+// the ndlog constant conventions (single letters are nodes).
+func parseTupleLiteral(s string) (types.Tuple, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), ".")
+	prog, err := ndlog.Parse(s + ".")
+	if err != nil {
+		return types.Tuple{}, fmt.Errorf("bad tuple literal %q: %w", s, err)
+	}
+	if len(prog.Facts) != 1 {
+		return types.Tuple{}, fmt.Errorf("expected one tuple literal, got %q", s)
+	}
+	atom := prog.Facts[0]
+	t := types.Tuple{Pred: atom.Pred}
+	for _, a := range atom.Args {
+		c, ok := a.(*ndlog.Const)
+		if !ok {
+			return types.Tuple{}, fmt.Errorf("tuple arguments must be constants: %q", s)
+		}
+		t.Args = append(t.Args, c.Val)
+	}
+	return t, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exspan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+package algebra
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/types"
+)
+
+// Wire format for polynomials, used when POLYNOMIAL query results travel
+// between nodes (Figs 11, 15):
+//
+//	zero  -> tag
+//	one   -> tag
+//	base  -> tag + 20-byte VID + 4-byte node + uvarint len + label
+//	sum   -> tag + uvarint len + annotation + uvarint count + kids
+//	prod  -> tag + uvarint len + annotation + uvarint count + kids
+//
+// Expr implements types.Payload so polynomials can be embedded directly in
+// tuples and messages.
+
+var errBadExpr = errors.New("algebra: malformed polynomial encoding")
+
+// EncodePayload implements types.Payload.
+func (e *Expr) EncodePayload() []byte { return e.encode(nil) }
+
+// WireSize implements types.Payload.
+func (e *Expr) WireSize() int { return len(e.encode(nil)) }
+
+func (e *Expr) encode(dst []byte) []byte {
+	if e == nil {
+		return append(dst, byte(OpZero))
+	}
+	dst = append(dst, byte(e.Op))
+	switch e.Op {
+	case OpBase:
+		dst = append(dst, e.Base.VID[:]...)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(e.Base.Node)))
+		dst = binary.AppendUvarint(dst, uint64(len(e.Base.Label)))
+		dst = append(dst, e.Base.Label...)
+	case OpSum, OpProd:
+		dst = binary.AppendUvarint(dst, uint64(len(e.Ann)))
+		dst = append(dst, e.Ann...)
+		dst = binary.AppendUvarint(dst, uint64(len(e.Kids)))
+		for _, k := range e.Kids {
+			dst = k.encode(dst)
+		}
+	}
+	return dst
+}
+
+// Decode parses one polynomial from b, returning the expression and the
+// number of bytes consumed.
+func Decode(b []byte) (*Expr, int, error) {
+	if len(b) == 0 {
+		return nil, 0, errBadExpr
+	}
+	op := Op(b[0])
+	used := 1
+	switch op {
+	case OpZero:
+		return Zero(), used, nil
+	case OpOne:
+		return One(), used, nil
+	case OpBase:
+		if len(b) < used+types.IDLen+4 {
+			return nil, 0, errBadExpr
+		}
+		var base Base
+		copy(base.VID[:], b[used:used+types.IDLen])
+		used += types.IDLen
+		base.Node = types.NodeID(int32(binary.BigEndian.Uint32(b[used:])))
+		used += 4
+		n, sz := binary.Uvarint(b[used:])
+		if sz <= 0 || len(b) < used+sz+int(n) {
+			return nil, 0, errBadExpr
+		}
+		used += sz
+		base.Label = string(b[used : used+int(n)])
+		used += int(n)
+		return NewBase(base), used, nil
+	case OpSum, OpProd:
+		annLen, sz := binary.Uvarint(b[used:])
+		if sz <= 0 || len(b) < used+sz+int(annLen) {
+			return nil, 0, errBadExpr
+		}
+		used += sz
+		ann := string(b[used : used+int(annLen)])
+		used += int(annLen)
+		count, sz2 := binary.Uvarint(b[used:])
+		if sz2 <= 0 {
+			return nil, 0, errBadExpr
+		}
+		used += sz2
+		kids := make([]*Expr, 0, count)
+		for i := uint64(0); i < count; i++ {
+			k, n, err := Decode(b[used:])
+			if err != nil {
+				return nil, 0, err
+			}
+			kids = append(kids, k)
+			used += n
+		}
+		return &Expr{Op: op, Kids: kids, Ann: ann}, used, nil
+	}
+	return nil, 0, errBadExpr
+}

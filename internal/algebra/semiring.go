@@ -1,0 +1,195 @@
+package algebra
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bdd"
+	"repro/internal/types"
+)
+
+// Semiring supplies the operations needed to evaluate a provenance
+// polynomial in a particular domain. It mirrors the paper's three
+// user-defined functions: FromBase plays f_pEDB, Add plays the "+" of
+// f_pIDB, and Mul plays the "·" of f_pRULE.
+type Semiring[T any] struct {
+	Zero     func() T
+	One      func() T
+	FromBase func(Base) T
+	Add      func(T, T) T
+	Mul      func(T, T) T
+}
+
+// Eval folds the polynomial in the given semiring.
+func Eval[T any](e *Expr, s Semiring[T]) T {
+	switch e.Op {
+	case OpZero:
+		return s.Zero()
+	case OpOne:
+		return s.One()
+	case OpBase:
+		return s.FromBase(e.Base)
+	case OpSum:
+		acc := s.Zero()
+		for _, k := range e.Kids {
+			acc = s.Add(acc, Eval(k, s))
+		}
+		return acc
+	case OpProd:
+		acc := s.One()
+		for _, k := range e.Kids {
+			acc = s.Mul(acc, Eval(k, s))
+		}
+		return acc
+	}
+	return s.Zero()
+}
+
+// Counting is the natural-numbers semiring: it computes the number of
+// distinct derivations of a tuple (the paper's #Derivations query).
+func Counting() Semiring[int64] {
+	return Semiring[int64]{
+		Zero:     func() int64 { return 0 },
+		One:      func() int64 { return 1 },
+		FromBase: func(Base) int64 { return 1 },
+		Add:      func(a, b int64) int64 { return a + b },
+		Mul:      func(a, b int64) int64 { return a * b },
+	}
+}
+
+// Boolean is the two-element semiring used for derivability tests.
+func Boolean() Semiring[bool] {
+	return Semiring[bool]{
+		Zero:     func() bool { return false },
+		One:      func() bool { return true },
+		FromBase: func(Base) bool { return true },
+		Add:      func(a, b bool) bool { return a || b },
+		Mul:      func(a, b bool) bool { return a && b },
+	}
+}
+
+// DerivableGiven evaluates derivability when only the base tuples for which
+// trusted returns true may be used — the paper's trust-policy projection.
+func DerivableGiven(e *Expr, trusted func(Base) bool) bool {
+	s := Boolean()
+	s.FromBase = func(b Base) bool { return trusted(b) }
+	return Eval(e, s)
+}
+
+// NodeSet is the semiring of node sets under union for both operations; it
+// computes the set of nodes participating in any derivation (the paper's
+// first customization example).
+func NodeSet() Semiring[map[types.NodeID]bool] {
+	union := func(a, b map[types.NodeID]bool) map[types.NodeID]bool {
+		out := make(map[types.NodeID]bool, len(a)+len(b))
+		for n := range a {
+			out[n] = true
+		}
+		for n := range b {
+			out[n] = true
+		}
+		return out
+	}
+	return Semiring[map[types.NodeID]bool]{
+		Zero:     func() map[types.NodeID]bool { return map[types.NodeID]bool{} },
+		One:      func() map[types.NodeID]bool { return map[types.NodeID]bool{} },
+		FromBase: func(b Base) map[types.NodeID]bool { return map[types.NodeID]bool{b.Node: true} },
+		Add:      union,
+		Mul:      union,
+	}
+}
+
+// SortedNodes evaluates the NodeSet semiring and returns the participating
+// nodes in ascending order.
+func SortedNodes(e *Expr) []types.NodeID {
+	set := Eval(e, NodeSet())
+	out := make([]types.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MinTrust evaluates the tropical-style trust semiring: every base tuple has
+// a trust value in [0,100]; a derivation's trust is the minimum over its
+// joined inputs, and a tuple's trust is the maximum over its alternative
+// derivations.
+func MinTrust(values func(Base) int64) Semiring[int64] {
+	return Semiring[int64]{
+		Zero:     func() int64 { return 0 },
+		One:      func() int64 { return 100 },
+		FromBase: values,
+		Add: func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		Mul: func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+}
+
+// VarAlloc assigns dense BDD variable indices to base-tuple VIDs. The same
+// allocator must be shared by every party that combines BDDs, so variable
+// numbering is globally consistent; it is safe for concurrent use (the UDP
+// deployment runs nodes as goroutines in one process).
+type VarAlloc struct {
+	mu    sync.Mutex
+	byVID map[types.ID]int
+	bases []Base
+}
+
+// NewVarAlloc creates an empty allocator.
+func NewVarAlloc() *VarAlloc { return &VarAlloc{byVID: map[types.ID]int{}} }
+
+// VarOf returns the variable index for a base tuple, allocating on first
+// use.
+func (a *VarAlloc) VarOf(b Base) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if v, ok := a.byVID[b.VID]; ok {
+		return v
+	}
+	v := len(a.bases)
+	a.byVID[b.VID] = v
+	a.bases = append(a.bases, b)
+	return v
+}
+
+// BaseOf returns the base tuple assigned to variable v.
+func (a *VarAlloc) BaseOf(v int) (Base, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if v < 0 || v >= len(a.bases) {
+		return Base{}, false
+	}
+	return a.bases[v], true
+}
+
+// Len reports the number of allocated variables.
+func (a *VarAlloc) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.bases)
+}
+
+// ToBDD evaluates the polynomial in the boolean-function semiring, encoding
+// each base tuple as a BDD variable. Because ROBDDs are canonical, the
+// result is the absorption-condensed provenance of §6.3: a·(a+b) collapses
+// to a.
+func ToBDD(e *Expr, m *bdd.Manager, alloc *VarAlloc) bdd.Ref {
+	s := Semiring[bdd.Ref]{
+		Zero:     func() bdd.Ref { return bdd.False },
+		One:      func() bdd.Ref { return bdd.True },
+		FromBase: func(b Base) bdd.Ref { return m.Var(alloc.VarOf(b)) },
+		Add:      m.Or,
+		Mul:      m.And,
+	}
+	return Eval(e, s)
+}

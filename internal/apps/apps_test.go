@@ -1,0 +1,85 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/ndlog"
+	"repro/internal/topology"
+	"repro/internal/types"
+)
+
+func TestProgramsParseValidateCompile(t *testing.T) {
+	progs := map[string]*ndlog.Program{
+		"mincost":       MinCost(),
+		"pathvector":    PathVector(),
+		"packetforward": PacketForward(),
+	}
+	for name, p := range progs {
+		if err := ndlog.Validate(p); err != nil {
+			t.Errorf("%s: validate: %v", name, err)
+		}
+		if _, err := engine.Compile(p); err != nil {
+			t.Errorf("%s: compile: %v", name, err)
+		}
+		// Every program must survive the provenance rewrite.
+		rw, err := ndlog.ProvenanceRewrite(p)
+		if err != nil {
+			t.Errorf("%s: rewrite: %v", name, err)
+			continue
+		}
+		if _, err := engine.Compile(rw); err != nil {
+			t.Errorf("%s: compile rewritten: %v", name, err)
+		}
+	}
+}
+
+func TestLinkTuples(t *testing.T) {
+	topo := topology.Figure3()
+	byNode := LinkTuples(topo)
+	if len(byNode) != 4 {
+		t.Fatalf("nodes = %d", len(byNode))
+	}
+	// Node b (1) has three neighbors: a, c, d.
+	if got := len(byNode[1]); got != 3 {
+		t.Errorf("b's link tuples = %d, want 3", got)
+	}
+	// Symmetry: link(@a,b,3) and link(@b,a,3) both exist.
+	found := 0
+	for _, tu := range byNode[0] {
+		if tu.Equal(LinkTuple(0, 1, 3)) {
+			found++
+		}
+	}
+	for _, tu := range byNode[1] {
+		if tu.Equal(LinkTuple(1, 0, 3)) {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("symmetric pair incomplete (%d)", found)
+	}
+}
+
+func TestPacketTuple(t *testing.T) {
+	p := PacketTuple(1, 1, 3, 1024)
+	if p.Pred != "ePacket" || p.Loc() != 1 {
+		t.Fatalf("packet = %s", p)
+	}
+	if got := len(p.Args[3].AsStr()); got != 1024 {
+		t.Errorf("payload = %d bytes, want 1024", got)
+	}
+	if p.WireSize() < 1024 {
+		t.Errorf("wire size %d below payload", p.WireSize())
+	}
+}
+
+func TestBestPathCostTuple(t *testing.T) {
+	tu := BestPathCostTuple(0, 2, 5)
+	if tu.String() != "bestPathCost(@a,c,5)" {
+		t.Errorf("tuple = %s", tu)
+	}
+	if tu.VID() != types.NewTuple("bestPathCost", types.Node(0), types.Node(2), types.Int(5)).VID() {
+		t.Error("VID mismatch")
+	}
+}

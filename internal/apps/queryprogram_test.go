@@ -1,0 +1,60 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+)
+
+// The §5.1/§6.2 query programs are specifications: they must parse and
+// validate as legal NDlog (locations, safety, aggregate restrictions). The
+// native processor implements their message flow; equivalence against the
+// paper's worked examples is tested in internal/provquery and
+// internal/core.
+func TestQueryProgramParsesAndValidates(t *testing.T) {
+	prog, err := ndlog.Parse(QueryProgramSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Rules) != 10 {
+		t.Fatalf("rules = %d, want the paper's 10 (edb1, c0, idb1-4, rv1-4)", len(prog.Rules))
+	}
+	if err := ndlog.Validate(prog); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// Specific structure: c0 is a COUNT aggregate over prov.
+	var c0 *ndlog.Rule
+	for _, r := range prog.Rules {
+		if r.Label == "c0" {
+			c0 = r
+		}
+	}
+	if c0 == nil {
+		t.Fatal("c0 missing")
+	}
+	if agg, _ := c0.AggSpec(); agg == nil || agg.Fn != "COUNT" || !agg.Star {
+		t.Fatalf("c0 aggregate = %+v", c0.Head)
+	}
+}
+
+func TestDFSQueryProgramParses(t *testing.T) {
+	prog, err := ndlog.Parse(DFSQueryProgramSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Rules) != 4 {
+		t.Fatalf("rules = %d, want 4 (idb2a-c, idb4')", len(prog.Rules))
+	}
+	var agglist bool
+	for _, r := range prog.Rules {
+		if agg, _ := r.AggSpec(); agg != nil && agg.Fn == "AGGLIST" {
+			agglist = true
+		}
+	}
+	if !agglist {
+		t.Fatal("AGGLIST aggregate missing from idb2a")
+	}
+	if err := ndlog.Validate(prog); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}

@@ -1,0 +1,335 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// in the style of Bryant's symbolic boolean manipulation survey, which the
+// paper uses to store condensed ("absorption") provenance.
+//
+// A BDD over base-tuple variables encodes the boolean derivability
+// expression of a tuple: variables are base tuples (or nodes / trust
+// domains, depending on granularity), AND corresponds to joins, OR to
+// alternative derivations. Because ROBDDs are canonical, boolean absorption
+// (a·(a+b) = a) happens by construction, which is exactly the compression
+// the paper's §6.3 relies on.
+package bdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ref identifies a BDD node inside its Manager. The terminals False and
+// True are Refs 0 and 1.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable index; lower levels are closer to the root
+	lo, hi Ref
+}
+
+type applyKey struct {
+	op   uint8
+	a, b Ref
+}
+
+const (
+	opAnd uint8 = iota
+	opOr
+)
+
+// Manager owns the shared node table for a family of BDDs. Managers are not
+// safe for concurrent use; each engine node owns its own manager.
+type Manager struct {
+	nodes  []node
+	unique map[node]Ref
+	apply  map[applyKey]Ref
+	notMem map[Ref]Ref
+}
+
+// New creates an empty manager containing only the terminal nodes.
+func New() *Manager {
+	m := &Manager{
+		unique: make(map[node]Ref),
+		apply:  make(map[applyKey]Ref),
+		notMem: make(map[Ref]Ref),
+	}
+	// Reserve indices 0 and 1 for the terminals. Their level is a sentinel
+	// greater than any variable level so ordering comparisons stay simple.
+	m.nodes = append(m.nodes, node{level: terminalLevel}, node{level: terminalLevel})
+	return m
+}
+
+const terminalLevel = int32(1 << 30)
+
+// NumNodes reports the total number of nodes allocated in the manager,
+// including the two terminals.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	n := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[n]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, n)
+	m.unique[n] = r
+	return r
+}
+
+// Var returns the BDD for the single variable v (v must be >= 0).
+func (m *Manager) Var(v int) Ref {
+	if v < 0 {
+		panic("bdd: negative variable index")
+	}
+	return m.mk(int32(v), False, True)
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// And returns the conjunction of a and b.
+func (m *Manager) And(a, b Ref) Ref {
+	switch {
+	case a == False || b == False:
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	k := applyKey{opAnd, a, b}
+	if r, ok := m.apply[k]; ok {
+		return r
+	}
+	r := m.combine(opAnd, a, b)
+	m.apply[k] = r
+	return r
+}
+
+// Or returns the disjunction of a and b.
+func (m *Manager) Or(a, b Ref) Ref {
+	switch {
+	case a == True || b == True:
+		return True
+	case a == False:
+		return b
+	case b == False:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	k := applyKey{opOr, a, b}
+	if r, ok := m.apply[k]; ok {
+		return r
+	}
+	r := m.combine(opOr, a, b)
+	m.apply[k] = r
+	return r
+}
+
+func (m *Manager) combine(op uint8, a, b Ref) Ref {
+	la, lb := m.level(a), m.level(b)
+	top := la
+	if lb < top {
+		top = lb
+	}
+	alo, ahi := a, a
+	if la == top {
+		alo, ahi = m.nodes[a].lo, m.nodes[a].hi
+	}
+	blo, bhi := b, b
+	if lb == top {
+		blo, bhi = m.nodes[b].lo, m.nodes[b].hi
+	}
+	var lo, hi Ref
+	if op == opAnd {
+		lo, hi = m.And(alo, blo), m.And(ahi, bhi)
+	} else {
+		lo, hi = m.Or(alo, blo), m.Or(ahi, bhi)
+	}
+	return m.mk(top, lo, hi)
+}
+
+// Not returns the negation of a.
+func (m *Manager) Not(a Ref) Ref {
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := m.notMem[a]; ok {
+		return r
+	}
+	n := m.nodes[a]
+	r := m.mk(n.level, m.Not(n.lo), m.Not(n.hi))
+	m.notMem[a] = r
+	return r
+}
+
+// Restrict fixes variable v to the constant val inside a and returns the
+// simplified BDD. It implements the paper's trust-policy evaluation: setting
+// an untrusted base tuple's variable to false.
+func (m *Manager) Restrict(a Ref, v int, val bool) Ref {
+	mem := make(map[Ref]Ref)
+	var rec func(r Ref) Ref
+	rec = func(r Ref) Ref {
+		n := m.nodes[r]
+		if n.level > int32(v) {
+			return r // terminals or variables ordered after v
+		}
+		if got, ok := mem[r]; ok {
+			return got
+		}
+		var out Ref
+		if n.level == int32(v) {
+			if val {
+				out = n.hi
+			} else {
+				out = n.lo
+			}
+		} else {
+			out = m.mk(n.level, rec(n.lo), rec(n.hi))
+		}
+		mem[r] = out
+		return out
+	}
+	return rec(a)
+}
+
+// Eval evaluates the BDD under the given assignment (missing variables
+// default to false).
+func (m *Manager) Eval(a Ref, assign map[int]bool) bool {
+	for a != False && a != True {
+		n := m.nodes[a]
+		if assign[int(n.level)] {
+			a = n.hi
+		} else {
+			a = n.lo
+		}
+	}
+	return a == True
+}
+
+// Size reports the number of nodes reachable from r, excluding terminals.
+// It is the size metric used when measuring condensed-provenance bandwidth.
+func (m *Manager) Size(r Ref) int {
+	seen := map[Ref]bool{}
+	var rec func(Ref)
+	rec = func(x Ref) {
+		if x == False || x == True || seen[x] {
+			return
+		}
+		seen[x] = true
+		rec(m.nodes[x].lo)
+		rec(m.nodes[x].hi)
+	}
+	rec(r)
+	return len(seen)
+}
+
+// Support returns the sorted set of variables appearing in r.
+func (m *Manager) Support(r Ref) []int {
+	seen := map[Ref]bool{}
+	vars := map[int]bool{}
+	var rec func(Ref)
+	rec = func(x Ref) {
+		if x == False || x == True || seen[x] {
+			return
+		}
+		seen[x] = true
+		vars[int(m.nodes[x].level)] = true
+		rec(m.nodes[x].lo)
+		rec(m.nodes[x].hi)
+	}
+	rec(r)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AnySat returns one satisfying assignment of r as a map from variable to
+// value, or ok=false when r is unsatisfiable. Variables absent from the map
+// are don't-cares.
+func (m *Manager) AnySat(r Ref) (assign map[int]bool, ok bool) {
+	if r == False {
+		return nil, false
+	}
+	assign = map[int]bool{}
+	for r != True {
+		n := m.nodes[r]
+		if n.hi != False {
+			assign[int(n.level)] = true
+			r = n.hi
+		} else {
+			assign[int(n.level)] = false
+			r = n.lo
+		}
+	}
+	return assign, true
+}
+
+// String renders r as a sum-of-products boolean expression with variables
+// printed as x<i>; it is intended for tests and small examples.
+func (m *Manager) String(r Ref) string {
+	switch r {
+	case False:
+		return "0"
+	case True:
+		return "1"
+	}
+	var terms []string
+	assign := map[int]bool{}
+	var rec func(Ref)
+	rec = func(x Ref) {
+		if x == False {
+			return
+		}
+		if x == True {
+			var lits []string
+			vars := make([]int, 0, len(assign))
+			for v := range assign {
+				vars = append(vars, v)
+			}
+			sort.Ints(vars)
+			for _, v := range vars {
+				if assign[v] {
+					lits = append(lits, fmt.Sprintf("x%d", v))
+				} else {
+					lits = append(lits, fmt.Sprintf("!x%d", v))
+				}
+			}
+			if len(lits) == 0 {
+				terms = append(terms, "1")
+			} else {
+				terms = append(terms, strings.Join(lits, "*"))
+			}
+			return
+		}
+		n := m.nodes[x]
+		assign[int(n.level)] = false
+		rec(n.lo)
+		assign[int(n.level)] = true
+		rec(n.hi)
+		delete(assign, int(n.level))
+	}
+	rec(r)
+	return strings.Join(terms, " + ")
+}

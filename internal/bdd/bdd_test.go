@@ -1,0 +1,276 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// boolExpr is a random boolean expression evaluated both directly and via
+// BDDs.
+type boolExpr struct {
+	op   int // 0 var, 1 and, 2 or, 3 not
+	v    int
+	l, r *boolExpr
+}
+
+func randExpr(rng *rand.Rand, depth, vars int) *boolExpr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		return &boolExpr{op: 0, v: rng.Intn(vars)}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &boolExpr{op: 1, l: randExpr(rng, depth-1, vars), r: randExpr(rng, depth-1, vars)}
+	case 1:
+		return &boolExpr{op: 2, l: randExpr(rng, depth-1, vars), r: randExpr(rng, depth-1, vars)}
+	default:
+		return &boolExpr{op: 3, l: randExpr(rng, depth-1, vars)}
+	}
+}
+
+func (e *boolExpr) eval(assign []bool) bool {
+	switch e.op {
+	case 0:
+		return assign[e.v]
+	case 1:
+		return e.l.eval(assign) && e.r.eval(assign)
+	case 2:
+		return e.l.eval(assign) || e.r.eval(assign)
+	default:
+		return !e.l.eval(assign)
+	}
+}
+
+func (e *boolExpr) build(m *Manager) Ref {
+	switch e.op {
+	case 0:
+		return m.Var(e.v)
+	case 1:
+		return m.And(e.l.build(m), e.r.build(m))
+	case 2:
+		return m.Or(e.l.build(m), e.r.build(m))
+	default:
+		return m.Not(e.l.build(m))
+	}
+}
+
+// TestBDDMatchesTruthTable is the core property: for random expressions
+// over <= 6 variables, the BDD agrees with direct evaluation on every
+// assignment, and equal functions share a node (canonicity).
+func TestBDDMatchesTruthTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const vars = 6
+	for trial := 0; trial < 300; trial++ {
+		e := randExpr(rng, 5, vars)
+		m := New()
+		r := e.build(m)
+		for mask := 0; mask < 1<<vars; mask++ {
+			assign := make([]bool, vars)
+			am := map[int]bool{}
+			for i := 0; i < vars; i++ {
+				assign[i] = mask&(1<<i) != 0
+				am[i] = assign[i]
+			}
+			if m.Eval(r, am) != e.eval(assign) {
+				t.Fatalf("trial %d mask %b: BDD disagrees with direct evaluation", trial, mask)
+			}
+		}
+	}
+}
+
+func TestBDDCanonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const vars = 5
+	for trial := 0; trial < 200; trial++ {
+		m := New()
+		e1 := randExpr(rng, 4, vars)
+		e2 := randExpr(rng, 4, vars)
+		r1, r2 := e1.build(m), e2.build(m)
+		equal := true
+		for mask := 0; mask < 1<<vars; mask++ {
+			assign := make([]bool, vars)
+			for i := 0; i < vars; i++ {
+				assign[i] = mask&(1<<i) != 0
+			}
+			if e1.eval(assign) != e2.eval(assign) {
+				equal = false
+				break
+			}
+		}
+		if (r1 == r2) != equal {
+			t.Fatalf("trial %d: canonicity violated (refs equal=%v, functions equal=%v)", trial, r1 == r2, equal)
+		}
+	}
+}
+
+// TestAbsorption checks the paper's §6.3 example: a·(a+b) = a.
+func TestAbsorption(t *testing.T) {
+	m := New()
+	a, b := m.Var(0), m.Var(1)
+	if got := m.And(a, m.Or(a, b)); got != a {
+		t.Errorf("a·(a+b) = %s, want a", m.String(got))
+	}
+	if got := m.Or(a, m.And(a, b)); got != a {
+		t.Errorf("a+(a·b) = %s, want a", m.String(got))
+	}
+}
+
+func TestBooleanLaws(t *testing.T) {
+	f := func(av, bv, cv uint8) bool {
+		m := New()
+		a, b, c := m.Var(int(av%4)), m.Var(int(bv%4)), m.Var(int(cv%4))
+		// Commutativity, associativity, distributivity, De Morgan.
+		if m.And(a, b) != m.And(b, a) || m.Or(a, b) != m.Or(b, a) {
+			return false
+		}
+		if m.And(a, m.And(b, c)) != m.And(m.And(a, b), c) {
+			return false
+		}
+		if m.And(a, m.Or(b, c)) != m.Or(m.And(a, b), m.And(a, c)) {
+			return false
+		}
+		if m.Not(m.And(a, b)) != m.Or(m.Not(a), m.Not(b)) {
+			return false
+		}
+		if m.Not(m.Not(a)) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := New()
+	a, b := m.Var(0), m.Var(1)
+	f := m.Or(a, m.And(m.Not(a), b)) // a + !a·b = a + b
+	if got := m.Restrict(f, 0, true); got != True {
+		t.Errorf("f[a=1] = %s, want 1", m.String(got))
+	}
+	if got := m.Restrict(f, 0, false); got != b {
+		t.Errorf("f[a=0] = %s, want b", m.String(got))
+	}
+	// Restricting an absent variable is the identity.
+	if got := m.Restrict(f, 3, true); got != f {
+		t.Errorf("restrict on absent var changed the function")
+	}
+}
+
+// TestRestrictMatchesTruthTable: for random expressions, Restrict(f, v,
+// val) agrees with evaluating f under assignments that fix v, on every
+// assignment of the remaining variables.
+func TestRestrictMatchesTruthTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const vars = 5
+	for trial := 0; trial < 200; trial++ {
+		e := randExpr(rng, 4, vars)
+		m := New()
+		f := e.build(m)
+		v := rng.Intn(vars)
+		val := rng.Intn(2) == 1
+		g := m.Restrict(f, v, val)
+		// The restricted function must not depend on v.
+		for _, sv := range m.Support(g) {
+			if sv == v {
+				t.Fatalf("trial %d: restricted BDD still depends on x%d", trial, v)
+			}
+		}
+		for mask := 0; mask < 1<<vars; mask++ {
+			assign := map[int]bool{}
+			for i := 0; i < vars; i++ {
+				assign[i] = mask&(1<<i) != 0
+			}
+			fixed := map[int]bool{}
+			for k, b := range assign {
+				fixed[k] = b
+			}
+			fixed[v] = val
+			if m.Eval(g, assign) != m.Eval(f, fixed) {
+				t.Fatalf("trial %d: restrict(x%d=%v) differs at %b", trial, v, val, mask)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const vars = 6
+	for trial := 0; trial < 200; trial++ {
+		e := randExpr(rng, 5, vars)
+		m1 := New()
+		r1 := e.build(m1)
+		enc := m1.Encode(r1, nil)
+		if len(enc) != m1.EncodedSize(r1) {
+			t.Fatalf("EncodedSize %d != len %d", m1.EncodedSize(r1), len(enc))
+		}
+		// Decode into a fresh manager and compare by truth table.
+		m2 := New()
+		r2, n, err := m2.Decode(enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("decode: n=%d err=%v", n, err)
+		}
+		for mask := 0; mask < 1<<vars; mask++ {
+			am := map[int]bool{}
+			for i := 0; i < vars; i++ {
+				am[i] = mask&(1<<i) != 0
+			}
+			if m1.Eval(r1, am) != m2.Eval(r2, am) {
+				t.Fatalf("trial %d: decoded BDD differs at %b", trial, mask)
+			}
+		}
+		// Re-encoding from the new manager is byte-identical (canonical
+		// serialization).
+		if got := string(m2.Encode(r2, nil)); got != string(enc) {
+			t.Fatalf("trial %d: serialization not canonical across managers", trial)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	m := New()
+	if _, _, err := m.Decode([]byte{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := m.Decode([]byte{5, 1}); err == nil {
+		t.Error("truncated input accepted")
+	}
+	// Forward reference: node 0 referencing node index 3.
+	if _, _, err := m.Decode([]byte{1, 0, 3, 3, 2}); err == nil {
+		t.Error("forward reference accepted")
+	}
+}
+
+func TestSizeSupportAnySat(t *testing.T) {
+	m := New()
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), c)
+	if s := m.Support(f); len(s) != 3 {
+		t.Errorf("support = %v, want 3 vars", s)
+	}
+	if m.Size(f) == 0 {
+		t.Error("size of non-terminal is zero")
+	}
+	assign, ok := m.AnySat(f)
+	if !ok || !m.Eval(f, assign) {
+		t.Errorf("AnySat returned non-satisfying %v", assign)
+	}
+	if _, ok := m.AnySat(False); ok {
+		t.Error("AnySat(False) succeeded")
+	}
+	if m.Size(True) != 0 || len(m.Support(True)) != 0 {
+		t.Error("terminal metrics wrong")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	m := New()
+	if m.String(False) != "0" || m.String(True) != "1" {
+		t.Error("terminal strings wrong")
+	}
+	a := m.Var(0)
+	if m.String(a) != "x0" {
+		t.Errorf("String(x0) = %q", m.String(a))
+	}
+}

@@ -1,0 +1,123 @@
+package bdd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Serialized form: uvarint count of non-terminal nodes reachable from the
+// root, then for each node (in a deterministic bottom-up order) its level,
+// lo and hi as uvarints, then the root reference. References 0 and 1 are the
+// terminals; reference k+2 names the k-th serialized node.
+//
+// This is the byte representation whose length is charged to the simulated
+// and deployed wire when BDD provenance is shipped (§6.3, Fig 15).
+
+var errBadBDD = errors.New("bdd: malformed serialization")
+
+// Encode appends the canonical serialization of r to dst.
+func (m *Manager) Encode(r Ref, dst []byte) []byte {
+	order := m.topo(r)
+	index := map[Ref]uint64{False: 0, True: 1}
+	for i, n := range order {
+		index[n] = uint64(i) + 2
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(order)))
+	for _, n := range order {
+		nd := m.nodes[n]
+		dst = binary.AppendUvarint(dst, uint64(nd.level))
+		dst = binary.AppendUvarint(dst, index[nd.lo])
+		dst = binary.AppendUvarint(dst, index[nd.hi])
+	}
+	dst = binary.AppendUvarint(dst, index[r])
+	return dst
+}
+
+// topo returns the non-terminal nodes reachable from r ordered so that
+// children precede parents, with ties broken by (level, lo, hi) for
+// determinism.
+func (m *Manager) topo(r Ref) []Ref {
+	seen := map[Ref]bool{}
+	var order []Ref
+	var rec func(Ref)
+	rec = func(x Ref) {
+		if x == False || x == True || seen[x] {
+			return
+		}
+		seen[x] = true
+		rec(m.nodes[x].lo)
+		rec(m.nodes[x].hi)
+		order = append(order, x)
+	}
+	rec(r)
+	// The DFS order already places children first; make it fully
+	// deterministic across managers by stable-sorting on depth ranks.
+	rank := make(map[Ref]int, len(order))
+	for i, n := range order {
+		rank[n] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return rank[order[i]] < rank[order[j]] })
+	return order
+}
+
+// EncodedSize reports len(Encode(r, nil)) without allocating the full
+// buffer contents beyond one pass.
+func (m *Manager) EncodedSize(r Ref) int { return len(m.Encode(r, nil)) }
+
+// Decode reconstructs a serialized BDD inside manager m and returns its
+// root. The serialization is manager-independent, so a BDD built at one
+// node can be decoded at another.
+func (m *Manager) Decode(b []byte) (Ref, int, error) {
+	count, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return False, 0, errBadBDD
+	}
+	used := sz
+	refs := make([]Ref, count+2)
+	refs[0], refs[1] = False, True
+	for i := uint64(0); i < count; i++ {
+		level, s1 := binary.Uvarint(b[used:])
+		if s1 <= 0 {
+			return False, 0, errBadBDD
+		}
+		used += s1
+		lo, s2 := binary.Uvarint(b[used:])
+		if s2 <= 0 {
+			return False, 0, errBadBDD
+		}
+		used += s2
+		hi, s3 := binary.Uvarint(b[used:])
+		if s3 <= 0 {
+			return False, 0, errBadBDD
+		}
+		used += s3
+		if lo >= i+2 || hi >= i+2 {
+			return False, 0, fmt.Errorf("bdd: forward reference in serialization")
+		}
+		refs[i+2] = m.mk(int32(level), refs[lo], refs[hi])
+	}
+	root, s4 := binary.Uvarint(b[used:])
+	if s4 <= 0 || root >= count+2 {
+		return False, 0, errBadBDD
+	}
+	used += s4
+	return refs[root], used, nil
+}
+
+// Func pairs a manager with a root reference so a BDD can travel as a
+// provenance payload inside a tuple (types.Payload).
+type Func struct {
+	M *Manager
+	R Ref
+}
+
+// WireSize implements types.Payload.
+func (f Func) WireSize() int { return f.M.EncodedSize(f.R) }
+
+// EncodePayload implements types.Payload.
+func (f Func) EncodePayload() []byte { return f.M.Encode(f.R, nil) }
+
+// String implements types.Payload.
+func (f Func) String() string { return f.M.String(f.R) }

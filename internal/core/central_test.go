@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/engine"
+	"repro/internal/provquery"
+	"repro/internal/types"
+)
+
+// CentralGraphOf builds the centralized query view from the server node's
+// materialized prov/ruleExec relations (only meaningful under
+// ProvCentralized).
+func CentralGraphOf(c *Cluster) *provquery.CentralGraph {
+	server := c.Hosts[c.Cfg.Central].Engine
+	var provRows, execRows []types.Tuple
+	if rel := server.Table("prov"); rel != nil {
+		provRows = rel.Tuples()
+	}
+	if rel := server.Table("ruleExec"); rel != nil {
+		execRows = rel.Tuples()
+	}
+	return provquery.NewCentralGraph(provRows, execRows)
+}
+
+// TestCentralizedQueriesMatchDistributed: running MINCOST in centralized
+// mode relays the full provenance graph to the server; central queries
+// must agree with distributed reference-mode queries on every tuple.
+func TestCentralizedQueriesMatchDistributed(t *testing.T) {
+	central := figure3Cluster(t, engine.ProvCentralized)
+	graph := CentralGraphOf(central)
+	if graph.NumVertices() == 0 {
+		t.Fatal("server received no provenance rows")
+	}
+
+	ref, err := NewCluster(Config{
+		Topo: central.Topo, Prog: apps.MinCost(), Mode: engine.ProvReference,
+		UDF: provquery.Derivations{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.RunToFixpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, target := range ref.TuplesOf("bestPathCost") {
+		var want int64 = -1
+		ref.Query(target.Loc, target.VID, target.Loc, func(p []byte) { want = provquery.DecodeCount(p) })
+		ref.Sim.Run()
+		if got := graph.Count(target.VID); got != want {
+			t.Errorf("%s: central count %d, distributed %d", target.Tuple, got, want)
+		}
+	}
+
+	// Node set for the running example: bestPathCost(@a,c,5) involves a
+	// and b.
+	target, _ := ref.FindTuple(apps.BestPathCostTuple(0, 2, 5))
+	nodes := graph.Nodes(target.VID)
+	if len(nodes) != 2 || nodes[0] != 0 || nodes[1] != 1 {
+		t.Errorf("central node set = %v, want [a b]", nodes)
+	}
+
+	// Derivability under trust policies matches the §3 example.
+	if !graph.Derivable(target.VID, func(n types.NodeID) bool { return n == 0 }) {
+		t.Error("should be derivable trusting only a")
+	}
+	if graph.Derivable(target.VID, func(n types.NodeID) bool { return n == 3 }) {
+		t.Error("should not be derivable trusting only d")
+	}
+	if poly := graph.Polynomial(target.VID); poly.NumNodes() < 3 {
+		t.Errorf("central polynomial degenerate: %s", poly)
+	}
+}
+
+// TestCentralizedDeletionPropagates: retracting a base tuple must also
+// retract the server's copies of dependent provenance rows.
+func TestCentralizedDeletionPropagates(t *testing.T) {
+	c := figure3Cluster(t, engine.ProvCentralized)
+	before := CentralGraphOf(c).NumVertices()
+
+	// Remove the direct a-c link; pathCost(@a,c,5) keeps its via-b
+	// derivation but the sp1 derivation must vanish at the server.
+	link := c.Topo.Links[1] // a-c, cost 5
+	c.RemoveLink(link)
+	if _, err := c.RunToFixpoint(); err != nil {
+		t.Fatal(err)
+	}
+	graph := CentralGraphOf(c)
+	if graph.NumVertices() >= before {
+		t.Errorf("server vertices %d -> %d; expected shrinkage", before, graph.NumVertices())
+	}
+	pc := types.NewTuple("pathCost", types.Node(0), types.Node(2), types.Int(5))
+	if got := graph.Count(pc.VID()); got != 1 {
+		t.Errorf("pathCost(@a,c,5) central count after deletion = %d, want 1", got)
+	}
+}

@@ -1,0 +1,244 @@
+// Package core is the ExSPAN facade: it assembles the declarative
+// networking engine, the provenance store and the distributed query
+// processor into per-node hosts, and wires them to a transport — the
+// discrete-event simulator here, or UDP via package deploy. This is the
+// public API that examples, tools and the evaluation harness build on.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/ndlog"
+	"repro/internal/provquery"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/types"
+)
+
+// Config describes one cluster.
+type Config struct {
+	// Topo is the physical topology (required).
+	Topo *topology.Topology
+	// Prog is the NDlog program every node runs (required).
+	Prog *ndlog.Program
+	// Mode selects provenance maintenance (§3 Distribution).
+	Mode engine.ProvMode
+	// Central is the server node for ProvCentralized (default 0).
+	Central types.NodeID
+
+	// Query-processor configuration.
+	UDF       provquery.UDF // default: Polynomial
+	Strategy  provquery.Strategy
+	Threshold int64
+	CacheOn   bool
+
+	// BandwidthBucketNs, when non-zero, attaches a time-bucketed
+	// bandwidth recorder to the network.
+	BandwidthBucketNs int64
+}
+
+// Host is one node's ExSPAN stack.
+type Host struct {
+	Engine *engine.Node
+	Query  *provquery.Processor
+}
+
+// HandleMessage implements simnet.Handler by dispatching on payload type.
+func (h *Host) HandleMessage(from types.NodeID, payload any, size int) {
+	switch m := payload.(type) {
+	case *engine.Message:
+		h.Engine.HandleMessage(from, m)
+	case *provquery.Msg:
+		h.Query.Handle(from, m)
+	default:
+		panic(fmt.Sprintf("core: unknown payload %T", payload))
+	}
+}
+
+// Cluster is a simulated ExSPAN deployment.
+type Cluster struct {
+	Cfg   Config
+	Sim   *simnet.Sim
+	Net   *simnet.Network
+	Topo  *topology.Topology
+	Prog  *engine.Program
+	Hosts []*Host
+	Alloc *algebra.VarAlloc
+}
+
+type simTransport struct {
+	nw *simnet.Network
+}
+
+func (t simTransport) Send(from, to types.NodeID, m *engine.Message) {
+	t.nw.Send(from, to, m, m.WireSize())
+}
+
+// NewCluster builds a simulated cluster and schedules the injection of the
+// topology's base link tuples at virtual time zero.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Topo == nil || cfg.Prog == nil {
+		return nil, fmt.Errorf("core: Topo and Prog are required")
+	}
+	prog, err := engine.Compile(cfg.Prog)
+	if err != nil {
+		return nil, err
+	}
+	sim := simnet.NewSim()
+	nw := simnet.NewNetwork(sim, cfg.Topo.N)
+	cfg.Topo.Install(nw)
+	if cfg.BandwidthBucketNs > 0 {
+		nw.Recorder = stats.NewBandwidth(cfg.BandwidthBucketNs)
+	}
+	alloc := algebra.NewVarAlloc()
+	udf := cfg.UDF
+	if udf == nil {
+		udf = provquery.Polynomial{}
+	}
+
+	c := &Cluster{Cfg: cfg, Sim: sim, Net: nw, Topo: cfg.Topo, Prog: prog, Alloc: alloc}
+	for i := 0; i < cfg.Topo.N; i++ {
+		id := types.NodeID(i)
+		en := engine.NewNode(id, prog, cfg.Mode, simTransport{nw}, alloc)
+		en.Central = cfg.Central
+		qp := provquery.NewProcessor(id, en.Store, udf, func(to types.NodeID, m *provquery.Msg) {
+			nw.Send(id, to, m, m.WireSize())
+		})
+		qp.Strategy = cfg.Strategy
+		qp.Threshold = cfg.Threshold
+		qp.CacheOn = cfg.CacheOn
+		h := &Host{Engine: en, Query: qp}
+		nw.Register(id, h)
+		c.Hosts = append(c.Hosts, h)
+	}
+
+	// "Each node is initialized with a link tuple for each of its
+	// neighbors."
+	sim.At(0, func() {
+		for _, l := range cfg.Topo.Links {
+			c.insertLinkNow(l.U, l.V, l.Cost)
+		}
+	})
+	return c, nil
+}
+
+func (c *Cluster) insertLinkNow(u, v types.NodeID, cost int64) {
+	c.Hosts[u].Engine.InsertBase(linkTuple(u, v, cost))
+	c.Hosts[v].Engine.InsertBase(linkTuple(v, u, cost))
+}
+
+func linkTuple(u, v types.NodeID, cost int64) types.Tuple {
+	return types.NewTuple("link", types.Node(u), types.Node(v), types.Int(cost))
+}
+
+// RunToFixpoint executes the simulation until quiescence and returns the
+// virtual fixpoint time.
+func (c *Cluster) RunToFixpoint() (simnet.Time, error) {
+	t := c.Sim.Run()
+	return t, c.Err()
+}
+
+// RunUntil executes the simulation until the given virtual time.
+func (c *Cluster) RunUntil(t simnet.Time) error {
+	c.Sim.RunUntil(t)
+	return c.Err()
+}
+
+// Err reports the first engine error across hosts.
+func (c *Cluster) Err() error {
+	for _, h := range c.Hosts {
+		if h.Engine.Err != nil {
+			return h.Engine.Err
+		}
+	}
+	return nil
+}
+
+// AddLink installs a new physical link and its symmetric base tuples at the
+// current virtual time (churn).
+func (c *Cluster) AddLink(l topology.Link) {
+	lat, bps := l.Class.Params()
+	c.Net.AddLink(l.U, l.V, simnet.Link{Latency: lat, Bps: bps})
+	c.insertLinkNow(l.U, l.V, l.Cost)
+}
+
+// RemoveLink removes a physical link and retracts its base tuples.
+func (c *Cluster) RemoveLink(l topology.Link) {
+	c.Net.RemoveLink(l.U, l.V)
+	c.Hosts[l.U].Engine.DeleteBase(linkTuple(l.U, l.V, l.Cost))
+	c.Hosts[l.V].Engine.DeleteBase(linkTuple(l.V, l.U, l.Cost))
+}
+
+// InjectEvent fires an event tuple at its location specifier's node.
+func (c *Cluster) InjectEvent(t types.Tuple) {
+	loc := t.Loc()
+	if loc < 0 || int(loc) >= len(c.Hosts) {
+		panic("core: event tuple has no valid location")
+	}
+	c.Hosts[loc].Engine.InjectEvent(t)
+}
+
+// Query issues a provenance query from issuer for the tuple vertex vid
+// stored at loc; cb runs (at the issuer) when the result returns.
+func (c *Cluster) Query(issuer types.NodeID, vid types.ID, loc types.NodeID, cb func(payload []byte)) {
+	c.Hosts[issuer].Query.Query(vid, loc, cb)
+}
+
+// TupleRef locates a tuple vertex for querying.
+type TupleRef struct {
+	Tuple types.Tuple
+	VID   types.ID
+	Loc   types.NodeID
+}
+
+// TuplesOf returns every visible tuple of a predicate across the cluster.
+func (c *Cluster) TuplesOf(pred string) []TupleRef {
+	var out []TupleRef
+	for i, h := range c.Hosts {
+		rel := h.Engine.Table(pred)
+		if rel == nil {
+			continue
+		}
+		for _, t := range rel.Tuples() {
+			out = append(out, TupleRef{Tuple: t, VID: t.VID(), Loc: types.NodeID(i)})
+		}
+	}
+	return out
+}
+
+// FindTuple locates a specific tuple by predicate and arguments.
+func (c *Cluster) FindTuple(t types.Tuple) (TupleRef, bool) {
+	loc := t.Loc()
+	if loc < 0 || int(loc) >= len(c.Hosts) {
+		return TupleRef{}, false
+	}
+	rel := c.Hosts[loc].Engine.Table(t.Pred)
+	if rel == nil {
+		return TupleRef{}, false
+	}
+	for _, cand := range rel.Tuples() {
+		if cand.Equal(t) {
+			return TupleRef{Tuple: t, VID: t.VID(), Loc: loc}, true
+		}
+	}
+	return TupleRef{}, false
+}
+
+// RandomTupleOf picks a uniformly random visible tuple of a predicate.
+func (c *Cluster) RandomTupleOf(pred string, rng *rand.Rand) (TupleRef, bool) {
+	all := c.TuplesOf(pred)
+	if len(all) == 0 {
+		return TupleRef{}, false
+	}
+	return all[rng.Intn(len(all))], true
+}
+
+// AvgCommMB reports the per-node average communication cost in MB.
+func (c *Cluster) AvgCommMB() float64 { return c.Net.AvgSentMB() }
+
+// ParseProgram is a convenience wrapper re-exported for cmd tools.
+func ParseProgram(src string) (*ndlog.Program, error) { return ndlog.Parse(src) }

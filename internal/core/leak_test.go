@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/engine"
+	"repro/internal/topology"
+)
+
+// TestFullRetractionLeavesNoState: deleting every base link must drain all
+// derived tuples, all provenance rows, all reverse edges and all aggregate
+// groups — in every provenance mode. This is the strongest no-leak
+// invariant of incremental maintenance with provenance (§4.2's cascaded
+// deletions).
+//
+// The workload is PATHVECTOR: its f_member loop check makes derivations
+// loop-free, so retraction terminates. MINCOST (pure distance-vector)
+// exhibits the classic count-to-infinity divergence when links are
+// retracted while the physical network stays connected — deletion waves
+// chase unboundedly growing re-derivations — which is faithful to the
+// protocol class and exactly why path-vector protocols carry the path.
+func TestFullRetractionLeavesNoState(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	topo := topology.Ring(10, rng)
+	for _, mode := range []engine.ProvMode{engine.ProvNone, engine.ProvReference, engine.ProvValue, engine.ProvCentralized} {
+		c, err := NewCluster(Config{Topo: topo, Prog: apps.PathVector(), Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunToFixpoint(); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if len(c.TuplesOf("bestPath")) == 0 {
+			t.Fatalf("mode %s: nothing derived", mode)
+		}
+		// Retract every link *tuple*, one at a time, with interleaved
+		// fixpoints. The physical links stay installed so every
+		// retraction message remains deliverable — we are testing the
+		// engine's no-leak invariant, not partition loss.
+		for _, l := range topo.Links {
+			c.Hosts[l.U].Engine.DeleteBase(apps.LinkTuple(l.U, l.V, l.Cost))
+			c.Hosts[l.V].Engine.DeleteBase(apps.LinkTuple(l.V, l.U, l.Cost))
+			if _, err := c.RunToFixpoint(); err != nil {
+				t.Fatalf("mode %s: %v", mode, err)
+			}
+		}
+		for _, pred := range []string{"link", "path", "bestPath", "bestHop"} {
+			if got := len(c.TuplesOf(pred)); got != 0 {
+				t.Errorf("mode %s: %d %s tuples survive full retraction", mode, got, pred)
+			}
+		}
+		for i, h := range c.Hosts {
+			if mode != engine.ProvReference {
+				continue
+			}
+			if n := h.Engine.Store.NumProv(); n != 0 {
+				t.Errorf("mode %s node %d: %d prov rows leak", mode, i, n)
+			}
+			if n := h.Engine.Store.NumRuleExec(); n != 0 {
+				t.Errorf("mode %s node %d: %d ruleExec rows leak", mode, i, n)
+			}
+		}
+		if mode == engine.ProvCentralized {
+			graph := CentralGraphOf(c)
+			if graph.NumVertices() != 0 {
+				t.Errorf("centralized: %d vertices leak at the server", graph.NumVertices())
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/engine"
+	"repro/internal/topology"
+)
+
+// TestMinCostTransitStubScale exercises a full 100-node transit-stub
+// fixpoint in all three provenance configurations of Fig 6 and checks the
+// headline ordering: value-based >> reference-based > none, with
+// reference-based overhead small.
+func TestMinCostTransitStubScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	topo := topology.TransitStub(topology.DefaultTransitStub(1), rand.New(rand.NewSource(42)))
+	if topo.N != 100 {
+		t.Fatalf("topology size = %d, want 100", topo.N)
+	}
+	cost := map[engine.ProvMode]float64{}
+	for _, mode := range []engine.ProvMode{engine.ProvNone, engine.ProvReference, engine.ProvValue} {
+		c, err := NewCluster(Config{Topo: topo, Prog: apps.MinCost(), Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunToFixpoint(); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		cost[mode] = c.AvgCommMB()
+		t.Logf("mode %-10s avg comm %.3f MB, total msgs %d, fixpoint %.2fs",
+			mode, c.AvgCommMB(), totalMsgs(c), c.Sim.Now().Seconds())
+	}
+	if cost[engine.ProvReference] <= cost[engine.ProvNone] {
+		t.Errorf("reference (%.3f) should exceed none (%.3f)", cost[engine.ProvReference], cost[engine.ProvNone])
+	}
+	if cost[engine.ProvValue] <= cost[engine.ProvReference] {
+		t.Errorf("value (%.3f) should exceed reference (%.3f)", cost[engine.ProvValue], cost[engine.ProvReference])
+	}
+	refOverhead := cost[engine.ProvReference]/cost[engine.ProvNone] - 1
+	if refOverhead > 0.5 {
+		t.Errorf("reference overhead %.1f%% unexpectedly large", refOverhead*100)
+	}
+}
+
+func totalMsgs(c *Cluster) int64 {
+	var n int64
+	for _, m := range c.Net.SentMsgs {
+		n += m
+	}
+	return n
+}

@@ -1,0 +1,342 @@
+// Package deploy runs ExSPAN nodes over real UDP sockets on the loopback
+// interface — the "deployment mode" of the paper's testbed experiments
+// (§7.4, Figs 16-17). The engine and query-processor code is identical to
+// the simulation; only the transport differs: messages are serialized into
+// UDP datagrams, and time is wall-clock time.
+package deploy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/ndlog"
+	"repro/internal/provquery"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/types"
+)
+
+// Datagram type tags.
+const (
+	tagEngine byte = 0
+	tagQuery  byte = 1
+)
+
+// ipUDPOverhead is the per-datagram header cost (IPv4 + UDP) added to byte
+// accounting so deployed numbers are comparable with simulated ones.
+const ipUDPOverhead = 28
+
+// Config describes a deployed cluster.
+type Config struct {
+	Topo    *topology.Topology
+	Prog    *ndlog.Program
+	Mode    engine.ProvMode
+	Central types.NodeID
+	UDF     provquery.UDF
+	CacheOn bool
+}
+
+// Cluster is a set of ExSPAN node processes communicating over UDP.
+type Cluster struct {
+	Cfg   Config
+	Prog  *engine.Program
+	Nodes []*NodeProc
+	addrs []*net.UDPAddr
+	start time.Time
+
+	sent      atomic.Int64 // work items issued (datagrams + local commands)
+	processed atomic.Int64 // work items fully handled
+}
+
+// NodeProc is one deployed node: an engine + query processor served by a
+// single worker goroutine, with a UDP socket.
+type NodeProc struct {
+	ID     types.NodeID
+	Engine *engine.Node
+	Query  *provquery.Processor
+
+	cl     *Cluster
+	conn   *net.UDPConn
+	inbox  chan work
+	done   chan struct{}
+	closed sync.Once
+
+	SentBytes atomic.Int64
+	SentMsgs  atomic.Int64
+	Recorder  *stats.Bandwidth // written only by this node's worker
+	recMu     sync.Mutex
+}
+
+type work struct {
+	from    types.NodeID
+	engMsg  *engine.Message
+	qryMsg  *provquery.Msg
+	command func()
+}
+
+type udpTransport struct{ np *NodeProc }
+
+func (t udpTransport) Send(from, to types.NodeID, m *engine.Message) {
+	t.np.sendDatagram(to, tagEngine, m.Encode(nil))
+}
+
+// NewCluster binds sockets and builds node processes; call Start to begin
+// serving and InsertLinks to inject the topology's base tuples.
+func NewCluster(cfg Config) (*Cluster, error) {
+	prog, err := engine.Compile(cfg.Prog)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{Cfg: cfg, Prog: prog, start: time.Now()}
+	alloc := algebra.NewVarAlloc()
+	udf := cfg.UDF
+	if udf == nil {
+		udf = provquery.Polynomial{}
+	}
+	for i := 0; i < cfg.Topo.N; i++ {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+		if err != nil {
+			cl.Stop()
+			return nil, fmt.Errorf("deploy: listen: %w", err)
+		}
+		_ = conn.SetReadBuffer(4 << 20)
+		_ = conn.SetWriteBuffer(4 << 20)
+		np := &NodeProc{
+			ID:       types.NodeID(i),
+			cl:       cl,
+			conn:     conn,
+			inbox:    make(chan work, 4096),
+			done:     make(chan struct{}),
+			Recorder: stats.NewBandwidth(int64(100 * time.Millisecond)),
+		}
+		en := engine.NewNode(np.ID, prog, cfg.Mode, udpTransport{np}, alloc)
+		en.Central = cfg.Central
+		qp := provquery.NewProcessor(np.ID, en.Store, udf, func(to types.NodeID, m *provquery.Msg) {
+			np.sendDatagram(to, tagQuery, m.Encode(nil))
+		})
+		qp.CacheOn = cfg.CacheOn
+		np.Engine = en
+		np.Query = qp
+		cl.Nodes = append(cl.Nodes, np)
+		cl.addrs = append(cl.addrs, conn.LocalAddr().(*net.UDPAddr))
+	}
+	return cl, nil
+}
+
+// Start launches the receive and worker goroutines of every node.
+func (c *Cluster) Start() {
+	for _, np := range c.Nodes {
+		go np.recvLoop()
+		go np.workLoop()
+	}
+}
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	for _, np := range c.Nodes {
+		if np == nil {
+			continue
+		}
+		np.closed.Do(func() {
+			close(np.done)
+			_ = np.conn.Close()
+		})
+	}
+}
+
+// InsertLinks injects the topology's symmetric link tuples at their owning
+// nodes.
+func (c *Cluster) InsertLinks() {
+	for _, l := range c.Cfg.Topo.Links {
+		u, v, cost := l.U, l.V, l.Cost
+		c.Nodes[u].Do(func() {
+			c.Nodes[u].Engine.InsertBase(types.NewTuple("link", types.Node(u), types.Node(v), types.Int(cost)))
+		})
+		c.Nodes[v].Do(func() {
+			c.Nodes[v].Engine.InsertBase(types.NewTuple("link", types.Node(v), types.Node(u), types.Int(cost)))
+		})
+	}
+}
+
+// Do runs fn on the node's worker goroutine (all engine state is confined
+// to it).
+func (np *NodeProc) Do(fn func()) {
+	np.cl.sent.Add(1)
+	np.inbox <- work{command: fn}
+}
+
+func (np *NodeProc) sendDatagram(to types.NodeID, tag byte, payload []byte) {
+	buf := make([]byte, 0, len(payload)+5)
+	buf = append(buf, tag)
+	var idb [4]byte
+	idb[0] = byte(uint32(np.ID) >> 24)
+	idb[1] = byte(uint32(np.ID) >> 16)
+	idb[2] = byte(uint32(np.ID) >> 8)
+	idb[3] = byte(uint32(np.ID))
+	buf = append(buf, idb[:]...)
+	buf = append(buf, payload...)
+
+	total := int64(len(buf) + ipUDPOverhead)
+	np.SentBytes.Add(total)
+	np.SentMsgs.Add(1)
+	np.recMu.Lock()
+	np.Recorder.Record(int64(time.Since(np.cl.start)), total)
+	np.recMu.Unlock()
+
+	np.cl.sent.Add(1)
+	if _, err := np.conn.WriteToUDP(buf, np.cl.addrs[to]); err != nil {
+		// A send that never reaches the peer would stall quiescence;
+		// account it as processed.
+		np.cl.processed.Add(1)
+	}
+}
+
+func (np *NodeProc) recvLoop() {
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := np.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < 5 {
+			np.cl.processed.Add(1)
+			continue
+		}
+		tag := buf[0]
+		from := types.NodeID(int32(uint32(buf[1])<<24 | uint32(buf[2])<<16 | uint32(buf[3])<<8 | uint32(buf[4])))
+		payload := make([]byte, n-5)
+		copy(payload, buf[5:n])
+		var w work
+		w.from = from
+		switch tag {
+		case tagEngine:
+			m, err := engine.DecodeMessage(payload)
+			if err != nil {
+				np.cl.processed.Add(1)
+				continue
+			}
+			w.engMsg = m
+		case tagQuery:
+			m, err := provquery.DecodeMsg(payload)
+			if err != nil {
+				np.cl.processed.Add(1)
+				continue
+			}
+			w.qryMsg = m
+		default:
+			np.cl.processed.Add(1)
+			continue
+		}
+		select {
+		case np.inbox <- w:
+		case <-np.done:
+			return
+		}
+	}
+}
+
+func (np *NodeProc) workLoop() {
+	for {
+		select {
+		case w := <-np.inbox:
+			switch {
+			case w.command != nil:
+				w.command()
+			case w.engMsg != nil:
+				np.Engine.HandleMessage(w.from, w.engMsg)
+			case w.qryMsg != nil:
+				np.Query.Handle(w.from, w.qryMsg)
+			}
+			np.cl.processed.Add(1)
+		case <-np.done:
+			return
+		}
+	}
+}
+
+// WaitFixpoint blocks until the cluster is quiescent (every issued work
+// item processed, stable across several polls) or the timeout elapses; it
+// returns the elapsed wall-clock time since cluster start and whether a
+// fixpoint was reached.
+func (c *Cluster) WaitFixpoint(timeout time.Duration) (time.Duration, bool) {
+	deadline := time.Now().Add(timeout)
+	stable := 0
+	var last int64 = -1
+	for time.Now().Before(deadline) {
+		s, p := c.sent.Load(), c.processed.Load()
+		if s == p && s == last {
+			stable++
+			if stable >= 3 {
+				return time.Since(c.start), true
+			}
+		} else {
+			stable = 0
+		}
+		last = s
+		time.Sleep(5 * time.Millisecond)
+	}
+	return time.Since(c.start), false
+}
+
+// Err reports the first engine error across nodes.
+func (c *Cluster) Err() error {
+	for _, np := range c.Nodes {
+		if err := np.Engine.Err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalSentBytes sums bytes sent by all nodes.
+func (c *Cluster) TotalSentBytes() int64 {
+	var t int64
+	for _, np := range c.Nodes {
+		t += np.SentBytes.Load()
+	}
+	return t
+}
+
+// AvgSentKB reports the per-node average bytes sent, in kilobytes.
+func (c *Cluster) AvgSentKB() float64 {
+	return float64(c.TotalSentBytes()) / float64(len(c.Nodes)) / 1e3
+}
+
+// BandwidthSeries merges the per-node recorders into one average-per-node
+// MBps series covering [0, until).
+func (c *Cluster) BandwidthSeries(until time.Duration) []stats.Point {
+	merged := stats.NewBandwidth(int64(100 * time.Millisecond))
+	for _, np := range c.Nodes {
+		np.recMu.Lock()
+		merged.Merge(np.Recorder)
+		np.recMu.Unlock()
+	}
+	return merged.Series(int64(until), len(c.Nodes))
+}
+
+// Snapshot returns every visible tuple of a predicate across nodes (worker
+// goroutines are quiesced by running the read on each worker).
+func (c *Cluster) Snapshot(pred string) []types.Tuple {
+	var mu sync.Mutex
+	var out []types.Tuple
+	var wg sync.WaitGroup
+	for _, np := range c.Nodes {
+		np := np
+		wg.Add(1)
+		np.Do(func() {
+			defer wg.Done()
+			if rel := np.Engine.Table(pred); rel != nil {
+				mu.Lock()
+				out = append(out, rel.Tuples()...)
+				mu.Unlock()
+			}
+		})
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/types"
+)
+
+// aggEntry is one element of an aggregate group's input multiset.
+type aggEntry struct {
+	input   types.Tuple // the body tuple (provenance child, payload source)
+	sortVal types.Value
+	carried []types.Value
+	count   int
+}
+
+// aggGroup maintains one group of an aggregate rule: the multiset of input
+// rows and the currently emitted output.
+type aggGroup struct {
+	entries map[string]*aggEntry
+	// curOut is the currently emitted head tuple (nil when none), and
+	// curWinner the input tuple it was traced to (MIN/MAX provenance).
+	curOut    *types.Tuple
+	curWinner *aggEntry
+	total     int // COUNT<*>
+}
+
+func newAggGroup() *aggGroup { return &aggGroup{entries: map[string]*aggEntry{}} }
+
+func aggEntryKey(sortVal types.Value, carried []types.Value) string {
+	b := sortVal.Encode(nil)
+	for _, c := range carried {
+		b = c.Encode(b)
+	}
+	return string(b)
+}
+
+// aggEmit is one visible change of the aggregate output.
+type aggEmit struct {
+	tuple  types.Tuple
+	sign   int8
+	winner types.Tuple // MIN/MAX: the input tuple the output derives from
+	hasWin bool
+}
+
+// update applies one input delta and returns the emitted output changes.
+// groupVals are the evaluated group-by head arguments; spec drives the
+// aggregate function.
+func (g *aggGroup) update(spec *AggSpec, groupVals []types.Value,
+	sortVal types.Value, carried []types.Value, input types.Tuple, sign int8) []aggEmit {
+
+	key := aggEntryKey(sortVal, carried)
+	switch sign {
+	case Insert:
+		e := g.entries[key]
+		if e == nil {
+			e = &aggEntry{input: input, sortVal: sortVal, carried: carried}
+			g.entries[key] = e
+		}
+		e.count++
+		g.total++
+	case Delete:
+		e := g.entries[key]
+		if e == nil {
+			return nil // deletion of an unseen row: ignore defensively
+		}
+		e.count--
+		g.total--
+		if e.count <= 0 {
+			delete(g.entries, key)
+		}
+	default:
+		return nil
+	}
+	return g.refresh(spec, groupVals)
+}
+
+// refresh recomputes the output tuple and diffs it against the currently
+// emitted one.
+func (g *aggGroup) refresh(spec *AggSpec, groupVals []types.Value) []aggEmit {
+	newOut, newWinner := g.compute(spec, groupVals)
+	var emits []aggEmit
+	if g.curOut != nil && (newOut == nil || !g.curOut.Equal(*newOut)) {
+		em := aggEmit{tuple: *g.curOut, sign: Delete}
+		if g.curWinner != nil {
+			em.winner, em.hasWin = g.curWinner.input, true
+		}
+		emits = append(emits, em)
+		g.curOut, g.curWinner = nil, nil
+	}
+	if newOut != nil && g.curOut == nil {
+		em := aggEmit{tuple: *newOut, sign: Insert}
+		if newWinner != nil {
+			em.winner, em.hasWin = newWinner.input, true
+		}
+		emits = append(emits, em)
+		g.curOut, g.curWinner = newOut, newWinner
+	}
+	return emits
+}
+
+// compute evaluates the aggregate over the current multiset.
+func (g *aggGroup) compute(spec *AggSpec, groupVals []types.Value) (*types.Tuple, *aggEntry) {
+	var aggVals []types.Value
+	var winner *aggEntry
+	switch spec.Fn {
+	case "MIN", "MAX":
+		for _, e := range g.entries {
+			if winner == nil {
+				winner = e
+				continue
+			}
+			c := e.sortVal.Compare(winner.sortVal)
+			if spec.Fn == "MAX" {
+				c = -c
+			}
+			if c < 0 || (c == 0 && compareCarried(e, winner) < 0) {
+				winner = e
+			}
+		}
+		if winner == nil {
+			return nil, nil
+		}
+		aggVals = append([]types.Value{winner.sortVal}, winner.carried...)
+	case "COUNT":
+		if g.total <= 0 {
+			return nil, nil
+		}
+		aggVals = []types.Value{types.Int(int64(g.total))}
+	case "AGGLIST":
+		if len(g.entries) == 0 {
+			return nil, nil
+		}
+		rows := make([]types.Value, 0, len(g.entries))
+		for _, e := range g.entries {
+			row := append([]types.Value{e.sortVal}, e.carried...)
+			rows = append(rows, types.List(row...))
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Compare(rows[j]) < 0 })
+		aggVals = []types.Value{types.List(rows...)}
+	default:
+		return nil, nil
+	}
+
+	// Assemble the head: group values in order, aggregate values spliced
+	// in at the aggregate position.
+	args := make([]types.Value, 0, len(groupVals)+len(aggVals))
+	gi := 0
+	for pos := 0; pos <= len(groupVals); pos++ {
+		if pos == spec.AggPos {
+			args = append(args, aggVals...)
+			continue
+		}
+		args = append(args, groupVals[gi])
+		gi++
+	}
+	t := types.Tuple{Args: args}
+	return &t, winner
+}
+
+func compareCarried(a, b *aggEntry) int {
+	for i := 0; i < len(a.carried) && i < len(b.carried); i++ {
+		if c := a.carried[i].Compare(b.carried[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a.carried) - len(b.carried)
+}
+
+// winnerOf reports the current winning entry (MIN/MAX).
+func (g *aggGroup) winnerOf() *aggEntry { return g.curWinner }

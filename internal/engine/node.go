@@ -1,0 +1,672 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/bdd"
+	"repro/internal/provenance"
+	"repro/internal/types"
+)
+
+// ProvMode selects how provenance is maintained and distributed (§3).
+type ProvMode uint8
+
+// Provenance distribution modes.
+const (
+	// ProvNone disables provenance maintenance (the evaluation's
+	// "No Prov." baseline).
+	ProvNone ProvMode = iota
+	// ProvReference maintains reference-based distributed provenance:
+	// ruleExec rows at the deriving node, prov rows at the tuple's node,
+	// and only the (RID, RLoc) pointer shipped with each tuple.
+	ProvReference
+	// ProvValue ships the full provenance of every tuple, encoded as a
+	// BDD, with the tuple itself (the "Value-based Prov. (BDD)" line).
+	ProvValue
+	// ProvCentralized relays every prov and ruleExec row to a central
+	// server node as additional messages.
+	ProvCentralized
+)
+
+func (m ProvMode) String() string {
+	switch m {
+	case ProvNone:
+		return "none"
+	case ProvReference:
+		return "reference"
+	case ProvValue:
+		return "value"
+	case ProvCentralized:
+		return "centralized"
+	}
+	return "?"
+}
+
+// localDelta is one unit of PSN work in a node's FIFO queue.
+type localDelta struct {
+	tuple   types.Tuple
+	sign    int8
+	rid     types.ID
+	rloc    types.NodeID
+	isBase  bool
+	payload bdd.Ref // value mode: decoded provenance of this derivation
+}
+
+// Node is one ExSPAN engine instance: the PSN evaluator plus provenance
+// bookkeeping for a single network node.
+type Node struct {
+	ID        types.NodeID
+	Prog      *Program
+	Mode      ProvMode
+	Transport Transport
+	Central   types.NodeID // ProvCentralized: the server node
+
+	// Store holds this node's partition of the provenance graph
+	// (reference and centralized modes).
+	Store *provenance.Store
+
+	// Mgr/Alloc support value-based provenance payloads. Alloc must be
+	// shared across the cluster so BDD variable numbering is globally
+	// consistent.
+	Mgr   *bdd.Manager
+	Alloc *algebra.VarAlloc
+
+	tables   map[string]*Relation
+	aggState map[string]map[string]*aggGroup
+	queue    []localDelta
+	draining bool
+
+	// Err records the first internal evaluation error (malformed program
+	// data); the node stops deriving after an error.
+	Err error
+
+	// Counters.
+	DeltasProcessed int64
+	RulesFired      int64
+}
+
+// NewNode creates an engine node for the given compiled program.
+func NewNode(id types.NodeID, prog *Program, mode ProvMode, tr Transport, alloc *algebra.VarAlloc) *Node {
+	n := &Node{
+		ID:        id,
+		Prog:      prog,
+		Mode:      mode,
+		Transport: tr,
+		Store:     provenance.NewStore(id),
+		tables:    make(map[string]*Relation),
+		aggState:  make(map[string]map[string]*aggGroup),
+		Alloc:     alloc,
+	}
+	if mode == ProvValue {
+		n.Mgr = bdd.New()
+		if n.Alloc == nil {
+			n.Alloc = algebra.NewVarAlloc()
+		}
+	}
+	// Pre-create relations and the indexes every join plan needs.
+	for _, info := range prog.Preds() {
+		if !info.Event {
+			n.tables[info.Name] = NewRelation(info.Name)
+		}
+	}
+	for _, r := range prog.Rules {
+		for _, pl := range r.plans {
+			for _, st := range pl.steps {
+				if st.kind != stepJoin {
+					continue
+				}
+				a := r.atoms[st.atom]
+				if !a.event {
+					n.table(a.pred).EnsureIndex(st.indexPos)
+				}
+			}
+		}
+	}
+	return n
+}
+
+func (n *Node) table(pred string) *Relation {
+	t := n.tables[pred]
+	if t == nil {
+		t = NewRelation(pred)
+		n.tables[pred] = t
+	}
+	return t
+}
+
+// Table exposes a relation for inspection (nil when absent).
+func (n *Node) Table(pred string) *Relation { return n.tables[pred] }
+
+// PayloadOf returns the value-mode provenance payload of a visible tuple —
+// the "immediately available" provenance that lets a node accept or reject
+// state without a distributed query. It reports false when the node is not
+// in ProvValue mode or the tuple is not visible; interpret the Ref against
+// n.Mgr and the cluster's shared VarAlloc.
+func (n *Node) PayloadOf(t types.Tuple) (bdd.Ref, bool) {
+	if n.Mode != ProvValue {
+		return bdd.False, false
+	}
+	rel := n.tables[t.Pred]
+	if rel == nil {
+		return bdd.False, false
+	}
+	e := rel.get(t)
+	if e == nil || !e.visible {
+		return bdd.False, false
+	}
+	return e.payload, true
+}
+
+// InsertBase injects a base (EDB) tuple at this node and runs to local
+// quiescence.
+func (n *Node) InsertBase(t types.Tuple) {
+	n.enqueue(localDelta{tuple: t, sign: Insert, rloc: n.ID, isBase: true})
+	n.drain()
+}
+
+// DeleteBase retracts a base tuple.
+func (n *Node) DeleteBase(t types.Tuple) {
+	n.enqueue(localDelta{tuple: t, sign: Delete, rloc: n.ID, isBase: true})
+	n.drain()
+}
+
+// InjectEvent fires an event tuple at this node (e.g. a PACKETFORWARD
+// ePacket).
+func (n *Node) InjectEvent(t types.Tuple) {
+	d := localDelta{tuple: t, sign: Insert, rloc: n.ID, isBase: true}
+	if n.Mode == ProvValue {
+		d.payload = bdd.True
+	}
+	n.enqueue(d)
+	n.drain()
+}
+
+// HandleMessage applies a tuple delta received from another node.
+func (n *Node) HandleMessage(from types.NodeID, m *Message) {
+	d := localDelta{tuple: m.Tuple, sign: m.Delta}
+	if m.HasRef {
+		d.rid, d.rloc = m.RID, m.RLoc
+	}
+	if n.Mode == ProvValue {
+		if m.Payload != nil {
+			ref, _, err := n.Mgr.Decode(m.Payload)
+			if err != nil {
+				n.fail(fmt.Errorf("node %s: bad payload from %s: %w", n.ID, from, err))
+				return
+			}
+			d.payload = ref
+		} else {
+			d.payload = bdd.True
+		}
+	}
+	n.enqueue(d)
+	n.drain()
+}
+
+func (n *Node) fail(err error) {
+	if n.Err == nil {
+		n.Err = err
+	}
+}
+
+func (n *Node) enqueue(d localDelta) { n.queue = append(n.queue, d) }
+
+// drain processes queued deltas FIFO until quiescent (the PSN pipeline).
+func (n *Node) drain() {
+	if n.draining {
+		return
+	}
+	n.draining = true
+	defer func() { n.draining = false }()
+	for len(n.queue) > 0 && n.Err == nil {
+		d := n.queue[0]
+		n.queue = n.queue[1:]
+		n.process(d)
+	}
+}
+
+func (n *Node) process(d localDelta) {
+	n.DeltasProcessed++
+	info := n.Prog.Pred(d.tuple.Pred)
+	isEvent := info != nil && info.Event || info == nil && ndlogIsEvent(d.tuple.Pred)
+	if isEvent {
+		// Events are transient: fire rules, never materialize. Both
+		// insertion and deletion deltas flow through events — the
+		// rewritten provenance-maintenance programs rely on deletion
+		// deltas cascading through their eHTemp/eH events ("rule r20
+		// compiles into a series of insertion and deletion delta rules").
+		// Event provenance rows are recorded symmetrically so data-plane
+		// activity (e.g. packet forwarding) can be traced.
+		if d.sign == Update {
+			return
+		}
+		if n.Mode == ProvReference {
+			vid := d.tuple.VID()
+			if d.sign == Insert {
+				n.Store.RegisterTuple(d.tuple)
+				n.Store.AddProv(vid, d.rid, d.rloc)
+			} else {
+				n.Store.DelProv(vid, d.rid, d.rloc)
+			}
+		}
+		// Centralized: base events are reported by their injector; derived
+		// events were already reported by the deriving node.
+		if n.Mode == ProvCentralized && d.isBase {
+			n.sendProvRow(n.ID, d.tuple.VID(), types.ZeroID, n.ID, d.sign)
+		}
+		n.fireAll(d.tuple, d.sign, nil, d.payload)
+		return
+	}
+
+	// The provenance meta-relations themselves (rows relayed to a
+	// centralized server, or produced by a rewrite-generated program) are
+	// stored without further provenance bookkeeping.
+	meta := d.tuple.Pred == "prov" || d.tuple.Pred == "ruleExec"
+
+	rel := n.table(d.tuple.Pred)
+	switch d.sign {
+	case Insert:
+		e := rel.getOrCreate(d.tuple)
+		dv := e.derivs[d.rid]
+		if dv == nil {
+			dv = &deriv{rid: d.rid, rloc: d.rloc, payload: bdd.False}
+			e.derivs[d.rid] = dv
+		}
+		dv.count++
+		if n.Mode == ProvReference && !meta {
+			vid := n.Store.RegisterTuple(d.tuple)
+			n.Store.AddProv(vid, d.rid, d.rloc)
+		}
+		// Centralized: the deriving node reports derived rows; the owner
+		// reports base rows.
+		if n.Mode == ProvCentralized && !meta && d.isBase {
+			n.sendProvRow(n.ID, d.tuple.VID(), types.ZeroID, n.ID, Insert)
+		}
+		payloadChanged := false
+		if n.Mode == ProvValue {
+			if d.isBase {
+				dv.payload = n.Mgr.Var(n.Alloc.VarOf(algebra.Base{
+					VID: d.tuple.VID(), Label: d.tuple.String(), Node: n.ID,
+				}))
+			} else {
+				dv.payload = d.payload
+			}
+			payloadChanged = n.recomputePayload(e)
+		}
+		if !e.visible {
+			rel.setVisible(e, true)
+			n.fireAll(d.tuple, Insert, e, e.payload)
+		} else if payloadChanged {
+			n.fireAll(d.tuple, Update, e, e.payload)
+		}
+
+	case Delete:
+		e := rel.get(d.tuple)
+		if e == nil {
+			return
+		}
+		dv := e.derivs[d.rid]
+		if dv == nil {
+			return
+		}
+		dv.count--
+		if dv.count <= 0 {
+			delete(e.derivs, d.rid)
+		}
+		if n.Mode == ProvReference && !meta {
+			n.Store.DelProv(d.tuple.VID(), d.rid, d.rloc)
+		}
+		if n.Mode == ProvCentralized && !meta && d.isBase {
+			n.sendProvRow(n.ID, d.tuple.VID(), types.ZeroID, n.ID, Delete)
+		}
+		if len(e.derivs) == 0 {
+			rel.setVisible(e, false)
+			n.fireAll(d.tuple, Delete, e, e.payload)
+		} else if n.Mode == ProvValue && n.recomputePayload(e) {
+			n.fireAll(d.tuple, Update, e, e.payload)
+		}
+
+	case Update:
+		if n.Mode != ProvValue {
+			return
+		}
+		e := rel.get(d.tuple)
+		if e == nil || !e.visible {
+			return
+		}
+		dv := e.derivs[d.rid]
+		if dv == nil {
+			return
+		}
+		dv.payload = d.payload
+		if n.recomputePayload(e) {
+			n.fireAll(d.tuple, Update, e, e.payload)
+		}
+	}
+}
+
+func ndlogIsEvent(pred string) bool {
+	return len(pred) >= 2 && pred[0] == 'e' && pred[1] >= 'A' && pred[1] <= 'Z'
+}
+
+// recomputePayload refreshes the entry's combined (OR) payload; it reports
+// whether the payload changed.
+func (n *Node) recomputePayload(e *entry) bool {
+	comb := bdd.False
+	for _, dv := range e.derivs {
+		comb = n.Mgr.Or(comb, dv.payload)
+	}
+	if comb == e.payload {
+		return false
+	}
+	e.payload = comb
+	return true
+}
+
+// fireAll runs every rule occurrence triggered by a delta of this
+// predicate. deltaEntry may be nil (events); payload is the tuple's current
+// provenance payload in value mode.
+func (n *Node) fireAll(t types.Tuple, sign int8, deltaEntry *entry, payload bdd.Ref) {
+	for _, occ := range n.Prog.Occurrences(t.Pred) {
+		if occ.rule.agg != nil {
+			n.fireAgg(occ.rule, t, sign, payload)
+		} else {
+			n.firePlan(occ.rule, occ.pos, t, sign, deltaEntry, payload)
+		}
+	}
+}
+
+// firePlan evaluates the delta plan of (rule, pos) for tuple t and emits
+// head derivations.
+func (n *Node) firePlan(rule *CompiledRule, pos int, t types.Tuple, sign int8,
+	deltaEntry *entry, deltaPayload bdd.Ref) {
+
+	pl := rule.plans[pos]
+	env := make([]types.Value, rule.numVars)
+	if !bindTuple(pl.deltaBinds, t, env) {
+		return
+	}
+	matched := make([]types.Tuple, len(rule.atoms))
+	payloads := make([]bdd.Ref, len(rule.atoms))
+	matched[pos] = t
+	payloads[pos] = deltaPayload
+
+	var exec func(step int)
+	exec = func(step int) {
+		if n.Err != nil {
+			return
+		}
+		if step == len(pl.steps) {
+			n.emitDerivation(rule, env, matched, payloads, sign)
+			return
+		}
+		st := &pl.steps[step]
+		switch st.kind {
+		case stepAssign:
+			v, err := st.expr(env)
+			if err != nil {
+				n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
+				return
+			}
+			env[st.assignSlot] = v
+			exec(step + 1)
+		case stepCond:
+			v, err := st.expr(env)
+			if err != nil {
+				n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
+				return
+			}
+			if v.Truthy() {
+				exec(step + 1)
+			}
+		case stepJoin:
+			rel := n.table(rule.atoms[st.atom].pred)
+			for _, cand := range rel.Lookup(st.indexPos, st.lookupKey(env)) {
+				if !bindTuple(st.binds, cand.tuple, env) {
+					continue
+				}
+				matched[st.atom] = cand.tuple
+				payloads[st.atom] = cand.payload
+				exec(step + 1)
+			}
+		}
+	}
+	exec(0)
+}
+
+// emitDerivation computes the head tuple for one complete join result and
+// routes the delta (locally or over the transport), maintaining provenance
+// per the configured mode.
+func (n *Node) emitDerivation(rule *CompiledRule, env []types.Value,
+	matched []types.Tuple, payloads []bdd.Ref, sign int8) {
+
+	n.RulesFired++
+	args := make([]types.Value, len(rule.headCode))
+	for i, code := range rule.headCode {
+		v, err := code(env)
+		if err != nil {
+			n.fail(fmt.Errorf("rule %s head: %w", rule.Label, err))
+			return
+		}
+		args[i] = v
+	}
+	head := types.Tuple{Pred: rule.HeadPred, Args: args}
+	dst := args[rule.HeadLocPos].AsNode()
+	if dst < 0 {
+		n.fail(fmt.Errorf("rule %s: head location is not a node", rule.Label))
+		return
+	}
+
+	inputVIDs := make([]types.ID, len(matched))
+	for i, in := range matched {
+		inputVIDs[i] = in.VID()
+	}
+	rid := types.RuleExecID(rule.Label, n.ID, inputVIDs)
+
+	if sign != Update {
+		headVID := head.VID()
+		switch n.Mode {
+		case ProvReference:
+			if sign == Insert {
+				n.Store.AddRuleExec(rid, rule.Label, inputVIDs)
+				for _, in := range inputVIDs {
+					n.Store.AddParent(in, rid, headVID, dst)
+				}
+			} else {
+				n.Store.DelRuleExec(rid)
+				for _, in := range inputVIDs {
+					n.Store.DelParent(in, rid, headVID, dst)
+				}
+			}
+		case ProvCentralized:
+			// The deriving node knows the whole derivation: it relays both
+			// the ruleExec row and the head's prov row to the server.
+			n.sendRuleExecRow(rid, rule.Label, inputVIDs, sign)
+			n.sendProvRow(dst, headVID, rid, n.ID, sign)
+		}
+	}
+
+	var payload bdd.Ref
+	if n.Mode == ProvValue {
+		payload = bdd.True
+		for _, p := range payloads {
+			payload = n.Mgr.And(payload, p)
+		}
+	}
+	n.route(head, dst, sign, rid, payload)
+}
+
+// route delivers a derived delta to its destination node.
+func (n *Node) route(head types.Tuple, dst types.NodeID, sign int8, rid types.ID, payload bdd.Ref) {
+	if dst == n.ID {
+		n.enqueue(localDelta{tuple: head, sign: sign, rid: rid, rloc: n.ID, payload: payload})
+		return
+	}
+	m := &Message{Tuple: head, Delta: sign}
+	switch n.Mode {
+	case ProvReference:
+		m.HasRef, m.RID, m.RLoc = true, rid, n.ID
+	case ProvValue:
+		// The derivation key still travels so the receiver can maintain
+		// its per-derivation payloads; the dominant cost is the payload.
+		m.HasRef, m.RID, m.RLoc = true, rid, n.ID
+		m.Payload = n.Mgr.Encode(payload, nil)
+	}
+	n.Transport.Send(n.ID, dst, m)
+}
+
+// fireAgg routes a delta of an aggregate rule's body predicate through the
+// group state.
+func (n *Node) fireAgg(rule *CompiledRule, t types.Tuple, sign int8, payload bdd.Ref) {
+	pl := rule.plans[0]
+	env := make([]types.Value, rule.numVars)
+	if !bindTuple(pl.deltaBinds, t, env) {
+		return
+	}
+	// Aggregate bodies may carry assignments/conditions.
+	for i := range pl.steps {
+		st := &pl.steps[i]
+		switch st.kind {
+		case stepAssign:
+			v, err := st.expr(env)
+			if err != nil {
+				n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
+				return
+			}
+			env[st.assignSlot] = v
+		case stepCond:
+			v, err := st.expr(env)
+			if err != nil {
+				n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
+				return
+			}
+			if !v.Truthy() {
+				return
+			}
+		}
+	}
+	spec := rule.agg
+	groupVals := make([]types.Value, len(spec.groupCode))
+	for i, code := range spec.groupCode {
+		v, err := code(env)
+		if err != nil {
+			n.fail(fmt.Errorf("rule %s group: %w", rule.Label, err))
+			return
+		}
+		groupVals[i] = v
+	}
+	groups := n.aggState[rule.Label]
+	if groups == nil {
+		groups = map[string]*aggGroup{}
+		n.aggState[rule.Label] = groups
+	}
+	gk := aggEntryKey(types.List(groupVals...), nil)
+	g := groups[gk]
+	if g == nil {
+		g = newAggGroup()
+		groups[gk] = g
+	}
+
+	if sign == Update {
+		// Value-mode payload update: if the updated input is the current
+		// winner, the head's payload follows it.
+		if n.Mode == ProvValue && g.curWinner != nil && g.curWinner.input.Equal(t) && g.curOut != nil {
+			out := *g.curOut
+			out.Pred = rule.HeadPred
+			rid := types.RuleExecID(rule.Label, n.ID, []types.ID{t.VID()})
+			n.route(out, n.ID, Update, rid, payload)
+		}
+		return
+	}
+
+	var sortVal types.Value
+	var carried []types.Value
+	switch spec.Fn {
+	case "MIN", "MAX":
+		sortVal = env[spec.sortSlot]
+		for _, s := range spec.carried {
+			carried = append(carried, env[s])
+		}
+	case "COUNT":
+		sortVal = types.Int(0)
+	case "AGGLIST":
+		vals := make([]types.Value, 0, len(spec.listSlots))
+		for _, s := range spec.listSlots {
+			vals = append(vals, env[s])
+		}
+		if len(vals) > 0 {
+			sortVal = vals[0]
+			carried = vals[1:]
+		} else {
+			sortVal = types.Int(0)
+		}
+	}
+
+	for _, em := range g.update(spec, groupVals, sortVal, carried, t, sign) {
+		out := em.tuple
+		out.Pred = rule.HeadPred
+		n.emitAggChange(rule, out, em, t)
+	}
+}
+
+// emitAggChange applies provenance bookkeeping for an aggregate output
+// change and routes it. Aggregate heads are local by validation.
+func (n *Node) emitAggChange(rule *CompiledRule, out types.Tuple, em aggEmit, cause types.Tuple) {
+	n.RulesFired++
+	var rid types.ID
+	var payload bdd.Ref
+	if em.hasWin {
+		winVID := em.winner.VID()
+		rid = types.RuleExecID(rule.Label, n.ID, []types.ID{winVID})
+		headVID := out.VID()
+		switch n.Mode {
+		case ProvReference:
+			if em.sign == Insert {
+				n.Store.AddRuleExec(rid, rule.Label, []types.ID{winVID})
+				n.Store.AddParent(winVID, rid, headVID, n.ID)
+			} else {
+				n.Store.DelRuleExec(rid)
+				n.Store.DelParent(winVID, rid, headVID, n.ID)
+			}
+		case ProvCentralized:
+			n.sendRuleExecRow(rid, rule.Label, []types.ID{winVID}, em.sign)
+			n.sendProvRow(n.ID, headVID, rid, n.ID, em.sign)
+		}
+		if n.Mode == ProvValue {
+			payload = bdd.True
+			if e := n.table(em.winner.Pred).get(em.winner); e != nil {
+				payload = e.payload
+			}
+		}
+	}
+	// COUNT/AGGLIST outputs carry no MIN/MAX-style provenance child (the
+	// paper restricts aggregate provenance to MIN and MAX); they enter the
+	// graph as base-like vertices via the null RID.
+	n.route(out, n.ID, em.sign, rid, payload)
+}
+
+// Centralized-mode helpers: provenance rows travel to the server as plain
+// prov/ruleExec tuples, whose byte sizes are charged like any message.
+
+func (n *Node) sendProvRow(loc types.NodeID, vid, rid types.ID, rloc types.NodeID, sign int8) {
+	row := types.NewTuple("prov", types.Node(loc), types.IDVal(vid), types.IDVal(rid), types.Node(rloc))
+	if n.Central == n.ID {
+		n.enqueue(localDelta{tuple: row, sign: sign, rloc: n.ID})
+		return
+	}
+	n.Transport.Send(n.ID, n.Central, &Message{Tuple: row, Delta: sign})
+}
+
+func (n *Node) sendRuleExecRow(rid types.ID, rule string, inputs []types.ID, sign int8) {
+	vids := make([]types.Value, len(inputs))
+	for i, id := range inputs {
+		vids[i] = types.IDVal(id)
+	}
+	row := types.NewTuple("ruleExec", types.Node(n.ID), types.IDVal(rid), types.Str(rule), types.List(vids...))
+	if n.Central == n.ID {
+		n.enqueue(localDelta{tuple: row, sign: sign, rloc: n.ID})
+		return
+	}
+	n.Transport.Send(n.ID, n.Central, &Message{Tuple: row, Delta: sign})
+}

@@ -1,0 +1,531 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ndlog"
+	"repro/internal/types"
+)
+
+// Program is a compiled NDlog program shared (immutably) by every node.
+type Program struct {
+	Rules      []*CompiledRule
+	byBodyPred map[string][]occurrence
+	preds      map[string]*PredInfo
+}
+
+type occurrence struct {
+	rule *CompiledRule
+	pos  int // body atom position triggered by the delta
+}
+
+// PredInfo describes one predicate of the program.
+type PredInfo struct {
+	Name  string
+	Arity int
+	Event bool
+	Base  bool // EDB: never derived by a rule
+}
+
+// CompiledRule is the executable form of one NDlog rule.
+type CompiledRule struct {
+	Label       string
+	HeadPred    string
+	HeadLocPos  int
+	HeadIsEvent bool
+	headCode    []exprCode
+	numVars     int
+	atoms       []*atomSpec
+	plans       []*plan  // one per body atom position
+	agg         *AggSpec // non-nil for aggregate rules
+	source      *ndlog.Rule
+}
+
+// AggSpec describes an aggregate rule head.
+type AggSpec struct {
+	Fn        string // MIN, MAX, COUNT, AGGLIST
+	AggPos    int    // head argument position holding the aggregate
+	groupCode []exprCode
+	sortSlot  int   // MIN/MAX: slot of the aggregated variable
+	carried   []int // MIN/MAX: slots of carried variables
+	listSlots []int // AGGLIST: slots of the listed variables
+}
+
+type atomSpec struct {
+	pred  string
+	arity int
+	event bool
+	args  []ndlog.Expr
+}
+
+// bindKind describes how one atom argument is treated during matching.
+type bindKind uint8
+
+const (
+	bindNew   bindKind = iota // first occurrence: bind the slot
+	bindCheck                 // already bound: compare
+	bindConst                 // constant: compare
+)
+
+type bindSpec struct {
+	kind bindKind
+	slot int
+	val  types.Value
+}
+
+type stepKind uint8
+
+const (
+	stepJoin stepKind = iota
+	stepAssign
+	stepCond
+)
+
+// keyPart contributes one value to a join-lookup key: either a constant or
+// a bound slot.
+type keyPart struct {
+	isConst bool
+	val     types.Value
+	slot    int
+}
+
+type planStep struct {
+	kind stepKind
+
+	// stepJoin
+	atom     int
+	indexPos []int
+	keyParts []keyPart
+	binds    []bindSpec
+
+	// stepAssign / stepCond
+	assignSlot int
+	expr       exprCode
+}
+
+// plan is a delta-evaluation strategy for one body atom position: bind the
+// delta tuple, join the remaining atoms in a greedy bound-first order, and
+// interleave assignments and conditions as soon as their inputs are bound.
+type plan struct {
+	deltaBinds []bindSpec
+	steps      []planStep
+}
+
+// Compile validates and compiles an NDlog program.
+func Compile(p *ndlog.Program) (*Program, error) {
+	if err := ndlog.Validate(p); err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		byBodyPred: make(map[string][]occurrence),
+		preds:      make(map[string]*PredInfo),
+	}
+	heads := ndlog.HeadPreds(p)
+	notePred := func(name string, arity int) error {
+		info, ok := prog.preds[name]
+		if !ok {
+			prog.preds[name] = &PredInfo{
+				Name:  name,
+				Arity: arity,
+				Event: ndlog.IsEventPred(name),
+				Base:  !heads[name],
+			}
+			return nil
+		}
+		if info.Arity != arity {
+			return fmt.Errorf("engine: predicate %s used with arities %d and %d", name, info.Arity, arity)
+		}
+		return nil
+	}
+
+	for i, r := range p.Rules {
+		label := r.Label
+		if label == "" {
+			label = fmt.Sprintf("r%d", i+1)
+		}
+		cr, err := compileRule(r, label)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", label, err)
+		}
+		prog.Rules = append(prog.Rules, cr)
+		if err := notePred(cr.HeadPred, headArity(r)); err != nil {
+			return nil, err
+		}
+		for pos, a := range cr.atoms {
+			if err := notePred(a.pred, a.arity); err != nil {
+				return nil, err
+			}
+			prog.byBodyPred[a.pred] = append(prog.byBodyPred[a.pred], occurrence{rule: cr, pos: pos})
+		}
+	}
+	for _, f := range p.Facts {
+		if err := notePred(f.Pred, len(f.Args)); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// headArity accounts for MIN/MAX aggregates with carried attributes, which
+// expand in place: min<C,P> contributes two head attributes.
+func headArity(r *ndlog.Rule) int {
+	n := 0
+	for _, a := range r.Head.Args {
+		if agg, ok := a.(*ndlog.Agg); ok && (agg.Fn == "MIN" || agg.Fn == "MAX") {
+			n += len(agg.Vars)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Pred returns predicate metadata (nil when the program never mentions it).
+func (p *Program) Pred(name string) *PredInfo { return p.preds[name] }
+
+// Preds returns all predicates sorted by name.
+func (p *Program) Preds() []*PredInfo {
+	out := make([]*PredInfo, 0, len(p.preds))
+	for _, info := range p.preds {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Occurrences returns the (rule, body position) pairs triggered by deltas
+// of the given predicate.
+func (p *Program) Occurrences(pred string) []occurrence { return p.byBodyPred[pred] }
+
+func compileRule(r *ndlog.Rule, label string) (*CompiledRule, error) {
+	atoms := r.BodyAtoms()
+	seen := map[string]int{}
+	for _, a := range atoms {
+		seen[a.Pred]++
+		if seen[a.Pred] > 1 {
+			return nil, fmt.Errorf("predicate %s appears twice in the body (self-joins are unsupported)", a.Pred)
+		}
+	}
+
+	// Assign variable slots: body atom variables first (in occurrence
+	// order), then assignment targets.
+	slots := map[string]int{}
+	alloc := func(name string) int {
+		if s, ok := slots[name]; ok {
+			return s
+		}
+		s := len(slots)
+		slots[name] = s
+		return s
+	}
+	for _, a := range atoms {
+		for _, arg := range a.Args {
+			for _, v := range ndlog.Vars(arg) {
+				alloc(v)
+			}
+		}
+	}
+	for _, t := range r.Body {
+		if v, ok := t.(*ndlog.Assign); ok {
+			alloc(v.Lhs)
+		}
+	}
+
+	cr := &CompiledRule{
+		Label:       label,
+		HeadPred:    r.Head.Pred,
+		HeadLocPos:  r.Head.LocPos,
+		HeadIsEvent: ndlog.IsEventPred(r.Head.Pred),
+		numVars:     len(slots),
+		source:      r,
+	}
+	for _, a := range atoms {
+		cr.atoms = append(cr.atoms, &atomSpec{
+			pred:  a.Pred,
+			arity: len(a.Args),
+			event: a.IsEvent(),
+			args:  a.Args,
+		})
+	}
+
+	// Aggregate rules: this engine evaluates aggregates over a single
+	// body atom (MIN/MAX provenance traces to one winning input tuple);
+	// join-then-aggregate rules must be split through an intermediate
+	// predicate.
+	if agg, aggPos := r.AggSpec(); agg != nil {
+		if len(atoms) != 1 {
+			return nil, fmt.Errorf("aggregate rules must have a single body atom")
+		}
+		spec := &AggSpec{Fn: agg.Fn, AggPos: aggPos}
+		for i, harg := range r.Head.Args {
+			if i == aggPos {
+				continue
+			}
+			code, err := compileExpr(harg, slots)
+			if err != nil {
+				return nil, err
+			}
+			spec.groupCode = append(spec.groupCode, code)
+		}
+		switch agg.Fn {
+		case "MIN", "MAX":
+			if len(agg.Vars) == 0 {
+				return nil, fmt.Errorf("%s aggregate needs a variable", agg.Fn)
+			}
+			s, ok := slots[agg.Vars[0]]
+			if !ok {
+				return nil, fmt.Errorf("aggregate variable %s unbound", agg.Vars[0])
+			}
+			spec.sortSlot = s
+			for _, v := range agg.Vars[1:] {
+				cs, ok := slots[v]
+				if !ok {
+					return nil, fmt.Errorf("carried variable %s unbound", v)
+				}
+				spec.carried = append(spec.carried, cs)
+			}
+		case "COUNT":
+			// COUNT<*> has no variable.
+		case "AGGLIST":
+			for _, v := range agg.Vars {
+				s, ok := slots[v]
+				if !ok {
+					return nil, fmt.Errorf("list variable %s unbound", v)
+				}
+				spec.listSlots = append(spec.listSlots, s)
+			}
+		default:
+			return nil, fmt.Errorf("unsupported aggregate %s", agg.Fn)
+		}
+		cr.agg = spec
+		// The aggregate body may still have assignments/conditions; they
+		// run inside the single plan.
+	} else {
+		for _, harg := range r.Head.Args {
+			code, err := compileExpr(harg, slots)
+			if err != nil {
+				return nil, err
+			}
+			cr.headCode = append(cr.headCode, code)
+		}
+	}
+
+	// Build one plan per delta position.
+	for k := range atoms {
+		pl, err := buildPlan(cr, atoms, slots, k)
+		if err != nil {
+			return nil, err
+		}
+		cr.plans = append(cr.plans, pl)
+	}
+	return cr, nil
+}
+
+// buildPlan constructs the delta plan for position k.
+func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k int) (*plan, error) {
+
+	bound := map[int]bool{}
+	pl := &plan{}
+
+	// computeBinds derives bind specs for an atom given current bound set,
+	// updating bound.
+	computeBinds := func(a *ndlog.Atom) ([]bindSpec, error) {
+		var binds []bindSpec
+		for _, arg := range a.Args {
+			switch v := arg.(type) {
+			case *ndlog.Var:
+				slot := slots[v.Name]
+				if bound[slot] {
+					binds = append(binds, bindSpec{kind: bindCheck, slot: slot})
+				} else {
+					binds = append(binds, bindSpec{kind: bindNew, slot: slot})
+					bound[slot] = true
+				}
+			case *ndlog.Const:
+				binds = append(binds, bindSpec{kind: bindConst, val: v.Val})
+			default:
+				return nil, fmt.Errorf("body atom %s: argument must be a variable or constant", a.Pred)
+			}
+		}
+		return binds, nil
+	}
+
+	// Non-atom terms in source order: guards written before an assignment
+	// must execute before it (e.g. f_size(L) > k guarding f_nth(L, k)).
+	type nonAtom struct {
+		assign *ndlog.Assign
+		cond   *ndlog.Cond
+	}
+	var terms []nonAtom
+	for _, t := range cr.source.Body {
+		switch v := t.(type) {
+		case *ndlog.Assign:
+			terms = append(terms, nonAtom{assign: v})
+		case *ndlog.Cond:
+			terms = append(terms, nonAtom{cond: v})
+		}
+	}
+	termDone := make([]bool, len(terms))
+	// flush appends the pending assignments and conditions whose
+	// dependencies are bound, preserving source order; it retries until a
+	// fixed point so chains (R=..., RID=f(R)) resolve.
+	flush := func() error {
+		for {
+			progress := false
+			for i, tm := range terms {
+				if termDone[i] {
+					continue
+				}
+				var deps []string
+				if tm.assign != nil {
+					deps = ndlog.Vars(tm.assign.Rhs)
+				} else {
+					deps = ndlog.Vars(tm.cond.Expr)
+				}
+				ready := true
+				for _, dep := range deps {
+					if !bound[slots[dep]] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				if tm.assign != nil {
+					code, err := compileExpr(tm.assign.Rhs, slots)
+					if err != nil {
+						return err
+					}
+					pl.steps = append(pl.steps, planStep{kind: stepAssign, assignSlot: slots[tm.assign.Lhs], expr: code})
+					bound[slots[tm.assign.Lhs]] = true
+				} else {
+					code, err := compileExpr(tm.cond.Expr, slots)
+					if err != nil {
+						return err
+					}
+					pl.steps = append(pl.steps, planStep{kind: stepCond, expr: code})
+				}
+				termDone[i] = true
+				progress = true
+			}
+			if !progress {
+				return nil
+			}
+		}
+	}
+
+	var err error
+	pl.deltaBinds, err = computeBinds(atoms[k])
+	if err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	remaining := map[int]bool{}
+	for i := range atoms {
+		if i != k {
+			remaining[i] = true
+		}
+	}
+	for len(remaining) > 0 {
+		// Greedy: pick the remaining atom with the most bound/const
+		// argument positions (ties broken by position for determinism).
+		best, bestScore := -1, -1
+		for i := 0; i < len(atoms); i++ {
+			if !remaining[i] {
+				continue
+			}
+			score := 0
+			for _, arg := range atoms[i].Args {
+				switch v := arg.(type) {
+				case *ndlog.Var:
+					if bound[slots[v.Name]] {
+						score++
+					}
+				case *ndlog.Const:
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := atoms[best]
+		delete(remaining, best)
+
+		// Index on the bound/const positions; bind the rest.
+		var indexPos []int
+		var keyParts []keyPart
+		for pos, arg := range a.Args {
+			switch v := arg.(type) {
+			case *ndlog.Var:
+				if bound[slots[v.Name]] {
+					indexPos = append(indexPos, pos)
+					keyParts = append(keyParts, keyPart{slot: slots[v.Name]})
+				}
+			case *ndlog.Const:
+				indexPos = append(indexPos, pos)
+				keyParts = append(keyParts, keyPart{isConst: true, val: v.Val})
+			}
+		}
+		binds, err := computeBinds(a)
+		if err != nil {
+			return nil, err
+		}
+		pl.steps = append(pl.steps, planStep{
+			kind: stepJoin, atom: best, indexPos: indexPos, keyParts: keyParts, binds: binds,
+		})
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+
+	for i, done := range termDone {
+		if !done {
+			if terms[i].assign != nil {
+				return nil, fmt.Errorf("assignment %s never becomes evaluable", terms[i].assign.Lhs)
+			}
+			return nil, fmt.Errorf("condition %s never becomes evaluable", ndlog.ExprString(terms[i].cond.Expr))
+		}
+	}
+	return pl, nil
+}
+
+// bindTuple matches a tuple against bind specs, writing new bindings into
+// env; it reports whether the match succeeds.
+func bindTuple(binds []bindSpec, t types.Tuple, env []types.Value) bool {
+	if len(binds) != len(t.Args) {
+		return false
+	}
+	for i, b := range binds {
+		switch b.kind {
+		case bindNew:
+			env[b.slot] = t.Args[i]
+		case bindCheck:
+			if !env[b.slot].Equal(t.Args[i]) {
+				return false
+			}
+		case bindConst:
+			if !b.val.Equal(t.Args[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *planStep) lookupKey(env []types.Value) string {
+	var b []byte
+	for _, p := range s.keyParts {
+		if p.isConst {
+			b = p.val.Encode(b)
+		} else {
+			b = env[p.slot].Encode(b)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/types"
+)
+
+// deriv is one derivation of a tuple under incremental maintenance. The
+// derivation is keyed by its rule-execution identifier (base insertions use
+// the null RID). In value-based provenance mode each derivation carries the
+// BDD of its provenance.
+type deriv struct {
+	rid     types.ID
+	rloc    types.NodeID
+	count   int
+	payload bdd.Ref // value mode only
+}
+
+// entry is one tuple of a relation together with its derivation multiset.
+// The tuple is visible while at least one derivation is present.
+type entry struct {
+	tuple   types.Tuple
+	derivs  map[types.ID]*deriv
+	visible bool
+	payload bdd.Ref // value mode: OR over derivation payloads
+}
+
+func (e *entry) derivCount() int { return len(e.derivs) }
+
+// Relation is a materialized table with hash indexes maintained
+// incrementally as tuples become visible and invisible.
+type Relation struct {
+	name    string
+	entries map[string]*entry
+	indexes map[string]*index
+}
+
+type index struct {
+	positions []int
+	buckets   map[string][]*entry
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string) *Relation {
+	return &Relation{
+		name:    name,
+		entries: make(map[string]*entry),
+		indexes: make(map[string]*index),
+	}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Len reports the number of visible tuples.
+func (r *Relation) Len() int {
+	n := 0
+	for _, e := range r.entries {
+		if e.visible {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the entry for a tuple, or nil.
+func (r *Relation) get(t types.Tuple) *entry { return r.entries[t.Key()] }
+
+// getOrCreate returns the entry for a tuple, creating an invisible one if
+// needed.
+func (r *Relation) getOrCreate(t types.Tuple) *entry {
+	k := t.Key()
+	e := r.entries[k]
+	if e == nil {
+		e = &entry{tuple: t, derivs: make(map[types.ID]*deriv), payload: bdd.False}
+		r.entries[k] = e
+	}
+	return e
+}
+
+// setVisible inserts or removes the entry from all indexes.
+func (r *Relation) setVisible(e *entry, visible bool) {
+	if e.visible == visible {
+		return
+	}
+	e.visible = visible
+	for _, idx := range r.indexes {
+		key := indexKey(e.tuple, idx.positions)
+		if visible {
+			idx.buckets[key] = append(idx.buckets[key], e)
+		} else {
+			idx.buckets[key] = removeEntry(idx.buckets[key], e)
+			if len(idx.buckets[key]) == 0 {
+				delete(idx.buckets, key)
+			}
+		}
+	}
+	if !visible && len(e.derivs) == 0 {
+		delete(r.entries, e.tuple.Key())
+	}
+}
+
+func removeEntry(list []*entry, e *entry) []*entry {
+	for i, x := range list {
+		if x == e {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+func indexKey(t types.Tuple, positions []int) string {
+	var b []byte
+	for _, p := range positions {
+		b = t.Args[p].Encode(b)
+	}
+	return string(b)
+}
+
+func indexID(positions []int) string {
+	parts := make([]string, len(positions))
+	for i, p := range positions {
+		parts[i] = fmt.Sprint(p)
+	}
+	return strings.Join(parts, ",")
+}
+
+// EnsureIndex creates (and backfills) a hash index over the given argument
+// positions.
+func (r *Relation) EnsureIndex(positions []int) {
+	id := indexID(positions)
+	if _, ok := r.indexes[id]; ok {
+		return
+	}
+	idx := &index{positions: append([]int{}, positions...), buckets: make(map[string][]*entry)}
+	for _, e := range r.entries {
+		if e.visible {
+			key := indexKey(e.tuple, idx.positions)
+			idx.buckets[key] = append(idx.buckets[key], e)
+		}
+	}
+	r.indexes[id] = idx
+}
+
+// Lookup returns the visible entries whose values at the index positions
+// encode to key. The index must exist.
+func (r *Relation) Lookup(positions []int, key string) []*entry {
+	idx := r.indexes[indexID(positions)]
+	if idx == nil {
+		return nil
+	}
+	return idx.buckets[key]
+}
+
+// Scan invokes fn for every visible tuple.
+func (r *Relation) Scan(fn func(t types.Tuple)) {
+	for _, e := range r.entries {
+		if e.visible {
+			fn(e.tuple)
+		}
+	}
+}
+
+// Tuples returns the visible tuples sorted canonically (for deterministic
+// output in tests and examples).
+func (r *Relation) Tuples() []types.Tuple {
+	var out []types.Tuple
+	r.Scan(func(t types.Tuple) { out = append(out, t) })
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Compare(out[i].Key(), out[j].Key()) < 0
+	})
+	return out
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/types"
+)
+
+// TestValueModePayloadGrowsWithDerivations exercises value-based
+// provenance update propagation on one node: when a tuple gains a second
+// derivation, its payload (OR of derivations) must widen, and downstream
+// tuples derived from it must receive the update.
+func TestValueModePayloadGrowsWithDerivations(t *testing.T) {
+	tn := newTestNet(t, `
+r1 mid(@X) :- p(@X,Y).
+r2 top(@X) :- mid(@X), q(@X).
+`, 1, ProvValue)
+	n := tn.nodes[0]
+
+	q := types.NewTuple("q", types.Node(0))
+	p1 := types.NewTuple("p", types.Node(0), types.Int(1))
+	p2 := types.NewTuple("p", types.Node(0), types.Int(2))
+	n.InsertBase(q)
+	n.InsertBase(p1)
+	tn.checkErr(t)
+
+	top := types.NewTuple("top", types.Node(0))
+	ref1, ok := n.PayloadOf(top)
+	if !ok {
+		t.Fatal("top has no payload")
+	}
+	// With only p1: top requires p1 AND q.
+	vp1 := n.Alloc.VarOf(algebra.Base{VID: p1.VID()})
+	vq := n.Alloc.VarOf(algebra.Base{VID: q.VID()})
+	if !n.Mgr.Eval(ref1, map[int]bool{vp1: true, vq: true}) {
+		t.Error("top underivable from {p1,q}")
+	}
+	if n.Mgr.Eval(ref1, map[int]bool{vq: true}) {
+		t.Error("top derivable from q alone")
+	}
+
+	// Second derivation of mid: the update must propagate into top's
+	// payload without any visibility change.
+	n.InsertBase(p2)
+	tn.checkErr(t)
+	ref2, _ := n.PayloadOf(top)
+	if ref2 == ref1 {
+		t.Fatal("top payload did not change after new derivation")
+	}
+	vp2 := n.Alloc.VarOf(algebra.Base{VID: p2.VID()})
+	if !n.Mgr.Eval(ref2, map[int]bool{vp2: true, vq: true}) {
+		t.Error("top underivable from {p2,q}")
+	}
+	if !n.Mgr.Eval(ref2, map[int]bool{vp1: true, vq: true}) {
+		t.Error("top lost its {p1,q} derivation")
+	}
+
+	// Deleting p1 shrinks the payload back.
+	n.DeleteBase(p1)
+	tn.checkErr(t)
+	ref3, ok := n.PayloadOf(top)
+	if !ok {
+		t.Fatal("top vanished while p2 remains")
+	}
+	if n.Mgr.Eval(ref3, map[int]bool{vp1: true, vq: true}) {
+		t.Error("top still derivable via retracted p1")
+	}
+	if !n.Mgr.Eval(ref3, map[int]bool{vp2: true, vq: true}) {
+		t.Error("top lost its surviving derivation")
+	}
+
+	// PayloadOf contract: wrong mode and invisible tuples report false.
+	if _, ok := n.PayloadOf(types.NewTuple("top", types.Node(1))); ok {
+		t.Error("payload reported for invisible tuple")
+	}
+	refNode := NewNode(1, n.Prog, ProvReference, tn, nil)
+	if _, ok := refNode.PayloadOf(top); ok {
+		t.Error("payload reported outside value mode")
+	}
+}

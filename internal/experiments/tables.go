@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/topology"
+)
+
+// Tables12 regenerates the paper's Tables 1 and 2 — the prov and ruleExec
+// relations for the Figure 3 network running MINCOST — restricted, like the
+// paper, to the rows relevant to nodes a and b.
+func Tables12(p Params) (*Result, *Result, error) {
+	c, err := core.NewCluster(core.Config{
+		Topo: topology.Figure3(),
+		Prog: apps.MinCost(),
+		Mode: engine.ProvReference,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := c.RunToFixpoint(); err != nil {
+		return nil, nil, err
+	}
+
+	t1 := &Result{
+		ID:     "table1",
+		Title:  "prov relation (nodes a and b)",
+		Header: []string{"Loc", "Derivation", "RID", "RLoc"},
+	}
+	t2 := &Result{
+		ID:     "table2",
+		Title:  "ruleExec relation (nodes a and b)",
+		Header: []string{"RLoc", "RID", "R", "VIDList"},
+	}
+	for node := 0; node < 2; node++ { // a and b
+		st := c.Hosts[node].Engine.Store
+		for _, row := range st.ProvRows() {
+			parts := strings.Split(row, " | ")
+			if len(parts) == 4 && wantDerivation(parts[1]) {
+				t1.Rows = append(t1.Rows, parts)
+			}
+		}
+		for _, row := range st.RuleExecRows() {
+			parts := strings.Split(row, " | ")
+			if len(parts) == 4 {
+				t2.Rows = append(t2.Rows, parts)
+			}
+		}
+	}
+	if len(t1.Rows) == 0 || len(t2.Rows) == 0 {
+		return nil, nil, fmt.Errorf("tables12: empty provenance relations")
+	}
+	return t1, t2, nil
+}
+
+// wantDerivation mirrors the paper's Table 1 row set: link, pathCost and
+// bestPathCost tuples involving destination c plus the base links used.
+func wantDerivation(label string) bool {
+	return strings.HasPrefix(label, "link(") ||
+		strings.HasPrefix(label, "pathCost(") ||
+		strings.HasPrefix(label, "bestPathCost(")
+}
+
+// Run executes every experiment at the given scale in paper order,
+// streaming each result through emit as soon as it is ready. Deployment
+// figures (16, 17) can be excluded for fully deterministic simulated runs.
+func Run(p Params, includeTestbed bool, emit func(*Result)) error {
+	t1, t2, err := Tables12(p)
+	if err != nil {
+		return err
+	}
+	emit(t1)
+	emit(t2)
+	type gen struct {
+		name string
+		fn   func(Params) (*Result, error)
+	}
+	gens := []gen{
+		{"fig06", Fig06}, {"fig07", Fig07}, {"fig08", Fig08},
+		{"fig09", Fig09}, {"fig10", Fig10}, {"fig11", Fig11},
+		{"fig12", Fig12}, {"fig13", Fig13}, {"fig14", Fig14},
+		{"fig15", Fig15},
+	}
+	if includeTestbed {
+		gens = append(gens, gen{"fig16", Fig16}, gen{"fig17", Fig17})
+	}
+	for _, g := range gens {
+		r, err := g.fn(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.name, err)
+		}
+		emit(r)
+	}
+	return nil
+}
+
+// All runs every experiment and returns the results in paper order.
+func All(p Params, includeTestbed bool) ([]*Result, error) {
+	var out []*Result
+	err := Run(p, includeTestbed, func(r *Result) { out = append(out, r) })
+	return out, err
+}

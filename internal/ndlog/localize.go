@@ -1,0 +1,209 @@
+package ndlog
+
+import (
+	"fmt"
+)
+
+// Localize rewrites rules whose bodies span two locations into localized
+// rules, following the classic declarative-networking localization rewrite
+// (Loo et al., SIGMOD 2006) that the paper's Algorithm 1 assumes has
+// already run ("takes as input a localized NDlog program").
+//
+// A rule of the form
+//
+//	h(@H,...) :- a1(@X,...), ..., link(@X,Y,...), b1(@Y,...), ...
+//
+// where the only bridge between the two location variables is a body atom
+// at @X that binds Y (a "link" atom), splits into
+//
+//	eH_loc1(@Y, vars...) :- a1(@X,...), ..., link(@X,Y,...), [terms@X].
+//	h(@H,...)            :- eH_loc1(@Y, vars...), b1(@Y,...), [terms@Y].
+//
+// where vars are the X-side bindings the Y side still needs. Assignments
+// and conditions run on the earliest side where their inputs are bound.
+// Rules already localized pass through unchanged; bodies spanning three or
+// more locations are rejected (as in the original literature, repeated
+// application after introducing intermediate predicates is future work).
+func Localize(p *Program) (*Program, error) {
+	out := &Program{Facts: p.Facts}
+	for i, r := range p.Rules {
+		label := r.Label
+		if label == "" {
+			label = fmt.Sprintf("r%d", i+1)
+		}
+		if _, err := BodyLocation(r); err == nil {
+			out.Rules = append(out.Rules, r)
+			continue
+		}
+		split, err := localizeRule(r, label)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", label, err)
+		}
+		out.Rules = append(out.Rules, split...)
+	}
+	return out, nil
+}
+
+func localizeRule(r *Rule, label string) ([]*Rule, error) {
+	atoms := r.BodyAtoms()
+	locOf := func(a *Atom) (string, error) {
+		if a.LocPos < 0 {
+			return "", fmt.Errorf("atom %s has no location specifier", a.Pred)
+		}
+		v, ok := a.Args[a.LocPos].(*Var)
+		if !ok {
+			return "", fmt.Errorf("atom %s location must be a variable", a.Pred)
+		}
+		return v.Name, nil
+	}
+
+	// Partition atoms by location variable.
+	byLoc := map[string][]*Atom{}
+	var locOrder []string
+	for _, a := range atoms {
+		lv, err := locOf(a)
+		if err != nil {
+			return nil, err
+		}
+		if _, seen := byLoc[lv]; !seen {
+			locOrder = append(locOrder, lv)
+		}
+		byLoc[lv] = append(byLoc[lv], a)
+	}
+	if len(locOrder) != 2 {
+		return nil, fmt.Errorf("body spans %d locations; only 1 or 2 supported", len(locOrder))
+	}
+
+	// Pick the sending side X: the side containing a bridge atom that
+	// binds the other side's location variable.
+	var xLoc, yLoc string
+	var bridgeFound bool
+	for _, cand := range []struct{ x, y string }{
+		{locOrder[0], locOrder[1]},
+		{locOrder[1], locOrder[0]},
+	} {
+		for _, a := range byLoc[cand.x] {
+			for _, arg := range a.Args {
+				if v, ok := arg.(*Var); ok && v.Name == cand.y {
+					xLoc, yLoc, bridgeFound = cand.x, cand.y, true
+				}
+			}
+		}
+		if bridgeFound {
+			break
+		}
+	}
+	if !bridgeFound {
+		return nil, fmt.Errorf("no body atom links @%s and @%s", locOrder[0], locOrder[1])
+	}
+
+	// Classify non-atom terms: a term runs on X if its inputs are bound by
+	// X-side atoms (considering earlier X-side assignments); otherwise on Y.
+	boundX := map[string]bool{}
+	for _, a := range byLoc[xLoc] {
+		for _, arg := range a.Args {
+			for _, v := range Vars(arg) {
+				boundX[v] = true
+			}
+		}
+	}
+	var xTerms, yTerms []BodyTerm
+	for _, t := range r.Body {
+		switch v := t.(type) {
+		case *Atom:
+			continue
+		case *Assign:
+			ready := true
+			for _, dep := range Vars(v.Rhs) {
+				if !boundX[dep] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				xTerms = append(xTerms, v)
+				boundX[v.Lhs] = true
+			} else {
+				yTerms = append(yTerms, v)
+			}
+		case *Cond:
+			ready := true
+			for _, dep := range Vars(v.Expr) {
+				if !boundX[dep] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				xTerms = append(xTerms, v)
+			} else {
+				yTerms = append(yTerms, v)
+			}
+		}
+	}
+
+	// Variables the Y side needs from X: anything bound on X that appears
+	// in Y-side atoms, Y-side terms, or the head.
+	needed := map[string]bool{yLoc: true}
+	markNeeded := func(e Expr) {
+		for _, v := range Vars(e) {
+			needed[v] = true
+		}
+	}
+	for _, a := range byLoc[yLoc] {
+		for _, arg := range a.Args {
+			markNeeded(arg)
+		}
+	}
+	for _, t := range yTerms {
+		switch v := t.(type) {
+		case *Assign:
+			markNeeded(v.Rhs)
+		case *Cond:
+			markNeeded(v.Expr)
+		}
+	}
+	for _, arg := range r.Head.Args {
+		markNeeded(arg)
+	}
+	var shipped []string
+	shipped = append(shipped, yLoc) // location first, by convention
+	for v := range needed {
+		if v != yLoc && boundX[v] {
+			shipped = append(shipped, v)
+		}
+	}
+	// Deterministic order after the location.
+	sortStrings(shipped[1:])
+
+	tmpName := "e" + title(r.Head.Pred) + "Loc" + label
+
+	// Rule 1 at X: ship the needed bindings to Y.
+	var body1 []BodyTerm
+	for _, a := range byLoc[xLoc] {
+		body1 = append(body1, a)
+	}
+	body1 = append(body1, xTerms...)
+	rule1 := &Rule{
+		Label: label + "a",
+		Head:  &Atom{Pred: tmpName, LocPos: 0, Args: varAtoms(shipped...)},
+		Body:  body1,
+	}
+
+	// Rule 2 at Y: join with the Y-side atoms and derive the head.
+	body2 := []BodyTerm{&Atom{Pred: tmpName, LocPos: 0, Args: varAtoms(shipped...)}}
+	for _, a := range byLoc[yLoc] {
+		body2 = append(body2, a)
+	}
+	body2 = append(body2, yTerms...)
+	rule2 := &Rule{Label: label + "b", Head: r.Head, Body: body2}
+	return []*Rule{rule1, rule2}, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

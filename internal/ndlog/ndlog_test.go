@@ -1,0 +1,249 @@
+package ndlog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestParseMinCost(t *testing.T) {
+	src := `
+sp1 pathCost(@S,D,C) :- link(@S,D,C).
+sp2 pathCost(@S,D,C1+C2) :- link(@Z,S,C1), bestPathCost(@Z,D,C2).
+sp3 bestPathCost(@S,D,min<C>) :- pathCost(@S,D,C).
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(prog.Rules))
+	}
+	if prog.Rules[0].Label != "sp1" || prog.Rules[2].Label != "sp3" {
+		t.Errorf("labels wrong: %q %q", prog.Rules[0].Label, prog.Rules[2].Label)
+	}
+	if prog.Rules[0].Head.Pred != "pathCost" || prog.Rules[0].Head.LocPos != 0 {
+		t.Errorf("sp1 head parsed wrong: %+v", prog.Rules[0].Head)
+	}
+	agg, pos := prog.Rules[2].AggSpec()
+	if agg == nil || agg.Fn != "MIN" || pos != 2 || agg.Vars[0] != "C" {
+		t.Errorf("sp3 aggregate parsed wrong: %+v at %d", agg, pos)
+	}
+	// sp2's head third argument is an arithmetic expression.
+	if _, ok := prog.Rules[1].Head.Args[2].(*BinOp); !ok {
+		t.Errorf("sp2 head C1+C2 parsed as %T", prog.Rules[1].Head.Args[2])
+	}
+	if err := Validate(prog); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		`sp1 pathCost(@S,D,C) :- link(@S,D,C).`,
+		`f1 ePacket(@Next,Src,Dst,Payload) :- ePacket(@N,Src,Dst,Payload), bestHop(@N,Dst,Next).`,
+		`c0 numChild(@X,VID,COUNT<*>) :- prov(@X,VID,RID,RLoc).`,
+		`r pqList(@X,QID,AGGLIST<RID,RLoc>) :- prov(@X,UID,RID,RLoc), RID != QID.`,
+		`r2 out(@X,Y) :- in(@X,Y), Y = f_concat(X,Y), f_member(Y,X) == 0.`,
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := p1.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse %q (printed from %q): %v", printed, src, err)
+		}
+		if got := p2.String(); got != printed {
+			t.Errorf("round trip unstable:\n first: %s\nsecond: %s", printed, got)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+# hash comment
+/* block
+   comment */
+sp1 pathCost(@S,D,C) :- link(@S,D,C). // trailing
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(prog.Rules))
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	prog, err := Parse(`link(@a,b,3).
+link(@b,a,3).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Facts) != 2 {
+		t.Fatalf("facts = %d, want 2", len(prog.Facts))
+	}
+	f := prog.Facts[0]
+	if f.Pred != "link" || f.LocPos != 0 {
+		t.Errorf("fact parsed wrong: %+v", f)
+	}
+	c0 := f.Args[0].(*Const)
+	if c0.Val.AsNode() != types.NodeID(0) {
+		t.Errorf("node constant a = %v", c0.Val)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`p(@X Y) :- q(@X,Y).`,        // missing comma
+		`p(@X,Y) :- q(@X,Y)`,         // missing period
+		`p(@X,@Y) :- q(@X,Y).`,       // two location specifiers
+		`p(@X,Y) :- q(@X,"unclosed.`, // unterminated string
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"non-localized body", `r p(@X,Y) :- q(@X,Y), s(@Y,X).`},
+		{"unbound head var", `r p(@X,Z) :- q(@X,Y).`},
+		{"unbound cond var", `r p(@X,Y) :- q(@X,Y), Z == 1.`},
+		{"missing head loc", `r p(X,Y) :- q(@X,Y).`},
+		{"remote agg head", `r p(@Y,min<C>) :- q(@X,Y,C).`},
+		{"sum aggregate", `r p(@X,sum<Y>) :- q(@X,Y).`},
+	}
+	for _, tc := range cases {
+		prog, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if err := Validate(prog); err == nil {
+			t.Errorf("%s: Validate accepted %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestEventPredicates(t *testing.T) {
+	if !IsEventPred("ePacket") || !IsEventPred("eProvQuery") {
+		t.Error("event predicates not recognized")
+	}
+	if IsEventPred("edge") || IsEventPred("link") || IsEventPred("e") {
+		t.Error("non-events recognized as events")
+	}
+}
+
+// TestProvenanceRewriteMinCost checks the Algorithm 1 output structure
+// against the paper's §4.2.1 example (rules r20-r24 for sp2).
+func TestProvenanceRewriteMinCost(t *testing.T) {
+	prog := MustParse(`
+sp1 pathCost(@S,D,C) :- link(@S,D,C).
+sp2 pathCost(@S,D,C1+C2) :- link(@Z,S,C1), bestPathCost(@Z,D,C2).
+sp3 bestPathCost(@S,D,min<C>) :- pathCost(@S,D,C).
+`)
+	rw, err := ProvenanceRewrite(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]*Rule{}
+	for _, r := range rw.Rules {
+		byLabel[r.Label] = r
+	}
+
+	// r20: the temp event rule contains the original body plus the
+	// bookkeeping assignments.
+	r20 := byLabel["sp2_1"]
+	if r20 == nil {
+		t.Fatalf("sp2_1 missing; have %v", labels(rw))
+	}
+	if r20.Head.Pred != "ePathCostTemp" {
+		t.Errorf("sp2_1 head = %s, want ePathCostTemp", r20.Head.Pred)
+	}
+	s := r20.String()
+	for _, frag := range []string{"link(@Z,S,C1)", "bestPathCost(@Z,D,C2)",
+		`R = "sp2"`, "RLoc = Z", "f_vid(\"link\",Z,S,C1)", "f_append(PID1,PID2)", "f_rid(R,RLoc,List)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("sp2_1 %q missing fragment %q", s, frag)
+		}
+	}
+
+	// r22: ruleExec (shared, emitted under the first pathCost rule).
+	if r := byLabel["sp1_2"]; r == nil || r.Head.Pred != "ruleExec" {
+		t.Errorf("sp1_2 ruleExec rule missing/wrong: %v", r)
+	}
+	// r21/r23: the shipped event and the subsumed original derivation.
+	if r := byLabel["sp1_3"]; r == nil || r.Head.Pred != "ePathCost" {
+		t.Errorf("sp1_3 eH rule missing/wrong: %v", r)
+	}
+	if r := byLabel["sp1_4"]; r == nil || r.Head.Pred != "pathCost" {
+		t.Errorf("sp1_4 derivation rule missing/wrong: %v", r)
+	}
+	// r24: prov at the head node.
+	r24 := byLabel["sp1_5"]
+	if r24 == nil || r24.Head.Pred != "prov" {
+		t.Fatalf("sp1_5 prov rule missing/wrong: %v", r24)
+	}
+	if !strings.Contains(r24.String(), `f_vid("pathCost",S,D,C)`) {
+		t.Errorf("sp1_5 %q lacks VID computation", r24.String())
+	}
+
+	// Aggregate rule: original preserved, provenance traced to the winner.
+	if r := byLabel["sp3"]; r == nil {
+		t.Errorf("original sp3 not preserved")
+	}
+	r31 := byLabel["sp3_1"]
+	if r31 == nil {
+		t.Fatalf("sp3_1 missing")
+	}
+	if !strings.Contains(r31.String(), "bestPathCost(@S,D,C), pathCost(@S,D,C)") {
+		t.Errorf("sp3_1 %q does not join head with winning input", r31.String())
+	}
+
+	// Base-tuple registration with null RID.
+	pl := byLabel["prov_link"]
+	if pl == nil || !strings.Contains(pl.String(), "f_nullid()") {
+		t.Fatalf("prov_link rule missing/wrong: %v", pl)
+	}
+
+	// The rewritten program must itself validate.
+	if err := Validate(rw); err != nil {
+		t.Fatalf("rewritten program invalid: %v", err)
+	}
+}
+
+func labels(p *Program) []string {
+	var out []string
+	for _, r := range p.Rules {
+		out = append(out, r.Label)
+	}
+	return out
+}
+
+// TestRewriteEventHead checks name mangling when the head is already an
+// event (PACKETFORWARD's ePacket rule).
+func TestRewriteEventHead(t *testing.T) {
+	prog := MustParse(`f1 ePacket(@H,S,D,P) :- ePacket(@N,S,D,P), bestHop(@N,D,H).`)
+	rw, err := ProvenanceRewrite(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rw.String()
+	if !strings.Contains(s, "ePacketProvTemp") || !strings.Contains(s, "ePacketProvMsg") {
+		t.Errorf("event-head mangling missing:\n%s", s)
+	}
+	if err := Validate(rw); err != nil {
+		t.Fatalf("rewritten program invalid: %v", err)
+	}
+}

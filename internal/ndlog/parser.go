@@ -1,0 +1,317 @@
+package ndlog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Parse parses an NDlog program from source text.
+func Parse(src string) (*Program, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		if err := p.parseStatement(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; intended for the built-in
+// application programs whose sources are compile-time constants.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) take() token { t := p.cur(); p.pos++; return t }
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errorf("expected %q, found %s", text, p.cur())
+	}
+	return p.take(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("ndlog: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStatement(prog *Program) error {
+	label := ""
+	// "sp1 pathCost(@S,D,C) :- ...": a lowercase identifier immediately
+	// followed by another identifier is a rule label.
+	if p.cur().kind == tokIdent && p.peek().kind == tokIdent {
+		label = p.take().text
+	}
+	head, err := p.parseAtom()
+	if err != nil {
+		return err
+	}
+	if p.at(tokPunct, ".") {
+		p.take()
+		if label != "" {
+			return p.errorf("fact %s must not carry a label", head.Pred)
+		}
+		prog.Facts = append(prog.Facts, head)
+		return nil
+	}
+	if _, err := p.expect(tokPunct, ":-"); err != nil {
+		return err
+	}
+	rule := &Rule{Label: label, Head: head}
+	for {
+		term, err := p.parseBodyTerm()
+		if err != nil {
+			return err
+		}
+		rule.Body = append(rule.Body, term)
+		if p.at(tokPunct, ",") {
+			p.take()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, "."); err != nil {
+		return err
+	}
+	prog.Rules = append(prog.Rules, rule)
+	return nil
+}
+
+func (p *parser) parseBodyTerm() (BodyTerm, error) {
+	// A predicate atom: identifier followed by '('.
+	if p.cur().kind == tokIdent && p.peek().kind == tokPunct && p.peek().text == "(" && !isBuiltinFn(p.cur().text) {
+		return p.parseAtom()
+	}
+	// An assignment: Var = expr (single '=').
+	if p.cur().kind == tokVar && p.peek().kind == tokPunct && p.peek().text == "=" {
+		lhs := p.take().text
+		p.take() // '='
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Lhs: lhs, Rhs: rhs}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Expr: e}, nil
+}
+
+func isBuiltinFn(name string) bool { return strings.HasPrefix(name, "f_") }
+
+func (p *parser) parseAtom() (*Atom, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	atom := &Atom{Pred: name.text, LocPos: -1}
+	for {
+		loc := false
+		if p.at(tokPunct, "@") {
+			p.take()
+			loc = true
+		}
+		arg, err := p.parseAtomArg()
+		if err != nil {
+			return nil, err
+		}
+		if loc {
+			if atom.LocPos >= 0 {
+				return nil, p.errorf("predicate %s has multiple location specifiers", atom.Pred)
+			}
+			atom.LocPos = len(atom.Args)
+		}
+		atom.Args = append(atom.Args, arg)
+		if p.at(tokPunct, ",") {
+			p.take()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return atom, nil
+}
+
+var aggNames = map[string]string{
+	"min": "MIN", "MIN": "MIN",
+	"max": "MAX", "MAX": "MAX",
+	"count": "COUNT", "COUNT": "COUNT",
+	"sum": "SUM", "SUM": "SUM",
+	"agglist": "AGGLIST", "AGGLIST": "AGGLIST",
+}
+
+func (p *parser) parseAtomArg() (Expr, error) {
+	// Aggregate: min<C>, COUNT<*>, AGGLIST<RID,RLoc>, ...
+	if fn, ok := aggNames[p.cur().text]; ok &&
+		(p.cur().kind == tokIdent || p.cur().kind == tokVar) &&
+		p.peek().kind == tokPunct && p.peek().text == "<" {
+		p.take() // name
+		p.take() // '<'
+		agg := &Agg{Fn: fn}
+		if p.at(tokPunct, "*") {
+			p.take()
+			agg.Star = true
+		} else {
+			for {
+				v, err := p.expect(tokVar, "")
+				if err != nil {
+					return nil, err
+				}
+				agg.Vars = append(agg.Vars, v.text)
+				if p.at(tokPunct, ",") {
+					p.take()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ">"); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	}
+	return p.parseExpr()
+}
+
+// Expression parsing by precedence climbing.
+
+var binaryPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binaryPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.take().text
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinOp{Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.take()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return &Const{Val: types.Int(n)}, nil
+	case t.kind == tokString:
+		p.take()
+		return &Const{Val: types.Str(t.text)}, nil
+	case t.kind == tokVar:
+		p.take()
+		return &Var{Name: t.text}, nil
+	case t.kind == tokIdent:
+		// Function call f_xxx(...) or a bare lowercase constant (the
+		// paper writes node constants like a, b, c).
+		if p.peek().kind == tokPunct && p.peek().text == "(" {
+			p.take()
+			p.take() // '('
+			call := &Call{Fn: t.text}
+			if !p.at(tokPunct, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.at(tokPunct, ",") {
+						p.take()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		p.take()
+		// Single lowercase letters denote node constants (a..z), matching
+		// the paper's examples; anything else is a string constant.
+		if len(t.text) == 1 && t.text[0] >= 'a' && t.text[0] <= 'z' {
+			return &Const{Val: types.Node(types.NodeID(t.text[0] - 'a'))}, nil
+		}
+		return &Const{Val: types.Str(t.text)}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.take()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokPunct && t.text == "-":
+		p.take()
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: "-", L: &Const{Val: types.Int(0)}, R: e}, nil
+	}
+	return nil, p.errorf("unexpected token %s in expression", t)
+}

@@ -1,0 +1,180 @@
+package ndlog
+
+import (
+	"fmt"
+)
+
+// Validate checks that a program satisfies the restrictions assumed by the
+// paper's Algorithm 1 and by the execution engine:
+//
+//   - every head atom carries a location specifier;
+//   - every rule body is *localized*: all body atoms share one location
+//     variable (the paper's t1(@X,...),...,tn(@X,...) form);
+//   - aggregate rules have exactly one aggregate in the head, a single body
+//     atom and a local head (the aggregate's group is co-located with its
+//     inputs), restricted to MIN/MAX/COUNT/AGGLIST as in the paper;
+//   - rules are safe: every head variable and every condition variable is
+//     bound by a body atom or an assignment, and assignments bind fresh
+//     variables in dependency order.
+func Validate(p *Program) error {
+	aggHeads, plainHeads := map[string]bool{}, map[string]bool{}
+	for _, r := range p.Rules {
+		if err := validateRule(r); err != nil {
+			return fmt.Errorf("rule %s: %w", ruleName(r), err)
+		}
+		if agg, _ := r.AggSpec(); agg != nil {
+			aggHeads[r.Head.Pred] = true
+		} else {
+			plainHeads[r.Head.Pred] = true
+		}
+	}
+	for pred := range aggHeads {
+		if plainHeads[pred] {
+			return fmt.Errorf("predicate %s is derived by both aggregate and non-aggregate rules", pred)
+		}
+	}
+	for _, f := range p.Facts {
+		if f.LocPos < 0 {
+			return fmt.Errorf("fact %s: missing location specifier", f.Pred)
+		}
+		for _, a := range f.Args {
+			if _, ok := a.(*Const); !ok {
+				return fmt.Errorf("fact %s: arguments must be constants", f.Pred)
+			}
+		}
+	}
+	return nil
+}
+
+func ruleName(r *Rule) string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return r.Head.Pred
+}
+
+func validateRule(r *Rule) error {
+	if r.Head.LocPos < 0 {
+		return fmt.Errorf("head %s has no location specifier", r.Head.Pred)
+	}
+	atoms := r.BodyAtoms()
+	if len(atoms) == 0 {
+		return fmt.Errorf("body has no predicate atoms")
+	}
+
+	// Localization: one shared location variable across body atoms.
+	locVar, err := BodyLocation(r)
+	if err != nil {
+		return err
+	}
+
+	// Aggregate restrictions.
+	aggCount := 0
+	for _, a := range r.Head.Args {
+		if _, ok := a.(*Agg); ok {
+			aggCount++
+		}
+	}
+	if aggCount > 1 {
+		return fmt.Errorf("multiple aggregates in head")
+	}
+	if agg, _ := r.AggSpec(); agg != nil {
+		switch agg.Fn {
+		case "MIN", "MAX", "COUNT", "AGGLIST":
+		default:
+			return fmt.Errorf("unsupported aggregate %s (the paper restricts provenance to MIN/MAX)", agg.Fn)
+		}
+		if hv, ok := r.Head.Args[r.Head.LocPos].(*Var); !ok || hv.Name != locVar {
+			return fmt.Errorf("aggregate rule head must be local to its body (@%s)", locVar)
+		}
+	}
+
+	// Safety: walk body terms in order, tracking bound variables.
+	bound := map[string]bool{}
+	for _, a := range atoms {
+		for _, arg := range a.Args {
+			for _, v := range Vars(arg) {
+				bound[v] = true
+			}
+		}
+	}
+	for _, t := range r.Body {
+		switch v := t.(type) {
+		case *Assign:
+			for _, dep := range Vars(v.Rhs) {
+				if !bound[dep] {
+					return fmt.Errorf("assignment to %s uses unbound variable %s", v.Lhs, dep)
+				}
+			}
+			bound[v.Lhs] = true
+		case *Cond:
+			for _, dep := range Vars(v.Expr) {
+				if !bound[dep] {
+					return fmt.Errorf("condition uses unbound variable %s", dep)
+				}
+			}
+		}
+	}
+	for _, arg := range r.Head.Args {
+		if _, ok := arg.(*Agg); ok {
+			continue
+		}
+		for _, v := range Vars(arg) {
+			if !bound[v] {
+				return fmt.Errorf("head variable %s is unbound", v)
+			}
+		}
+	}
+	return nil
+}
+
+// BodyLocation returns the shared location variable of the rule body,
+// erroring when the body is not localized.
+func BodyLocation(r *Rule) (string, error) {
+	locVar := ""
+	for _, a := range r.BodyAtoms() {
+		if a.LocPos < 0 {
+			return "", fmt.Errorf("body atom %s has no location specifier", a.Pred)
+		}
+		v, ok := a.Args[a.LocPos].(*Var)
+		if !ok {
+			return "", fmt.Errorf("body atom %s location must be a variable", a.Pred)
+		}
+		if locVar == "" {
+			locVar = v.Name
+		} else if locVar != v.Name {
+			return "", fmt.Errorf("body is not localized: atoms at @%s and @%s", locVar, v.Name)
+		}
+	}
+	return locVar, nil
+}
+
+// HeadPreds returns the set of predicates derived by some rule of the
+// program.
+func HeadPreds(p *Program) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range p.Rules {
+		out[r.Head.Pred] = true
+	}
+	return out
+}
+
+// BasePreds returns the predicates that appear in rule bodies (or facts)
+// but are never derived — the program's EDB relations.
+func BasePreds(p *Program) map[string]bool {
+	heads := HeadPreds(p)
+	out := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, a := range r.BodyAtoms() {
+			if !heads[a.Pred] && !a.IsEvent() {
+				out[a.Pred] = true
+			}
+		}
+	}
+	for _, f := range p.Facts {
+		if !heads[f.Pred] {
+			out[f.Pred] = true
+		}
+	}
+	return out
+}

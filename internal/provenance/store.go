@@ -1,0 +1,249 @@
+// Package provenance implements the paper's distributed provenance data
+// model (§4.1): an acyclic graph of tuple vertices and rule-execution
+// vertices stored in two horizontally partitioned relations,
+//
+//	prov(@Loc, VID, RID, RLoc)      — tuple VID at Loc is derivable from
+//	                                  rule execution RID residing at RLoc
+//	ruleExec(@RLoc, RID, R, VIDList) — rule R executed at RLoc over the
+//	                                  input tuples in VIDList
+//
+// Each node holds the partition of prov for its local tuples and the
+// partition of ruleExec for rules executed locally. The store additionally
+// keeps the VID→tuple mapping (the paper's "systems table that maps VIDs to
+// tuples") and reverse dataflow edges used by cache invalidation (§6.1).
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// ProvEntry is one row of the prov relation: a direct derivation of the
+// tuple identified by VID via the rule execution RID at RLoc. Base tuples
+// carry the null RID. Count tracks duplicate derivations under incremental
+// maintenance; an entry is visible while Count > 0.
+type ProvEntry struct {
+	VID   types.ID
+	RID   types.ID
+	RLoc  types.NodeID
+	Count int
+}
+
+// RuleExecEntry is one row of the ruleExec relation: the metadata of a rule
+// execution instance.
+type RuleExecEntry struct {
+	RID     types.ID
+	Rule    string
+	VIDList []types.ID
+	Count   int
+}
+
+// Parent is a reverse dataflow edge: the local tuple was consumed by rule
+// execution RID (local, since rule bodies are localized), deriving the head
+// tuple HeadVID stored at HeadLoc.
+type Parent struct {
+	RID     types.ID
+	HeadVID types.ID
+	HeadLoc types.NodeID
+	Count   int
+}
+
+// Store is one node's partition of the provenance graph.
+type Store struct {
+	Node types.NodeID
+
+	prov     map[types.ID][]*ProvEntry
+	ruleExec map[types.ID]*RuleExecEntry
+	tuples   map[types.ID]types.Tuple
+	parents  map[types.ID][]*Parent
+
+	// OnProvChange, when set, fires after the derivation set of a local
+	// VID changes (entry added or removed). The query cache uses it for
+	// invalidation.
+	OnProvChange func(vid types.ID)
+}
+
+// NewStore creates an empty partition for a node.
+func NewStore(node types.NodeID) *Store {
+	return &Store{
+		Node:     node,
+		prov:     make(map[types.ID][]*ProvEntry),
+		ruleExec: make(map[types.ID]*RuleExecEntry),
+		tuples:   make(map[types.ID]types.Tuple),
+		parents:  make(map[types.ID][]*Parent),
+	}
+}
+
+// RegisterTuple records the VID→tuple mapping for a local tuple.
+func (s *Store) RegisterTuple(t types.Tuple) types.ID {
+	vid := t.VID()
+	s.tuples[vid] = t
+	return vid
+}
+
+// TupleOf resolves a local VID to its tuple.
+func (s *Store) TupleOf(vid types.ID) (types.Tuple, bool) {
+	t, ok := s.tuples[vid]
+	return t, ok
+}
+
+// AddProv inserts (or increments) a prov entry.
+func (s *Store) AddProv(vid, rid types.ID, rloc types.NodeID) {
+	for _, e := range s.prov[vid] {
+		if e.RID == rid && e.RLoc == rloc {
+			e.Count++
+			s.changed(vid)
+			return
+		}
+	}
+	s.prov[vid] = append(s.prov[vid], &ProvEntry{VID: vid, RID: rid, RLoc: rloc, Count: 1})
+	s.changed(vid)
+}
+
+// DelProv decrements (and possibly removes) a prov entry; it reports
+// whether the entry existed.
+func (s *Store) DelProv(vid, rid types.ID, rloc types.NodeID) bool {
+	entries := s.prov[vid]
+	for i, e := range entries {
+		if e.RID == rid && e.RLoc == rloc {
+			e.Count--
+			if e.Count <= 0 {
+				s.prov[vid] = append(entries[:i], entries[i+1:]...)
+				if len(s.prov[vid]) == 0 {
+					delete(s.prov, vid)
+					delete(s.tuples, vid)
+				}
+			}
+			s.changed(vid)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Store) changed(vid types.ID) {
+	if s.OnProvChange != nil {
+		s.OnProvChange(vid)
+	}
+}
+
+// Derivations returns the visible prov entries for a VID. Callers must not
+// mutate the returned slice.
+func (s *Store) Derivations(vid types.ID) []*ProvEntry { return s.prov[vid] }
+
+// AddRuleExec inserts (or increments) a ruleExec entry.
+func (s *Store) AddRuleExec(rid types.ID, rule string, vidList []types.ID) {
+	if e, ok := s.ruleExec[rid]; ok {
+		e.Count++
+		return
+	}
+	cp := make([]types.ID, len(vidList))
+	copy(cp, vidList)
+	s.ruleExec[rid] = &RuleExecEntry{RID: rid, Rule: rule, VIDList: cp, Count: 1}
+}
+
+// DelRuleExec decrements (and possibly removes) a ruleExec entry.
+func (s *Store) DelRuleExec(rid types.ID) bool {
+	e, ok := s.ruleExec[rid]
+	if !ok {
+		return false
+	}
+	e.Count--
+	if e.Count <= 0 {
+		delete(s.ruleExec, rid)
+	}
+	return true
+}
+
+// RuleExecOf resolves a local RID.
+func (s *Store) RuleExecOf(rid types.ID) (*RuleExecEntry, bool) {
+	e, ok := s.ruleExec[rid]
+	return e, ok
+}
+
+// AddParent records that local tuple vid was consumed by rule execution rid
+// deriving headVID at headLoc.
+func (s *Store) AddParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
+	for _, p := range s.parents[vid] {
+		if p.RID == rid && p.HeadVID == headVID && p.HeadLoc == headLoc {
+			p.Count++
+			return
+		}
+	}
+	s.parents[vid] = append(s.parents[vid], &Parent{RID: rid, HeadVID: headVID, HeadLoc: headLoc, Count: 1})
+}
+
+// DelParent removes one reverse edge occurrence.
+func (s *Store) DelParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
+	list := s.parents[vid]
+	for i, p := range list {
+		if p.RID == rid && p.HeadVID == headVID && p.HeadLoc == headLoc {
+			p.Count--
+			if p.Count <= 0 {
+				s.parents[vid] = append(list[:i], list[i+1:]...)
+				if len(s.parents[vid]) == 0 {
+					delete(s.parents, vid)
+				}
+			}
+			return
+		}
+	}
+}
+
+// Parents returns the reverse dataflow edges of a local VID.
+func (s *Store) Parents(vid types.ID) []*Parent { return s.parents[vid] }
+
+// NumProv reports the number of visible prov entries in the partition.
+func (s *Store) NumProv() int {
+	n := 0
+	for _, list := range s.prov {
+		n += len(list)
+	}
+	return n
+}
+
+// NumRuleExec reports the number of visible ruleExec entries.
+func (s *Store) NumRuleExec() int { return len(s.ruleExec) }
+
+// ProvRows renders the partition's prov relation as sorted printable rows
+// (Loc, tuple, RID short, RLoc) — the format of the paper's Table 1.
+func (s *Store) ProvRows() []string {
+	var rows []string
+	for vid, list := range s.prov {
+		label := vid.Short()
+		if t, ok := s.tuples[vid]; ok {
+			label = t.String()
+		}
+		for _, e := range list {
+			rid := "null"
+			rloc := e.RLoc.String()
+			if !e.RID.IsZero() {
+				rid = e.RID.Short()
+			}
+			rows = append(rows, fmt.Sprintf("%s | %s | %s | %s", s.Node, label, rid, rloc))
+		}
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// RuleExecRows renders the partition's ruleExec relation as sorted rows
+// (RLoc, RID short, rule, VIDList shorts) — the format of Table 2.
+func (s *Store) RuleExecRows() []string {
+	var rows []string
+	for _, e := range s.ruleExec {
+		vids := make([]string, len(e.VIDList))
+		for i, v := range e.VIDList {
+			vids[i] = v.Short()
+			if t, ok := s.tuples[v]; ok {
+				vids[i] = t.String()
+			}
+		}
+		rows = append(rows, fmt.Sprintf("%s | %s | %s | (%s)", s.Node, e.RID.Short(), e.Rule, strings.Join(vids, ",")))
+	}
+	sort.Strings(rows)
+	return rows
+}

@@ -1,0 +1,128 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func tid(s string) types.ID { return types.HashString(s) }
+
+func TestProvEntryLifecycle(t *testing.T) {
+	s := NewStore(0)
+	tu := types.NewTuple("p", types.Node(0), types.Int(1))
+	vid := s.RegisterTuple(tu)
+	if vid != tu.VID() {
+		t.Fatal("RegisterTuple returns wrong VID")
+	}
+	s.AddProv(vid, tid("r1"), 2)
+	s.AddProv(vid, tid("r2"), 3)
+	if len(s.Derivations(vid)) != 2 {
+		t.Fatalf("derivations = %d", len(s.Derivations(vid)))
+	}
+	// Duplicate insert increments the count, not the row set.
+	s.AddProv(vid, tid("r1"), 2)
+	if len(s.Derivations(vid)) != 2 {
+		t.Fatal("duplicate created new row")
+	}
+	if !s.DelProv(vid, tid("r1"), 2) {
+		t.Fatal("DelProv failed")
+	}
+	if len(s.Derivations(vid)) != 2 {
+		t.Fatal("row removed while count > 0")
+	}
+	s.DelProv(vid, tid("r1"), 2)
+	if len(s.Derivations(vid)) != 1 {
+		t.Fatal("row not removed at count 0")
+	}
+	s.DelProv(vid, tid("r2"), 3)
+	if len(s.Derivations(vid)) != 0 {
+		t.Fatal("store not empty")
+	}
+	if _, ok := s.TupleOf(vid); ok {
+		t.Fatal("tuple mapping survived last derivation")
+	}
+	if s.DelProv(vid, tid("r2"), 3) {
+		t.Fatal("deleting a missing entry reported success")
+	}
+}
+
+func TestOnProvChangeFires(t *testing.T) {
+	s := NewStore(0)
+	var events []types.ID
+	s.OnProvChange = func(vid types.ID) { events = append(events, vid) }
+	vid := tid("v")
+	s.AddProv(vid, types.ZeroID, 0)
+	s.DelProv(vid, types.ZeroID, 0)
+	if len(events) != 2 || events[0] != vid || events[1] != vid {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestRuleExecLifecycle(t *testing.T) {
+	s := NewStore(1)
+	rid := tid("exec")
+	inputs := []types.ID{tid("a"), tid("b")}
+	s.AddRuleExec(rid, "sp2", inputs)
+	re, ok := s.RuleExecOf(rid)
+	if !ok || re.Rule != "sp2" || len(re.VIDList) != 2 {
+		t.Fatalf("entry = %+v", re)
+	}
+	// The stored list is a copy: mutating the caller's slice is safe.
+	inputs[0] = tid("mutated")
+	re, _ = s.RuleExecOf(rid)
+	if re.VIDList[0] != tid("a") {
+		t.Fatal("VIDList aliased caller slice")
+	}
+	s.AddRuleExec(rid, "sp2", re.VIDList)
+	s.DelRuleExec(rid)
+	if _, ok := s.RuleExecOf(rid); !ok {
+		t.Fatal("entry removed while count > 0")
+	}
+	s.DelRuleExec(rid)
+	if _, ok := s.RuleExecOf(rid); ok {
+		t.Fatal("entry survived count 0")
+	}
+	if s.DelRuleExec(rid) {
+		t.Fatal("deleting missing entry succeeded")
+	}
+}
+
+func TestParentEdges(t *testing.T) {
+	s := NewStore(2)
+	in, rid, head := tid("in"), tid("rid"), tid("head")
+	s.AddParent(in, rid, head, 5)
+	s.AddParent(in, rid, head, 5) // duplicate: count only
+	if len(s.Parents(in)) != 1 {
+		t.Fatal("duplicate parent row")
+	}
+	s.DelParent(in, rid, head, 5)
+	if len(s.Parents(in)) != 1 {
+		t.Fatal("parent removed while count > 0")
+	}
+	s.DelParent(in, rid, head, 5)
+	if len(s.Parents(in)) != 0 {
+		t.Fatal("parent survived")
+	}
+}
+
+func TestRowRendering(t *testing.T) {
+	s := NewStore(0)
+	tu := types.NewTuple("link", types.Node(0), types.Node(2), types.Int(5))
+	vid := s.RegisterTuple(tu)
+	s.AddProv(vid, types.ZeroID, 0)
+	rows := s.ProvRows()
+	if len(rows) != 1 || !strings.Contains(rows[0], "link(@a,c,5)") || !strings.Contains(rows[0], "null") {
+		t.Fatalf("prov rows = %v", rows)
+	}
+	rid := tid("exec")
+	s.AddRuleExec(rid, "sp1", []types.ID{vid})
+	rer := s.RuleExecRows()
+	if len(rer) != 1 || !strings.Contains(rer[0], "sp1") || !strings.Contains(rer[0], "link(@a,c,5)") {
+		t.Fatalf("ruleExec rows = %v", rer)
+	}
+	if s.NumProv() != 1 || s.NumRuleExec() != 1 {
+		t.Fatal("counters wrong")
+	}
+}

@@ -1,0 +1,170 @@
+package provquery
+
+import (
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/types"
+)
+
+// CentralGraph is the query-side view of *centralized* provenance (§3
+// Distribution): every prov and ruleExec row has been relayed to one
+// server, so queries are plain in-memory graph walks with no network
+// traversal. It is constructed from the server's materialized prov and
+// ruleExec relations.
+type CentralGraph struct {
+	prov     map[types.ID][]centralDeriv
+	locs     map[types.ID]types.NodeID
+	ruleExec map[types.ID]centralExec
+}
+
+type centralDeriv struct {
+	rid  types.ID
+	rloc types.NodeID
+}
+
+type centralExec struct {
+	rule   string
+	inputs []types.ID
+}
+
+// NewCentralGraph builds the graph from prov(@Loc,VID,RID,RLoc) and
+// ruleExec(@RLoc,RID,R,List) rows as stored at the central server.
+func NewCentralGraph(provRows, ruleExecRows []types.Tuple) *CentralGraph {
+	g := &CentralGraph{
+		prov:     map[types.ID][]centralDeriv{},
+		locs:     map[types.ID]types.NodeID{},
+		ruleExec: map[types.ID]centralExec{},
+	}
+	for _, r := range provRows {
+		if len(r.Args) != 4 {
+			continue
+		}
+		vid := r.Args[1].AsID()
+		g.prov[vid] = append(g.prov[vid], centralDeriv{
+			rid:  r.Args[2].AsID(),
+			rloc: r.Args[3].AsNode(),
+		})
+		g.locs[vid] = r.Args[0].AsNode()
+	}
+	for _, r := range ruleExecRows {
+		if len(r.Args) != 4 {
+			continue
+		}
+		var inputs []types.ID
+		for _, v := range r.Args[3].AsList() {
+			inputs = append(inputs, v.AsID())
+		}
+		g.ruleExec[r.Args[1].AsID()] = centralExec{rule: r.Args[2].AsStr(), inputs: inputs}
+	}
+	return g
+}
+
+// NumVertices reports the number of tuple vertices known to the server.
+func (g *CentralGraph) NumVertices() int { return len(g.prov) }
+
+// Polynomial reconstructs the provenance polynomial of a tuple vertex.
+// Base labels are the VIDs' short hashes (the server does not hold tuple
+// contents, only the graph).
+func (g *CentralGraph) Polynomial(vid types.ID) *algebra.Expr {
+	derivs := g.prov[vid]
+	if len(derivs) == 0 {
+		return algebra.Zero()
+	}
+	var kids []*algebra.Expr
+	for _, d := range derivs {
+		if d.rid.IsZero() {
+			kids = append(kids, algebra.NewBase(algebra.Base{
+				VID: vid, Label: vid.Short(), Node: g.locs[vid],
+			}))
+			continue
+		}
+		re, ok := g.ruleExec[d.rid]
+		if !ok {
+			continue
+		}
+		var inputs []*algebra.Expr
+		for _, in := range re.inputs {
+			inputs = append(inputs, g.Polynomial(in))
+		}
+		kids = append(kids, algebra.Prod(re.rule+"@"+d.rloc.String(), inputs...))
+	}
+	return algebra.Sum("@"+g.locs[vid].String(), kids...)
+}
+
+// Count returns the number of distinct derivations (the #DERIVATIONS
+// query evaluated centrally).
+func (g *CentralGraph) Count(vid types.ID) int64 {
+	var total int64
+	for _, d := range g.prov[vid] {
+		if d.rid.IsZero() {
+			total++
+			continue
+		}
+		re, ok := g.ruleExec[d.rid]
+		if !ok {
+			continue
+		}
+		prod := int64(1)
+		for _, in := range re.inputs {
+			prod *= g.Count(in)
+		}
+		total += prod
+	}
+	return total
+}
+
+// Nodes returns the sorted set of nodes participating in any derivation.
+func (g *CentralGraph) Nodes(vid types.ID) []types.NodeID {
+	set := map[types.NodeID]bool{}
+	var rec func(types.ID)
+	rec = func(v types.ID) {
+		for _, d := range g.prov[v] {
+			if d.rid.IsZero() {
+				set[g.locs[v]] = true
+				continue
+			}
+			set[d.rloc] = true
+			if re, ok := g.ruleExec[d.rid]; ok {
+				for _, in := range re.inputs {
+					rec(in)
+				}
+			}
+		}
+	}
+	rec(vid)
+	out := make([]types.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Derivable reports whether vid is derivable using only base tuples at
+// nodes the trusted predicate accepts.
+func (g *CentralGraph) Derivable(vid types.ID, trusted func(types.NodeID) bool) bool {
+	for _, d := range g.prov[vid] {
+		if d.rid.IsZero() {
+			if trusted == nil || trusted(g.locs[vid]) {
+				return true
+			}
+			continue
+		}
+		re, ok := g.ruleExec[d.rid]
+		if !ok {
+			continue
+		}
+		all := len(re.inputs) > 0
+		for _, in := range re.inputs {
+			if !g.Derivable(in, trusted) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

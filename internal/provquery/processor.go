@@ -1,0 +1,526 @@
+package provquery
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"repro/internal/provenance"
+	"repro/internal/types"
+)
+
+// Strategy selects the query traversal order (§6.2).
+type Strategy uint8
+
+// Traversal strategies.
+const (
+	// BFS expands every alternative derivation of a vertex at once.
+	BFS Strategy = iota
+	// DFS expands alternative derivations one at a time, starting the
+	// next only when the previous result has returned.
+	DFS
+	// DFSThreshold is DFS with early termination once the partial result
+	// exceeds the query threshold.
+	DFSThreshold
+	// Moonwalk randomly samples up to MoonwalkN alternative derivations
+	// at each vertex (the random moonwalk of §6.2); results are
+	// approximate.
+	Moonwalk
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case BFS:
+		return "bfs"
+	case DFS:
+		return "dfs"
+	case DFSThreshold:
+		return "dfs-threshold"
+	case Moonwalk:
+		return "moonwalk"
+	}
+	return "?"
+}
+
+type cacheEntry struct {
+	udf     string
+	payload []byte
+}
+
+type provChild struct {
+	base       bool
+	baseResult []byte
+	rid        types.ID
+	rloc       types.NodeID
+}
+
+type pendProv struct {
+	qid, vid types.ID
+	ret      types.NodeID
+	children []provChild
+	results  [][]byte
+	done     []bool
+	next     int // DFS cursor
+	finished bool
+}
+
+type pendRule struct {
+	rqid, rid types.ID
+	ret       types.NodeID
+	rule      string
+	children  []types.ID
+	results   [][]byte
+	done      []bool
+	next      int
+	finished  bool
+}
+
+type childRef struct {
+	parent types.ID
+	idx    int
+}
+
+// Processor executes the distributed provenance-query protocol at one node.
+type Processor struct {
+	Node  types.NodeID
+	Store *provenance.Store
+	UDF   UDF
+
+	Strategy  Strategy
+	Threshold int64
+	MoonwalkN int
+	CacheOn   bool
+
+	// Send ships a protocol message to another node; the runtime charges
+	// its wire size. Self-sends never occur (local work is dispatched
+	// directly, like RapidNet local events).
+	Send func(to types.NodeID, m *Msg)
+
+	rng *rand.Rand
+
+	cache      map[types.ID]*cacheEntry
+	ruleCache  map[types.ID]*cacheEntry
+	pendProv   map[types.ID]*pendProv
+	pendRule   map[types.ID]*pendRule
+	rqidToProv map[types.ID]childRef
+	qidToRule  map[types.ID]childRef
+	onComplete map[types.ID]func(payload []byte)
+	seq        uint64
+
+	// Stats.
+	CacheHits     int64
+	CacheMisses   int64
+	Invalidations int64
+	QueriesServed int64
+}
+
+// NewProcessor creates a query processor bound to a node's provenance
+// partition. It registers itself for provenance-change notifications to
+// drive cache invalidation.
+func NewProcessor(node types.NodeID, store *provenance.Store, udf UDF, send func(to types.NodeID, m *Msg)) *Processor {
+	p := &Processor{
+		Node:       node,
+		Store:      store,
+		UDF:        udf,
+		Send:       send,
+		MoonwalkN:  2,
+		rng:        rand.New(rand.NewSource(int64(node)*7919 + 17)),
+		cache:      map[types.ID]*cacheEntry{},
+		ruleCache:  map[types.ID]*cacheEntry{},
+		pendProv:   map[types.ID]*pendProv{},
+		pendRule:   map[types.ID]*pendRule{},
+		rqidToProv: map[types.ID]childRef{},
+		qidToRule:  map[types.ID]childRef{},
+		onComplete: map[types.ID]func([]byte){},
+	}
+	prev := store.OnProvChange
+	store.OnProvChange = func(vid types.ID) {
+		if prev != nil {
+			prev(vid)
+		}
+		p.invalidate(vid)
+	}
+	return p
+}
+
+// Query issues a root provenance query for tuple vertex vid stored at loc;
+// cb runs when the result arrives. It returns the query instance ID.
+func (p *Processor) Query(vid types.ID, loc types.NodeID, cb func(payload []byte)) types.ID {
+	p.seq++
+	var b [28]byte
+	binary.BigEndian.PutUint32(b[:4], uint32(int32(p.Node)))
+	binary.BigEndian.PutUint64(b[4:12], p.seq)
+	copy(b[12:], vid[:16])
+	qid := types.HashBytes(b[:])
+	p.onComplete[qid] = cb
+	m := &Msg{Kind: KProvQuery, QID: qid, VID: vid, Ret: p.Node}
+	if loc == p.Node {
+		p.handleProvQuery(m)
+	} else {
+		p.Send(loc, m)
+	}
+	return qid
+}
+
+// Handle dispatches an incoming protocol message.
+func (p *Processor) Handle(from types.NodeID, m *Msg) {
+	switch m.Kind {
+	case KProvQuery:
+		p.handleProvQuery(m)
+	case KRuleQuery:
+		p.handleRuleQuery(m)
+	case KProvResult:
+		p.handleProvResult(m)
+	case KRuleResult:
+		p.handleRuleResult(m)
+	case KInvalidate:
+		p.invalidate(m.VID)
+	}
+}
+
+func (p *Processor) reply(to types.NodeID, m *Msg) {
+	if to == p.Node {
+		p.Handle(p.Node, m)
+		return
+	}
+	p.Send(to, m)
+}
+
+// --- tuple vertices (the idb1-idb4 rules) -------------------------------
+
+func (p *Processor) handleProvQuery(m *Msg) {
+	p.QueriesServed++
+	if p.CacheOn {
+		if ce, ok := p.cache[m.VID]; ok && ce.udf == p.UDF.Name() {
+			p.CacheHits++
+			p.reply(m.Ret, &Msg{Kind: KProvResult, QID: m.QID, VID: m.VID, Ret: m.Ret, Payload: ce.payload})
+			return
+		}
+		p.CacheMisses++
+	}
+	derivs := p.Store.Derivations(m.VID)
+	pp := &pendProv{qid: m.QID, vid: m.VID, ret: m.Ret}
+	for _, d := range derivs {
+		if d.RID.IsZero() {
+			t, ok := p.Store.TupleOf(m.VID)
+			var res []byte
+			if ok {
+				res = p.UDF.EDB(t, m.VID, p.Node)
+			} else {
+				res = p.UDF.IDB(nil, m.VID, p.Node)
+			}
+			pp.children = append(pp.children, provChild{base: true, baseResult: res})
+		} else {
+			pp.children = append(pp.children, provChild{rid: d.RID, rloc: d.RLoc})
+		}
+	}
+	pp.results = make([][]byte, len(pp.children))
+	pp.done = make([]bool, len(pp.children))
+	p.pendProv[m.QID] = pp
+	p.advanceProv(pp)
+}
+
+// advanceProv issues child rule queries per the traversal strategy and
+// finishes the query when its result is determined.
+func (p *Processor) advanceProv(pp *pendProv) {
+	if pp.finished {
+		return
+	}
+	switch p.Strategy {
+	case BFS:
+		any := false
+		for i := range pp.children {
+			if pp.done[i] {
+				continue
+			}
+			c := &pp.children[i]
+			if c.base {
+				pp.results[i] = c.baseResult
+				pp.done[i] = true
+				continue
+			}
+			if pp.results[i] == nil && !pp.done[i] {
+				any = true
+			}
+		}
+		_ = any
+		// Issue all unresolved remote children once.
+		for i := range pp.children {
+			c := &pp.children[i]
+			if pp.done[i] || c.base {
+				continue
+			}
+			p.issueRuleChild(pp, i)
+		}
+		p.maybeFinishProv(pp)
+	case Moonwalk:
+		// Sample up to MoonwalkN children; prune the rest.
+		order := p.rng.Perm(len(pp.children))
+		keep := p.MoonwalkN
+		if keep > len(order) {
+			keep = len(order)
+		}
+		chosen := map[int]bool{}
+		for _, i := range order[:keep] {
+			chosen[i] = true
+		}
+		for i := range pp.children {
+			if !chosen[i] {
+				pp.done[i] = true // pruned: contributes nothing
+				continue
+			}
+			c := &pp.children[i]
+			if c.base {
+				pp.results[i] = c.baseResult
+				pp.done[i] = true
+				continue
+			}
+			p.issueRuleChild(pp, i)
+		}
+		p.maybeFinishProv(pp)
+	case DFS, DFSThreshold:
+		for pp.next < len(pp.children) {
+			if p.Strategy == DFSThreshold && p.UDF.Exceeds(CtxIDB, collect(pp.results, pp.done), p.Threshold) {
+				break
+			}
+			i := pp.next
+			c := &pp.children[i]
+			if c.base {
+				pp.results[i] = c.baseResult
+				pp.done[i] = true
+				pp.next++
+				continue
+			}
+			p.issueRuleChild(pp, i)
+			return // wait for this child before expanding the next
+		}
+		p.maybeFinishProv(pp)
+	}
+}
+
+func collect(results [][]byte, done []bool) [][]byte {
+	out := make([][]byte, 0, len(results))
+	for i, r := range results {
+		if done[i] && r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (p *Processor) issueRuleChild(pp *pendProv, idx int) {
+	c := &pp.children[idx]
+	rqid := subQueryID(pp.qid, c.rid)
+	p.rqidToProv[rqid] = childRef{parent: pp.qid, idx: idx}
+	m := &Msg{Kind: KRuleQuery, QID: rqid, RID: c.rid, Ret: p.Node}
+	if c.rloc == p.Node {
+		p.handleRuleQuery(m)
+		return
+	}
+	p.Send(c.rloc, m)
+}
+
+func (p *Processor) maybeFinishProv(pp *pendProv) {
+	if pp.finished {
+		return
+	}
+	complete := true
+	for _, d := range pp.done {
+		if !d {
+			complete = false
+			break
+		}
+	}
+	thresholdHit := p.Strategy == DFSThreshold &&
+		p.UDF.Exceeds(CtxIDB, collect(pp.results, pp.done), p.Threshold)
+	if !complete && !thresholdHit {
+		return
+	}
+	pp.finished = true
+	delete(p.pendProv, pp.qid)
+	res := p.UDF.IDB(collect(pp.results, pp.done), pp.vid, p.Node)
+	if p.CacheOn && complete {
+		// Threshold-truncated and moonwalk-sampled results are partial;
+		// only complete traversals are cached.
+		if p.Strategy != Moonwalk {
+			p.cache[pp.vid] = &cacheEntry{udf: p.UDF.Name(), payload: res}
+		}
+	}
+	p.reply(pp.ret, &Msg{Kind: KProvResult, QID: pp.qid, VID: pp.vid, Ret: pp.ret, Payload: res})
+}
+
+func (p *Processor) handleRuleResult(m *Msg) {
+	ref, ok := p.rqidToProv[m.QID]
+	if !ok {
+		return // late result for a finished (threshold-terminated) query
+	}
+	delete(p.rqidToProv, m.QID)
+	pp := p.pendProv[ref.parent]
+	if pp == nil || pp.finished {
+		return
+	}
+	pp.results[ref.idx] = m.Payload
+	pp.done[ref.idx] = true
+	if p.Strategy == DFS || p.Strategy == DFSThreshold {
+		pp.next = ref.idx + 1
+		p.advanceProv(pp)
+		return
+	}
+	p.maybeFinishProv(pp)
+}
+
+// --- rule execution vertices (the rv1-rv4 rules) -------------------------
+
+func (p *Processor) handleRuleQuery(m *Msg) {
+	if p.CacheOn {
+		if ce, ok := p.ruleCache[m.RID]; ok && ce.udf == p.UDF.Name() {
+			p.CacheHits++
+			p.reply(m.Ret, &Msg{Kind: KRuleResult, QID: m.QID, RID: m.RID, Ret: m.Ret, Payload: ce.payload})
+			return
+		}
+		p.CacheMisses++
+	}
+	re, ok := p.Store.RuleExecOf(m.RID)
+	if !ok {
+		// The rule execution was retracted while the query was in flight
+		// (churn); answer with the empty product.
+		res := p.UDF.Rule(nil, "?", p.Node)
+		p.reply(m.Ret, &Msg{Kind: KRuleResult, QID: m.QID, RID: m.RID, Ret: m.Ret, Payload: res})
+		return
+	}
+	pr := &pendRule{
+		rqid:     m.QID,
+		rid:      m.RID,
+		ret:      m.Ret,
+		rule:     re.Rule,
+		children: re.VIDList,
+		results:  make([][]byte, len(re.VIDList)),
+		done:     make([]bool, len(re.VIDList)),
+	}
+	p.pendRule[m.QID] = pr
+	p.advanceRule(pr)
+}
+
+// advanceRule expands a rule vertex's input tuples. Rule bodies are
+// localized, so every child VID is local; their own derivations may still
+// fan out to remote nodes.
+func (p *Processor) advanceRule(pr *pendRule) {
+	if pr.finished {
+		return
+	}
+	switch p.Strategy {
+	case BFS, Moonwalk:
+		// Rule inputs are all required (a join needs every input); only
+		// alternative derivations are sampled by moonwalk.
+		for i, vid := range pr.children {
+			if pr.done[i] {
+				continue
+			}
+			p.issueProvChild(pr, i, vid)
+		}
+		p.maybeFinishRule(pr)
+	case DFS, DFSThreshold:
+		for pr.next < len(pr.children) {
+			if p.Strategy == DFSThreshold && pr.next > 0 &&
+				p.UDF.Exceeds(CtxRule, collect(pr.results, pr.done), p.Threshold) {
+				break
+			}
+			i := pr.next
+			p.issueProvChild(pr, i, pr.children[i])
+			return
+		}
+		p.maybeFinishRule(pr)
+	}
+}
+
+func (p *Processor) issueProvChild(pr *pendRule, idx int, vid types.ID) {
+	qid := subQueryID(pr.rqid, vid)
+	p.qidToRule[qid] = childRef{parent: pr.rqid, idx: idx}
+	p.handleProvQuery(&Msg{Kind: KProvQuery, QID: qid, VID: vid, Ret: p.Node})
+}
+
+func (p *Processor) maybeFinishRule(pr *pendRule) {
+	if pr.finished {
+		return
+	}
+	complete := true
+	for _, d := range pr.done {
+		if !d {
+			complete = false
+			break
+		}
+	}
+	thresholdHit := p.Strategy == DFSThreshold && len(pr.children) > 0 &&
+		p.UDF.Exceeds(CtxRule, collect(pr.results, pr.done), p.Threshold)
+	if !complete && !thresholdHit {
+		return
+	}
+	pr.finished = true
+	delete(p.pendRule, pr.rqid)
+	res := p.UDF.Rule(collect(pr.results, pr.done), pr.rule, p.Node)
+	if p.CacheOn && complete && p.Strategy != Moonwalk {
+		p.ruleCache[pr.rid] = &cacheEntry{udf: p.UDF.Name(), payload: res}
+	}
+	p.reply(pr.ret, &Msg{Kind: KRuleResult, QID: pr.rqid, RID: pr.rid, Ret: pr.ret, Payload: res})
+}
+
+func (p *Processor) handleProvResult(m *Msg) {
+	if cb, ok := p.onComplete[m.QID]; ok {
+		delete(p.onComplete, m.QID)
+		cb(m.Payload)
+		return
+	}
+	ref, ok := p.qidToRule[m.QID]
+	if !ok {
+		return
+	}
+	delete(p.qidToRule, m.QID)
+	pr := p.pendRule[ref.parent]
+	if pr == nil || pr.finished {
+		return
+	}
+	pr.results[ref.idx] = m.Payload
+	pr.done[ref.idx] = true
+	if p.Strategy == DFS || p.Strategy == DFSThreshold {
+		pr.next = ref.idx + 1
+		p.advanceRule(pr)
+		return
+	}
+	p.maybeFinishRule(pr)
+}
+
+// --- cache invalidation (§6.1) -------------------------------------------
+
+// invalidate drops cached results that depend on vid and propagates the
+// invalidation flag toward dependent (head) tuples. Propagation stops as
+// soon as a node had nothing cached: a cached ancestor implies cached
+// results along the whole reverse path, so an empty cache bounds the walk.
+func (p *Processor) invalidate(vid types.ID) {
+	if !p.CacheOn {
+		return
+	}
+	removed := false
+	if _, ok := p.cache[vid]; ok {
+		delete(p.cache, vid)
+		removed = true
+	}
+	for _, par := range p.Store.Parents(vid) {
+		if _, ok := p.ruleCache[par.RID]; ok {
+			delete(p.ruleCache, par.RID)
+			removed = true
+		}
+	}
+	if !removed {
+		return
+	}
+	p.Invalidations++
+	for _, par := range p.Store.Parents(vid) {
+		if par.HeadLoc == p.Node {
+			p.invalidate(par.HeadVID)
+		} else {
+			p.Send(par.HeadLoc, &Msg{Kind: KInvalidate, VID: par.HeadVID})
+		}
+	}
+}
+
+// CacheSize reports the number of cached vertex results (tuple + rule).
+func (p *Processor) CacheSize() int { return len(p.cache) + len(p.ruleCache) }

@@ -1,0 +1,264 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// Link describes one bidirectional physical link.
+type Link struct {
+	Latency Time  // one-way propagation delay
+	Bps     int64 // bandwidth in bits per second
+}
+
+type edge struct{ u, v types.NodeID }
+
+func mkEdge(u, v types.NodeID) edge {
+	if u > v {
+		u, v = v, u
+	}
+	return edge{u, v}
+}
+
+// Network models the physical substrate: nodes joined by links with latency
+// and bandwidth. Messages between non-adjacent nodes (provenance queries
+// are node-to-node at the IP layer) follow the minimum-latency path; the
+// transmission delay uses the bottleneck bandwidth along that path.
+type Network struct {
+	sim      *Sim
+	n        int
+	links    map[edge]Link
+	adj      map[types.NodeID][]types.NodeID
+	handlers map[types.NodeID]Handler
+
+	// routes caches minimum-latency path data; invalidated on topology
+	// changes (churn).
+	routeLat   [][]Time
+	routeBps   [][]int64
+	routeDirty bool
+
+	// Accounting.
+	SentBytes   []int64 // per sending node
+	RecvBytes   []int64 // per receiving node
+	SentMsgs    []int64
+	TotalBytes  int64
+	Recorder    *stats.Bandwidth // optional time-bucketed recorder
+	MsgOverhead int              // fixed per-message header bytes (UDP-era 28B IP+UDP)
+}
+
+// DefaultMsgOverhead is the per-datagram header cost charged to every
+// message: a 20-byte IPv4 header plus an 8-byte UDP header, matching the
+// deployment transport.
+const DefaultMsgOverhead = 28
+
+// NewNetwork creates a network of n nodes with no links.
+func NewNetwork(sim *Sim, n int) *Network {
+	return &Network{
+		sim:         sim,
+		n:           n,
+		links:       make(map[edge]Link),
+		adj:         make(map[types.NodeID][]types.NodeID),
+		handlers:    make(map[types.NodeID]Handler),
+		SentBytes:   make([]int64, n),
+		RecvBytes:   make([]int64, n),
+		SentMsgs:    make([]int64, n),
+		routeDirty:  true,
+		MsgOverhead: DefaultMsgOverhead,
+	}
+}
+
+// Sim returns the simulator driving this network.
+func (nw *Network) Sim() *Sim { return nw.sim }
+
+// NumNodes reports the number of nodes.
+func (nw *Network) NumNodes() int { return nw.n }
+
+// Register installs the message handler for a node.
+func (nw *Network) Register(node types.NodeID, h Handler) { nw.handlers[node] = h }
+
+// AddLink installs (or replaces) the bidirectional link u-v.
+func (nw *Network) AddLink(u, v types.NodeID, l Link) {
+	e := mkEdge(u, v)
+	if _, exists := nw.links[e]; !exists {
+		nw.adj[u] = append(nw.adj[u], v)
+		nw.adj[v] = append(nw.adj[v], u)
+	}
+	nw.links[e] = l
+	nw.routeDirty = true
+}
+
+// RemoveLink removes the bidirectional link u-v; it reports whether the
+// link existed.
+func (nw *Network) RemoveLink(u, v types.NodeID) bool {
+	e := mkEdge(u, v)
+	if _, ok := nw.links[e]; !ok {
+		return false
+	}
+	delete(nw.links, e)
+	nw.adj[u] = removeNode(nw.adj[u], v)
+	nw.adj[v] = removeNode(nw.adj[v], u)
+	nw.routeDirty = true
+	return true
+}
+
+func removeNode(list []types.NodeID, x types.NodeID) []types.NodeID {
+	for i, n := range list {
+		if n == x {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// HasLink reports whether a direct link u-v exists.
+func (nw *Network) HasLink(u, v types.NodeID) bool {
+	_, ok := nw.links[mkEdge(u, v)]
+	return ok
+}
+
+// Neighbors returns the direct neighbors of u. Callers must not mutate the
+// returned slice.
+func (nw *Network) Neighbors(u types.NodeID) []types.NodeID { return nw.adj[u] }
+
+// NumLinks reports the number of installed links.
+func (nw *Network) NumLinks() int { return len(nw.links) }
+
+// Send transmits payload (with modelled size bytes) from one node to
+// another, delivering it after the path's propagation and transmission
+// delay. Messages to self are delivered after a fixed small local delay.
+func (nw *Network) Send(from, to types.NodeID, payload any, size int) {
+	total := size + nw.MsgOverhead
+	if from != to {
+		// Self-deliveries are local events: they never reach the wire and
+		// cost no bandwidth, mirroring RapidNet local event dispatch.
+		nw.SentBytes[from] += int64(total)
+		nw.SentMsgs[from]++
+		nw.TotalBytes += int64(total)
+		if nw.Recorder != nil {
+			nw.Recorder.Record(int64(nw.sim.Now()), int64(total))
+		}
+	}
+	var delay Time
+	if from == to {
+		delay = 10 * Microsecond
+	} else {
+		lat, bps := nw.pathCost(from, to)
+		if bps <= 0 {
+			// Unreachable right now (e.g. under churn): drop, as UDP would.
+			return
+		}
+		delay = lat + Time(int64(total)*8*int64(Second)/bps)
+	}
+	nw.sim.After(delay, func() {
+		if h, ok := nw.handlers[to]; ok {
+			if from != to {
+				nw.RecvBytes[to] += int64(total)
+			}
+			h.HandleMessage(from, payload, total)
+		}
+	})
+}
+
+// pathCost returns (latency, bottleneck bandwidth) of the minimum-latency
+// path between two nodes, or (0, 0) when unreachable.
+func (nw *Network) pathCost(u, v types.NodeID) (Time, int64) {
+	if nw.routeDirty {
+		nw.recomputeRoutes()
+	}
+	return nw.routeLat[u][v], nw.routeBps[u][v]
+}
+
+// recomputeRoutes runs Dijkstra (on latency) from every node. Topologies in
+// the paper's experiments are a few hundred nodes with a few hundred links,
+// so all-pairs recomputation on churn is affordable.
+func (nw *Network) recomputeRoutes() {
+	nw.routeLat = make([][]Time, nw.n)
+	nw.routeBps = make([][]int64, nw.n)
+	for i := 0; i < nw.n; i++ {
+		lat, bps := nw.dijkstra(types.NodeID(i))
+		nw.routeLat[i] = lat
+		nw.routeBps[i] = bps
+	}
+	nw.routeDirty = false
+}
+
+type dijkstraItem struct {
+	node types.NodeID
+	dist Time
+}
+
+type dijkstraHeap []dijkstraItem
+
+func (h dijkstraHeap) Len() int           { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h dijkstraHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *dijkstraHeap) Push(x any)        { *h = append(*h, x.(dijkstraItem)) }
+func (h *dijkstraHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (nw *Network) dijkstra(src types.NodeID) ([]Time, []int64) {
+	const inf = Time(1) << 62
+	lat := make([]Time, nw.n)
+	bps := make([]int64, nw.n)
+	done := make([]bool, nw.n)
+	for i := range lat {
+		lat[i] = inf
+	}
+	lat[src] = 0
+	bps[src] = 1 << 62
+	h := dijkstraHeap{{src, 0}}
+	for len(h) > 0 {
+		it := heap.Pop(&h).(dijkstraItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, v := range nw.adj[u] {
+			l := nw.links[mkEdge(u, v)]
+			nd := lat[u] + l.Latency
+			if nd < lat[v] {
+				lat[v] = nd
+				bps[v] = minBps(bps[u], l.Bps)
+				heap.Push(&h, dijkstraItem{v, nd})
+			}
+		}
+	}
+	for i := range lat {
+		if lat[i] == inf {
+			lat[i] = 0
+			bps[i] = 0
+		}
+	}
+	return lat, bps
+}
+
+func minBps(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AvgSentMB reports the per-node average of bytes sent, in megabytes.
+func (nw *Network) AvgSentMB() float64 {
+	return float64(nw.TotalBytes) / float64(nw.n) / 1e6
+}
+
+// ResetAccounting zeroes all byte counters (used between the fixpoint phase
+// and the query phase of an experiment).
+func (nw *Network) ResetAccounting() {
+	for i := range nw.SentBytes {
+		nw.SentBytes[i] = 0
+		nw.RecvBytes[i] = 0
+		nw.SentMsgs[i] = 0
+	}
+	nw.TotalBytes = 0
+}
+
+// String summarizes the network.
+func (nw *Network) String() string {
+	return fmt.Sprintf("simnet(%d nodes, %d links)", nw.n, len(nw.links))
+}

@@ -1,0 +1,119 @@
+// Package simnet is a discrete-event network simulator: the substrate that
+// stands in for ns-3 in the original ExSPAN prototype. It provides a
+// virtual clock, an event queue, link latency/bandwidth modelling and
+// per-node byte accounting, which together reproduce the quantities the
+// paper's evaluation measures (communication cost to fixpoint, bandwidth
+// over time, query completion latency).
+package simnet
+
+import (
+	"container/heap"
+
+	"repro/internal/types"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Convenient durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds renders t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Sim is the discrete-event scheduler. It is single-threaded: handlers run
+// one at a time in virtual-time order (FIFO for equal timestamps).
+type Sim struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	steps  int64
+}
+
+// NewSim creates an empty simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Steps reports the number of events executed so far.
+func (s *Sim) Steps() int64 { return s.steps }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Run executes events until the queue is empty (a distributed fixpoint for
+// protocols without timers) and returns the final virtual time.
+func (s *Sim) Run() Time {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		s.steps++
+		e.fn()
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline and then sets the
+// clock to the deadline. Remaining events stay queued.
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.events) > 0 && s.events[0].at <= deadline {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		s.steps++
+		e.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending reports whether undelivered events remain.
+func (s *Sim) Pending() bool { return len(s.events) > 0 }
+
+// Handler consumes messages delivered by the network.
+type Handler interface {
+	// HandleMessage is invoked when a message from another node arrives.
+	// payload is the in-memory form; size is its modelled wire size in
+	// bytes (identical to the UDP datagram size in deployment mode).
+	HandleMessage(from types.NodeID, payload any, size int)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from types.NodeID, payload any, size int)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(from types.NodeID, payload any, size int) { f(from, payload, size) }

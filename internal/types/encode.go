@@ -1,0 +1,185 @@
+package types
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format. Each value encodes as a one-byte kind tag followed by a
+// kind-specific payload:
+//
+//	nil   -> tag
+//	bool  -> tag + 1 byte
+//	int   -> tag + 8 bytes big-endian
+//	str   -> tag + uvarint length + bytes
+//	node  -> tag + 4 bytes big-endian (an IPv4-sized address)
+//	id    -> tag + 20 bytes
+//	list  -> tag + uvarint count + elements
+//	prov  -> tag + uvarint length + payload bytes
+//
+// The same encoding is used (a) on the simulated and real wire, (b) as the
+// canonical input to SHA-1 when computing VIDs and RIDs, and (c) as map keys
+// inside relations. WireSize always equals len(Encode output).
+
+var errTruncated = errors.New("types: truncated value encoding")
+
+// WireSize reports the encoded size of the value in bytes.
+func (v Value) WireSize() int {
+	switch v.kind {
+	case KindNil:
+		return 1
+	case KindBool:
+		return 2
+	case KindInt:
+		return 9
+	case KindStr:
+		return 1 + uvarintLen(uint64(len(v.s))) + len(v.s)
+	case KindNode:
+		return 5
+	case KindID:
+		return 1 + IDLen
+	case KindList:
+		n := 1 + uvarintLen(uint64(len(v.list)))
+		for _, e := range v.list {
+			n += e.WireSize()
+		}
+		return n
+	case KindProv:
+		var n int
+		if v.prov != nil {
+			n = v.prov.WireSize()
+		}
+		return 1 + uvarintLen(uint64(n)) + n
+	}
+	return 1
+}
+
+// Encode appends the canonical encoding of v to dst and returns the extended
+// slice.
+func (v Value) Encode(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNil:
+	case KindBool:
+		if v.i != 0 {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case KindInt:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(v.i))
+	case KindStr:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case KindNode:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(v.i)))
+	case KindID:
+		dst = append(dst, v.id[:]...)
+	case KindList:
+		dst = binary.AppendUvarint(dst, uint64(len(v.list)))
+		for _, e := range v.list {
+			dst = e.Encode(dst)
+		}
+	case KindProv:
+		var pb []byte
+		if v.prov != nil {
+			pb = v.prov.EncodePayload()
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(pb)))
+		dst = append(dst, pb...)
+	}
+	return dst
+}
+
+// DecodeValue decodes one value from b, returning the value and the number
+// of bytes consumed. Provenance payloads decode as opaque byte payloads.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Value{}, 0, errTruncated
+	}
+	kind := Kind(b[0])
+	rest := b[1:]
+	switch kind {
+	case KindNil:
+		return Nil(), 1, nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Value{}, 0, errTruncated
+		}
+		return Bool(rest[0] != 0), 2, nil
+	case KindInt:
+		if len(rest) < 8 {
+			return Value{}, 0, errTruncated
+		}
+		return Int(int64(binary.BigEndian.Uint64(rest))), 9, nil
+	case KindStr:
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || len(rest) < sz+int(n) {
+			return Value{}, 0, errTruncated
+		}
+		return Str(string(rest[sz : sz+int(n)])), 1 + sz + int(n), nil
+	case KindNode:
+		if len(rest) < 4 {
+			return Value{}, 0, errTruncated
+		}
+		return Node(NodeID(int32(binary.BigEndian.Uint32(rest)))), 5, nil
+	case KindID:
+		if len(rest) < IDLen {
+			return Value{}, 0, errTruncated
+		}
+		var id ID
+		copy(id[:], rest[:IDLen])
+		return IDVal(id), 1 + IDLen, nil
+	case KindList:
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return Value{}, 0, errTruncated
+		}
+		used := 1 + sz
+		elems := make([]Value, 0, n)
+		cur := b[used:]
+		for i := uint64(0); i < n; i++ {
+			e, k, err := DecodeValue(cur)
+			if err != nil {
+				return Value{}, 0, err
+			}
+			elems = append(elems, e)
+			cur = cur[k:]
+			used += k
+		}
+		return List(elems...), used, nil
+	case KindProv:
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || len(rest) < sz+int(n) {
+			return Value{}, 0, errTruncated
+		}
+		pb := make([]byte, n)
+		copy(pb, rest[sz:sz+int(n)])
+		return Prov(OpaquePayload(pb)), 1 + sz + int(n), nil
+	}
+	return Value{}, 0, fmt.Errorf("types: unknown value kind %d", kind)
+}
+
+// OpaquePayload is a provenance payload carried as raw bytes. Decoded
+// messages hold payloads in this form; the querying layer re-parses them
+// into polynomials or BDDs as needed.
+type OpaquePayload []byte
+
+// WireSize implements Payload.
+func (o OpaquePayload) WireSize() int { return len(o) }
+
+// EncodePayload implements Payload.
+func (o OpaquePayload) EncodePayload() []byte { return o }
+
+// String implements Payload.
+func (o OpaquePayload) String() string { return fmt.Sprintf("opaque[%dB]", len(o)) }
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Tuple is a fact of a relation: a predicate name plus a list of argument
+// values. By declarative-networking convention the first argument is the
+// location specifier (the node at which the tuple resides).
+type Tuple struct {
+	Pred string
+	Args []Value
+}
+
+// NewTuple builds a tuple.
+func NewTuple(pred string, args ...Value) Tuple { return Tuple{Pred: pred, Args: args} }
+
+// Loc returns the tuple's location specifier (its first attribute). It
+// returns -1 when the tuple has no node-valued first attribute.
+func (t Tuple) Loc() NodeID {
+	if len(t.Args) == 0 {
+		return -1
+	}
+	return t.Args[0].AsNode()
+}
+
+// Arity returns the number of attributes.
+func (t Tuple) Arity() int { return len(t.Args) }
+
+// Equal reports deep equality of predicate and arguments.
+func (t Tuple) Equal(o Tuple) bool {
+	if t.Pred != o.Pred || len(t.Args) != len(o.Args) {
+		return false
+	}
+	for i := range t.Args {
+		if !t.Args[i].Equal(o.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode appends the canonical encoding of the tuple: uvarint name length,
+// name bytes, uvarint arity, then each argument's value encoding.
+func (t Tuple) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t.Pred)))
+	dst = append(dst, t.Pred...)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Args)))
+	for _, a := range t.Args {
+		dst = a.Encode(dst)
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from b, returning the tuple and the number
+// of bytes consumed.
+func DecodeTuple(b []byte) (Tuple, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || len(b) < sz+int(n) {
+		return Tuple{}, 0, errTruncated
+	}
+	pred := string(b[sz : sz+int(n)])
+	used := sz + int(n)
+	arity, sz2 := binary.Uvarint(b[used:])
+	if sz2 <= 0 {
+		return Tuple{}, 0, errTruncated
+	}
+	used += sz2
+	args := make([]Value, 0, arity)
+	for i := uint64(0); i < arity; i++ {
+		v, k, err := DecodeValue(b[used:])
+		if err != nil {
+			return Tuple{}, 0, err
+		}
+		args = append(args, v)
+		used += k
+	}
+	return Tuple{Pred: pred, Args: args}, used, nil
+}
+
+// WireSize reports the encoded size of the tuple in bytes.
+func (t Tuple) WireSize() int {
+	n := uvarintLen(uint64(len(t.Pred))) + len(t.Pred) + uvarintLen(uint64(len(t.Args)))
+	for _, a := range t.Args {
+		n += a.WireSize()
+	}
+	return n
+}
+
+// Key returns the canonical encoding as a string, suitable for use as a map
+// key inside relations.
+func (t Tuple) Key() string { return string(t.Encode(nil)) }
+
+// VID computes the tuple's provenance vertex identifier: the SHA-1 digest of
+// its predicate name, location specifier and attribute values — the paper's
+// VID = SHA1("pathCost"+X+Y+C).
+func (t Tuple) VID() ID { return HashBytes(t.Encode(nil)) }
+
+// RuleExecID computes the identifier of a rule-execution vertex for rule
+// named rule at location loc over the given input tuple VIDs — the paper's
+// RID = SHA1(R + RLoc + List).
+func RuleExecID(rule string, loc NodeID, inputs []ID) ID {
+	b := make([]byte, 0, len(rule)+4+IDLen*len(inputs))
+	b = append(b, rule...)
+	b = binary.BigEndian.AppendUint32(b, uint32(int32(loc)))
+	for _, in := range inputs {
+		b = append(b, in[:]...)
+	}
+	return HashBytes(b)
+}
+
+// String renders the tuple in the paper's notation, e.g.
+// bestPathCost(@a,c,5).
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+		if i == 0 && a.Kind() == KindNode {
+			parts[i] = "@" + parts[i]
+		}
+	}
+	return fmt.Sprintf("%s(%s)", t.Pred, strings.Join(parts, ","))
+}

@@ -1,0 +1,308 @@
+// Package types defines the value and tuple model shared by every ExSPAN
+// component: the NDlog engine, the provenance store, the network simulator
+// and the UDP deployment runtime.
+//
+// Values form a small tagged union. Every value has a deterministic
+// canonical encoding (used both on the wire and as input to SHA-1 when
+// computing provenance vertex identifiers) and a deterministic wire size, so
+// that simulated byte counts match deployed byte counts exactly.
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the value kinds supported by the engine.
+type Kind uint8
+
+// Value kinds. The zero Kind is Nil.
+const (
+	KindNil Kind = iota
+	KindBool
+	KindInt
+	KindStr
+	KindNode
+	KindID
+	KindList
+	KindProv
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindStr:
+		return "str"
+	case KindNode:
+		return "node"
+	case KindID:
+		return "id"
+	case KindList:
+		return "list"
+	case KindProv:
+		return "prov"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// NodeID identifies a network node. On the wire it occupies four bytes,
+// mirroring an IPv4 address in the paper's deployment.
+type NodeID int32
+
+// String renders small node IDs as letters (a, b, c, ...) to match the
+// paper's examples, and falls back to n<id> for larger networks.
+func (n NodeID) String() string {
+	if n >= 0 && n < 26 {
+		return string(rune('a' + n))
+	}
+	return fmt.Sprintf("n%d", int32(n))
+}
+
+// Payload is an opaque provenance annotation carried inside a Value of
+// KindProv. Value-based distributed provenance attaches payloads (provenance
+// polynomials or BDDs) to tuples; query results return them.
+type Payload interface {
+	// WireSize reports the number of bytes the payload occupies when
+	// serialized into a message.
+	WireSize() int
+	// EncodePayload renders the payload into its canonical byte form.
+	EncodePayload() []byte
+	// String renders a human-readable form.
+	String() string
+}
+
+// Value is an immutable tagged union. Construct values with Nil, Bool, Int,
+// Str, Node, IDVal, List and Prov; inspect them with the Kind and accessor
+// methods. The zero Value is Nil.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+	id   ID
+	list []Value
+	prov Payload
+}
+
+// Constructors.
+
+// Nil returns the nil value.
+func Nil() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.i = 1
+	}
+	return v
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindStr, s: s} }
+
+// Node returns a node-address value.
+func Node(n NodeID) Value { return Value{kind: KindNode, i: int64(n)} }
+
+// IDVal returns a 20-byte digest value.
+func IDVal(id ID) Value { return Value{kind: KindID, id: id} }
+
+// List returns a list value holding the given elements. The slice is not
+// copied; callers must not mutate it afterwards.
+func List(elems ...Value) Value { return Value{kind: KindList, list: elems} }
+
+// Prov wraps a provenance payload in a value.
+func Prov(p Payload) Value { return Value{kind: KindProv, prov: p} }
+
+// Accessors.
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether the value is nil.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// AsBool returns the boolean payload; it is false for non-bool values.
+func (v Value) AsBool() bool { return v.kind == KindBool && v.i != 0 }
+
+// AsInt returns the integer payload (0 for non-int values).
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		return 0
+	}
+	return v.i
+}
+
+// AsNode returns the node payload (-1 for non-node values).
+func (v Value) AsNode() NodeID {
+	if v.kind != KindNode {
+		return -1
+	}
+	return NodeID(v.i)
+}
+
+// AsStr returns the string payload ("" for non-string values).
+func (v Value) AsStr() string {
+	if v.kind != KindStr {
+		return ""
+	}
+	return v.s
+}
+
+// AsID returns the digest payload (zero ID for other kinds).
+func (v Value) AsID() ID {
+	if v.kind != KindID {
+		return ID{}
+	}
+	return v.id
+}
+
+// AsList returns the list elements (nil for other kinds). Callers must not
+// mutate the returned slice.
+func (v Value) AsList() []Value {
+	if v.kind != KindList {
+		return nil
+	}
+	return v.list
+}
+
+// AsProv returns the provenance payload (nil for other kinds).
+func (v Value) AsProv() Payload {
+	if v.kind != KindProv {
+		return nil
+	}
+	return v.prov
+}
+
+// Truthy reports whether a value counts as true in a rule constraint:
+// booleans by their payload, integers by non-zero.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.i != 0
+	default:
+		return !v.IsNil()
+	}
+}
+
+// Equal reports deep equality.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNil:
+		return true
+	case KindBool, KindInt, KindNode:
+		return v.i == o.i
+	case KindStr:
+		return v.s == o.s
+	case KindID:
+		return v.id == o.id
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindProv:
+		if v.prov == nil || o.prov == nil {
+			return v.prov == o.prov
+		}
+		return string(v.prov.EncodePayload()) == string(o.prov.EncodePayload())
+	}
+	return false
+}
+
+// Compare defines a deterministic total order across values (first by kind,
+// then by payload). It is used for stable aggregate tie-breaking and for
+// canonical output ordering.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		return int(v.kind) - int(o.kind)
+	}
+	switch v.kind {
+	case KindNil:
+		return 0
+	case KindBool, KindInt, KindNode:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	case KindStr:
+		return strings.Compare(v.s, o.s)
+	case KindID:
+		return strings.Compare(string(v.id[:]), string(o.id[:]))
+	case KindList:
+		for i := 0; i < len(v.list) && i < len(o.list); i++ {
+			if c := v.list[i].Compare(o.list[i]); c != 0 {
+				return c
+			}
+		}
+		return len(v.list) - len(o.list)
+	case KindProv:
+		var a, b string
+		if v.prov != nil {
+			a = string(v.prov.EncodePayload())
+		}
+		if o.prov != nil {
+			b = string(o.prov.EncodePayload())
+		}
+		return strings.Compare(a, b)
+	}
+	return 0
+}
+
+// String renders the value in the paper's notation: nodes as letters,
+// digests as an 8-hex-digit prefix, lists in parentheses.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "null"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return fmt.Sprintf("%d", v.i)
+	case KindStr:
+		return v.s
+	case KindNode:
+		return NodeID(v.i).String()
+	case KindID:
+		return v.id.Short()
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	case KindProv:
+		if v.prov == nil {
+			return "prov(nil)"
+		}
+		return v.prov.String()
+	}
+	return "?"
+}
+
+// SortValues orders a slice of values in place by Compare.
+func SortValues(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+}
