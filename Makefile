@@ -1,0 +1,34 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make bench` regenerates the machine-readable
+# before/after record in BENCH_PR1.json against the checked-in baseline.
+
+GO ?= go
+BENCHES := BenchmarkEngineFixpoint|BenchmarkQueryBFS|BenchmarkCacheInvalidation
+
+.PHONY: all build vet test check bench bench-smoke clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: vet build test
+
+# Full hot-path benchmark run: three samples of each tracked benchmark with
+# allocation stats, merged with the pre-PR baseline into BENCH_PR1.json.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=5x -count=3 . | tee bench_current.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.txt -current bench_current.txt -out BENCH_PR1.json
+
+# One-iteration smoke run used by CI to catch benchmark bit-rot cheaply.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineFixpoint' -benchtime=1x .
+
+clean:
+	rm -f bench_current.txt

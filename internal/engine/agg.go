@@ -18,6 +18,9 @@ type aggEntry struct {
 // rows and the currently emitted output.
 type aggGroup struct {
 	entries map[string]*aggEntry
+	keyBuf  []byte        // reusable entry-key buffer
+	argsBuf []types.Value // reusable candidate-output buffer
+	emitBuf []aggEmit     // reusable emit buffer, valid until the next refresh
 	// curOut is the currently emitted head tuple (nil when none), and
 	// curWinner the input tuple it was traced to (MIN/MAX provenance).
 	curOut    *types.Tuple
@@ -27,12 +30,19 @@ type aggGroup struct {
 
 func newAggGroup() *aggGroup { return &aggGroup{entries: map[string]*aggEntry{}} }
 
-func aggEntryKey(sortVal types.Value, carried []types.Value) string {
-	b := sortVal.Encode(nil)
-	for _, c := range carried {
-		b = c.Encode(b)
+// appendValuesKey appends the self-delimiting canonical encodings of vals to
+// b. Group and entry keys are built in reusable buffers so the aggregate
+// delta path does not allocate per input row.
+func appendValuesKey(b []byte, vals []types.Value) []byte {
+	for _, v := range vals {
+		b = v.Encode(b)
 	}
-	return string(b)
+	return b
+}
+
+func appendAggEntryKey(b []byte, sortVal types.Value, carried []types.Value) []byte {
+	b = sortVal.Encode(b)
+	return appendValuesKey(b, carried)
 }
 
 // aggEmit is one visible change of the aggregate output.
@@ -45,29 +55,34 @@ type aggEmit struct {
 
 // update applies one input delta and returns the emitted output changes.
 // groupVals are the evaluated group-by head arguments; spec drives the
-// aggregate function.
+// aggregate function. carried may be caller scratch: it is copied if the
+// entry must retain it.
 func (g *aggGroup) update(spec *AggSpec, groupVals []types.Value,
 	sortVal types.Value, carried []types.Value, input types.Tuple, sign int8) []aggEmit {
 
-	key := aggEntryKey(sortVal, carried)
+	g.keyBuf = appendAggEntryKey(g.keyBuf[:0], sortVal, carried)
 	switch sign {
 	case Insert:
-		e := g.entries[key]
+		e := g.entries[string(g.keyBuf)]
 		if e == nil {
-			e = &aggEntry{input: input, sortVal: sortVal, carried: carried}
-			g.entries[key] = e
+			var kept []types.Value
+			if len(carried) > 0 {
+				kept = append(make([]types.Value, 0, len(carried)), carried...)
+			}
+			e = &aggEntry{input: input, sortVal: sortVal, carried: kept}
+			g.entries[string(g.keyBuf)] = e
 		}
 		e.count++
 		g.total++
 	case Delete:
-		e := g.entries[key]
+		e := g.entries[string(g.keyBuf)]
 		if e == nil {
 			return nil // deletion of an unseen row: ignore defensively
 		}
 		e.count--
 		g.total--
 		if e.count <= 0 {
-			delete(g.entries, key)
+			delete(g.entries, string(g.keyBuf))
 		}
 	default:
 		return nil
@@ -76,11 +91,13 @@ func (g *aggGroup) update(spec *AggSpec, groupVals []types.Value,
 }
 
 // refresh recomputes the output tuple and diffs it against the currently
-// emitted one.
+// emitted one. The returned slice aliases the group's emit buffer and is
+// valid until the next refresh. The steady-state path — an input delta that
+// does not change the output — allocates nothing.
 func (g *aggGroup) refresh(spec *AggSpec, groupVals []types.Value) []aggEmit {
-	newOut, newWinner := g.compute(spec, groupVals)
-	var emits []aggEmit
-	if g.curOut != nil && (newOut == nil || !g.curOut.Equal(*newOut)) {
+	newArgs, newWinner, ok := g.compute(spec, groupVals)
+	emits := g.emitBuf[:0]
+	if g.curOut != nil && !(ok && argsEqual(g.curOut.Args, newArgs)) {
 		em := aggEmit{tuple: *g.curOut, sign: Delete}
 		if g.curWinner != nil {
 			em.winner, em.hasWin = g.curWinner.input, true
@@ -88,21 +105,40 @@ func (g *aggGroup) refresh(spec *AggSpec, groupVals []types.Value) []aggEmit {
 		emits = append(emits, em)
 		g.curOut, g.curWinner = nil, nil
 	}
-	if newOut != nil && g.curOut == nil {
-		em := aggEmit{tuple: *newOut, sign: Insert}
+	if ok && g.curOut == nil {
+		// Materialize the candidate output: it escapes into the group
+		// state and the emitted delta.
+		out := types.Tuple{Args: append(make([]types.Value, 0, len(newArgs)), newArgs...)}
+		em := aggEmit{tuple: out, sign: Insert}
 		if newWinner != nil {
 			em.winner, em.hasWin = newWinner.input, true
 		}
 		emits = append(emits, em)
-		g.curOut, g.curWinner = newOut, newWinner
+		g.curOut, g.curWinner = &out, newWinner
 	}
+	g.emitBuf = emits
 	return emits
 }
 
-// compute evaluates the aggregate over the current multiset.
-func (g *aggGroup) compute(spec *AggSpec, groupVals []types.Value) (*types.Tuple, *aggEntry) {
-	var aggVals []types.Value
+func argsEqual(a, b []types.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// compute evaluates the aggregate over the current multiset into the
+// group's reusable args buffer. It reports ok=false when the group emits
+// nothing.
+func (g *aggGroup) compute(spec *AggSpec, groupVals []types.Value) ([]types.Value, *aggEntry, bool) {
+	args := g.argsBuf[:0]
 	var winner *aggEntry
+	var aggList types.Value
 	switch spec.Fn {
 	case "MIN", "MAX":
 		for _, e := range g.entries {
@@ -119,17 +155,15 @@ func (g *aggGroup) compute(spec *AggSpec, groupVals []types.Value) (*types.Tuple
 			}
 		}
 		if winner == nil {
-			return nil, nil
+			return nil, nil, false
 		}
-		aggVals = append([]types.Value{winner.sortVal}, winner.carried...)
 	case "COUNT":
 		if g.total <= 0 {
-			return nil, nil
+			return nil, nil, false
 		}
-		aggVals = []types.Value{types.Int(int64(g.total))}
 	case "AGGLIST":
 		if len(g.entries) == 0 {
-			return nil, nil
+			return nil, nil, false
 		}
 		rows := make([]types.Value, 0, len(g.entries))
 		for _, e := range g.entries {
@@ -137,25 +171,32 @@ func (g *aggGroup) compute(spec *AggSpec, groupVals []types.Value) (*types.Tuple
 			rows = append(rows, types.List(row...))
 		}
 		sort.Slice(rows, func(i, j int) bool { return rows[i].Compare(rows[j]) < 0 })
-		aggVals = []types.Value{types.List(rows...)}
+		aggList = types.List(rows...)
 	default:
-		return nil, nil
+		return nil, nil, false
 	}
 
 	// Assemble the head: group values in order, aggregate values spliced
 	// in at the aggregate position.
-	args := make([]types.Value, 0, len(groupVals)+len(aggVals))
 	gi := 0
 	for pos := 0; pos <= len(groupVals); pos++ {
 		if pos == spec.AggPos {
-			args = append(args, aggVals...)
+			switch spec.Fn {
+			case "MIN", "MAX":
+				args = append(args, winner.sortVal)
+				args = append(args, winner.carried...)
+			case "COUNT":
+				args = append(args, types.Int(int64(g.total)))
+			case "AGGLIST":
+				args = append(args, aggList)
+			}
 			continue
 		}
 		args = append(args, groupVals[gi])
 		gi++
 	}
-	t := types.Tuple{Args: args}
-	return &t, winner
+	g.argsBuf = args
+	return args, winner, true
 }
 
 func compareCarried(a, b *aggEntry) int {

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// These tests lock in the hot-path guarantees of the PSN evaluator: O(1)
+// relation cardinality, allocation-free join probes, cached tuple keys and
+// VIDs, and a steady-state delta pipeline that reuses its buffers. They are
+// regression fences for the numbers recorded in PERFORMANCE.md — if one of
+// them starts failing, a change has reintroduced per-delta allocation or
+// re-hashing on the inner loop.
+
+func TestRelationLenTracksVisibility(t *testing.T) {
+	rel := NewRelation("p")
+	rel.EnsureIndex([]int{0})
+	var entries []*entry
+	for i := 0; i < 5; i++ {
+		e := rel.getOrCreate(types.NewTuple("p", types.Node(types.NodeID(i)), types.Int(int64(i))))
+		e.addDeriv(types.ID{byte(i)}, 0).count++
+		rel.setVisible(e, true)
+		entries = append(entries, e)
+	}
+	if rel.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", rel.Len())
+	}
+	// Redundant toggles must not skew the counter.
+	rel.setVisible(entries[0], true)
+	rel.setVisible(entries[1], false)
+	rel.setVisible(entries[1], false)
+	if rel.Len() != 4 {
+		t.Fatalf("Len after hide = %d, want 4", rel.Len())
+	}
+	if got := len(rel.Tuples()); got != rel.Len() {
+		t.Fatalf("Len = %d but Tuples() returned %d", rel.Len(), got)
+	}
+	for _, e := range entries[1:] {
+		rel.setVisible(e, false)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("Len after hiding rest = %d, want 1", rel.Len())
+	}
+}
+
+// TestJoinProbeAllocFree exercises the primitive the innermost join loop is
+// built from — encode the probe key into a reusable buffer, look up the
+// pre-resolved index handle — and requires it to allocate nothing on an
+// index hit (the acceptance bound is ≤ 1).
+func TestJoinProbeAllocFree(t *testing.T) {
+	rel := NewRelation("link")
+	idx := rel.EnsureIndex([]int{1})
+	for i := 0; i < 100; i++ {
+		e := rel.getOrCreate(types.NewTuple("link",
+			types.Node(types.NodeID(i/10)), types.Node(types.NodeID(i%10)), types.Int(int64(i))))
+		e.addDeriv(types.ID{byte(i)}, 0).count++
+		rel.setVisible(e, true)
+	}
+	if got := rel.Index([]int{1}); got != idx {
+		t.Fatal("Index did not return the EnsureIndex handle")
+	}
+	probe := types.Node(3)
+	var key []byte
+	hits := 0
+	key = probe.Encode(key[:0]) // warm the buffer
+	allocs := testing.AllocsPerRun(200, func() {
+		key = probe.Encode(key[:0])
+		hits += len(idx.lookup(key))
+	})
+	if hits == 0 {
+		t.Fatal("probe never hit the index")
+	}
+	if allocs != 0 {
+		t.Errorf("join probe allocated %.2f objects per run, want 0", allocs)
+	}
+}
+
+// TestTupleKeyAndVIDCached verifies that an entry encodes and hashes its
+// tuple at most once: repeated canonical-key lookups and VID reads are
+// allocation-free after the first.
+func TestTupleKeyAndVIDCached(t *testing.T) {
+	rel := NewRelation("p")
+	tu := types.NewTuple("p", types.Node(1), types.Str("payload"), types.Int(7))
+	e := rel.getOrCreate(tu)
+
+	var buf []byte
+	first, _ := e.VIDBuf(nil)
+	if first != tu.VID() {
+		t.Fatal("cached VID disagrees with Tuple.VID")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var vid types.ID
+		vid, buf = e.VIDBuf(buf)
+		if vid != first {
+			t.Fatal("cached VID changed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached VID read allocated %.2f objects per run, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(100, func() {
+		if rel.get(tu) != e {
+			t.Fatal("get lost the entry")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("relation get allocated %.2f objects per run, want 0", allocs)
+	}
+}
+
+// TestSteadyStateFiringAllocs drives the full pipeline — event delta, join
+// probe against a stored relation, head emission, local routing, drain —
+// and requires the steady state to stay under one allocation per firing
+// (the arena amortizes head-argument storage across firings).
+func TestSteadyStateFiringAllocs(t *testing.T) {
+	tn := newTestNet(t, `r1 eOut(@X,C) :- eIn(@X,Y), link(@X,Y,C).`, 1, ProvNone)
+	n := tn.nodes[0]
+	for i := 0; i < 8; i++ {
+		n.InsertBase(types.NewTuple("link", types.Node(0), types.Int(int64(i)), types.Int(int64(10+i))))
+	}
+	ev := types.NewTuple("eIn", types.Node(0), types.Int(3))
+	for i := 0; i < 16; i++ { // warm queue, arena and key buffers
+		n.InjectEvent(ev)
+	}
+	fired := n.RulesFired
+	allocs := testing.AllocsPerRun(300, func() {
+		n.InjectEvent(ev)
+	})
+	tn.checkErr(t)
+	if n.RulesFired == fired {
+		t.Fatal("rule did not fire")
+	}
+	if allocs > 1 {
+		t.Errorf("steady-state firing allocated %.2f objects per run, want ≤ 1", allocs)
+	}
+}
+
+// TestProcessHashesDeltaTupleOnce asserts the satellite requirement that
+// Node.process computes a delta tuple's VID exactly once: the insert hashes
+// it, and every later use — provenance rows, rule firing, parent edges, the
+// eventual delete — reuses the entry's cached value.
+func TestProcessHashesDeltaTupleOnce(t *testing.T) {
+	counts := map[string]int{}
+	types.SetVIDHook(func(tu types.Tuple) { counts[tu.Pred]++ })
+	defer types.SetVIDHook(nil)
+
+	tn := newTestNet(t, `r1 at(@Y,X) :- edge(@X,Y).`, 2, ProvReference)
+	edge := types.NewTuple("edge", types.Node(0), types.Node(1))
+	tn.nodes[0].InsertBase(edge)
+	tn.checkErr(t)
+	if counts["edge"] != 1 {
+		t.Fatalf("edge hashed %d times during insert, want exactly 1", counts["edge"])
+	}
+	tn.nodes[0].DeleteBase(edge)
+	tn.checkErr(t)
+	if counts["edge"] != 1 {
+		t.Fatalf("edge hashed %d times after insert+delete, want exactly 1 (cached)", counts["edge"])
+	}
+	// The derived head is hashed at the deriving node (emission) and once at
+	// the receiving node's entry; the delete reuses the receiver's cache.
+	if counts["at"] > 3 {
+		t.Fatalf("derived head hashed %d times, want ≤ 3", counts["at"])
+	}
+}

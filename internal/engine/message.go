@@ -61,8 +61,13 @@ func (m *Message) WireSize() int {
 	return n
 }
 
-// Encode appends the serialized message to dst.
+// Encode appends the serialized message to dst. A nil dst is sized exactly
+// via WireSize so per-send encoding performs a single allocation with no
+// growth copies.
 func (m *Message) Encode(dst []byte) []byte {
+	if dst == nil {
+		dst = make([]byte, 0, m.WireSize())
+	}
 	var flags byte
 	if m.HasRef {
 		flags |= flagRef

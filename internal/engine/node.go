@@ -73,9 +73,36 @@ type Node struct {
 	Alloc *algebra.VarAlloc
 
 	tables   map[string]*Relation
-	aggState map[string]map[string]*aggGroup
 	queue    []localDelta
+	qhead    int // drain ring head: queue[qhead:] is pending work
 	draining bool
+
+	// Compiled access paths: each stepJoin's index handle, resolved once
+	// at plan-bind time (NewNode) and indexed by joinID, so a join probe
+	// never re-derives the index from its position list.
+	joinIdx []*index
+	// tablesByID mirrors tables for the program's stored predicates,
+	// indexed by PredInfo.tableID (one map lookup per delta instead of
+	// three). aggByRule and aggBodyRel key aggregate state and the
+	// aggregate body relation by CompiledRule.idx.
+	tablesByID []*Relation
+	aggByRule  []map[string]*aggGroup
+	aggBodyRel []*Relation
+
+	// Per-node scratch arenas, sized at program-compile time and reused
+	// across rule firings. Safe because firing never re-enters the
+	// evaluator: derived deltas are enqueued and processed by drain.
+	envBuf     []types.Value
+	matchedBuf []types.Tuple
+	entBuf     []*entry
+	payloadBuf []bdd.Ref
+	vidBuf     []types.ID
+	groupBuf   []types.Value
+	carryBuf   []types.Value
+	keyBuf     []byte
+	ridBuf     []byte
+	hashBuf    []byte
+	argArena   []types.Value // chunked backing store for emitted head args
 
 	// Err records the first internal evaluation error (malformed program
 	// data); the node stops deriving after an error.
@@ -95,7 +122,6 @@ func NewNode(id types.NodeID, prog *Program, mode ProvMode, tr Transport, alloc 
 		Transport: tr,
 		Store:     provenance.NewStore(id),
 		tables:    make(map[string]*Relation),
-		aggState:  make(map[string]map[string]*aggGroup),
 		Alloc:     alloc,
 	}
 	if mode == ProvValue {
@@ -104,25 +130,44 @@ func NewNode(id types.NodeID, prog *Program, mode ProvMode, tr Transport, alloc 
 			n.Alloc = algebra.NewVarAlloc()
 		}
 	}
-	// Pre-create relations and the indexes every join plan needs.
+	// Pre-create relations, the indexes every join plan needs, and the
+	// per-join compiled handles. Joins against event atoms keep a nil
+	// handle: events never materialize, so such probes match nothing.
+	n.tablesByID = make([]*Relation, prog.numTables)
 	for _, info := range prog.Preds() {
 		if !info.Event {
-			n.tables[info.Name] = NewRelation(info.Name)
+			rel := NewRelation(info.Name)
+			n.tables[info.Name] = rel
+			n.tablesByID[info.tableID] = rel
 		}
 	}
+	n.joinIdx = make([]*index, prog.numJoins)
+	n.aggByRule = make([]map[string]*aggGroup, len(prog.Rules))
+	n.aggBodyRel = make([]*Relation, len(prog.Rules))
 	for _, r := range prog.Rules {
 		for _, pl := range r.plans {
-			for _, st := range pl.steps {
+			for i := range pl.steps {
+				st := &pl.steps[i]
 				if st.kind != stepJoin {
 					continue
 				}
 				a := r.atoms[st.atom]
 				if !a.event {
-					n.table(a.pred).EnsureIndex(st.indexPos)
+					n.joinIdx[st.joinID] = n.table(a.pred).EnsureIndex(st.indexPos)
 				}
 			}
 		}
+		if r.agg != nil && !r.atoms[0].event {
+			n.aggBodyRel[r.idx] = n.table(r.atoms[0].pred)
+		}
 	}
+	n.envBuf = make([]types.Value, prog.maxVars)
+	n.matchedBuf = make([]types.Tuple, prog.maxAtoms)
+	n.entBuf = make([]*entry, prog.maxAtoms)
+	n.payloadBuf = make([]bdd.Ref, prog.maxAtoms)
+	n.vidBuf = make([]types.ID, prog.maxAtoms)
+	n.groupBuf = make([]types.Value, prog.maxGroup)
+	n.carryBuf = make([]types.Value, 0, prog.maxVars)
 	return n
 }
 
@@ -213,22 +258,51 @@ func (n *Node) fail(err error) {
 func (n *Node) enqueue(d localDelta) { n.queue = append(n.queue, d) }
 
 // drain processes queued deltas FIFO until quiescent (the PSN pipeline).
+// The queue is a head-index ring over one slice: popping advances qhead
+// instead of re-slicing, and the slice capacity is reused across bursts
+// rather than re-allocated per enqueue wave.
 func (n *Node) drain() {
 	if n.draining {
 		return
 	}
 	n.draining = true
 	defer func() { n.draining = false }()
-	for len(n.queue) > 0 && n.Err == nil {
-		d := n.queue[0]
-		n.queue = n.queue[1:]
+	for n.qhead < len(n.queue) && n.Err == nil {
+		// Compact once the consumed prefix dominates so a long-lived burst
+		// cannot grow the slice without bound.
+		if n.qhead >= 1024 && 2*n.qhead >= len(n.queue) {
+			m := copy(n.queue, n.queue[n.qhead:])
+			tail := n.queue[m:]
+			for i := range tail {
+				tail[i] = localDelta{}
+			}
+			n.queue = n.queue[:m]
+			n.qhead = 0
+		}
+		d := n.queue[n.qhead]
+		n.queue[n.qhead] = localDelta{} // release tuple/payload references
+		n.qhead++
+		if n.qhead == len(n.queue) {
+			n.queue = n.queue[:0]
+			n.qhead = 0
+		}
 		n.process(d)
+	}
+	if n.qhead == len(n.queue) {
+		n.queue = n.queue[:0]
+		n.qhead = 0
 	}
 }
 
 func (n *Node) process(d localDelta) {
 	n.DeltasProcessed++
 	info := n.Prog.Pred(d.tuple.Pred)
+	// One predicate lookup serves event-ness, triggered occurrences and the
+	// relation: the PredInfo carries them all from compile time.
+	var occs []occurrence
+	if info != nil {
+		occs = info.occs
+	}
 	isEvent := info != nil && info.Event || info == nil && ndlogIsEvent(d.tuple.Pred)
 	if isEvent {
 		// Events are transient: fire rules, never materialize. Both
@@ -242,9 +316,11 @@ func (n *Node) process(d localDelta) {
 			return
 		}
 		if n.Mode == ProvReference {
-			vid := d.tuple.VID()
+			// Events have no entry to cache on; hash once per delta.
+			var vid types.ID
+			vid, n.hashBuf = d.tuple.VIDBuf(n.hashBuf)
 			if d.sign == Insert {
-				n.Store.RegisterTuple(d.tuple)
+				n.Store.RegisterTupleVID(vid, d.tuple)
 				n.Store.AddProv(vid, d.rid, d.rloc)
 			} else {
 				n.Store.DelProv(vid, d.rid, d.rloc)
@@ -253,9 +329,11 @@ func (n *Node) process(d localDelta) {
 		// Centralized: base events are reported by their injector; derived
 		// events were already reported by the deriving node.
 		if n.Mode == ProvCentralized && d.isBase {
-			n.sendProvRow(n.ID, d.tuple.VID(), types.ZeroID, n.ID, d.sign)
+			var vid types.ID
+			vid, n.hashBuf = d.tuple.VIDBuf(n.hashBuf)
+			n.sendProvRow(n.ID, vid, types.ZeroID, n.ID, d.sign)
 		}
-		n.fireAll(d.tuple, d.sign, nil, d.payload)
+		n.fireAll(occs, d.tuple, d.sign, nil, d.payload)
 		return
 	}
 
@@ -264,30 +342,49 @@ func (n *Node) process(d localDelta) {
 	// stored without further provenance bookkeeping.
 	meta := d.tuple.Pred == "prov" || d.tuple.Pred == "ruleExec"
 
-	rel := n.table(d.tuple.Pred)
+	var rel *Relation
+	if info != nil && info.tableID >= 0 {
+		rel = n.tablesByID[info.tableID]
+	} else {
+		rel = n.table(d.tuple.Pred)
+	}
 	switch d.sign {
 	case Insert:
 		e := rel.getOrCreate(d.tuple)
-		dv := e.derivs[d.rid]
+		dv := e.findDeriv(d.rid)
 		if dv == nil {
-			dv = &deriv{rid: d.rid, rloc: d.rloc, payload: bdd.False}
-			e.derivs[d.rid] = dv
+			dv = e.addDeriv(d.rid, d.rloc)
 		}
 		dv.count++
+		// The entry caches the canonical VID, so each stored tuple is
+		// hashed at most once per lifetime regardless of how many deltas
+		// and provenance branches touch it.
 		if n.Mode == ProvReference && !meta {
-			vid := n.Store.RegisterTuple(d.tuple)
+			var vid types.ID
+			vid, n.hashBuf = e.VIDBuf(n.hashBuf)
+			if !e.stored {
+				// The store drops the VID→tuple row when the last prov
+				// entry goes (at which point this entry is deleted too),
+				// so one registration per entry lifetime suffices.
+				n.Store.RegisterTupleVID(vid, d.tuple)
+				e.stored = true
+			}
 			n.Store.AddProv(vid, d.rid, d.rloc)
 		}
 		// Centralized: the deriving node reports derived rows; the owner
 		// reports base rows.
 		if n.Mode == ProvCentralized && !meta && d.isBase {
-			n.sendProvRow(n.ID, d.tuple.VID(), types.ZeroID, n.ID, Insert)
+			var vid types.ID
+			vid, n.hashBuf = e.VIDBuf(n.hashBuf)
+			n.sendProvRow(n.ID, vid, types.ZeroID, n.ID, Insert)
 		}
 		payloadChanged := false
 		if n.Mode == ProvValue {
 			if d.isBase {
+				var vid types.ID
+				vid, n.hashBuf = e.VIDBuf(n.hashBuf)
 				dv.payload = n.Mgr.Var(n.Alloc.VarOf(algebra.Base{
-					VID: d.tuple.VID(), Label: d.tuple.String(), Node: n.ID,
+					VID: vid, Label: d.tuple.String(), Node: n.ID,
 				}))
 			} else {
 				dv.payload = d.payload
@@ -296,9 +393,9 @@ func (n *Node) process(d localDelta) {
 		}
 		if !e.visible {
 			rel.setVisible(e, true)
-			n.fireAll(d.tuple, Insert, e, e.payload)
+			n.fireAll(occs, d.tuple, Insert, e, e.payload)
 		} else if payloadChanged {
-			n.fireAll(d.tuple, Update, e, e.payload)
+			n.fireAll(occs, d.tuple, Update, e, e.payload)
 		}
 
 	case Delete:
@@ -306,25 +403,29 @@ func (n *Node) process(d localDelta) {
 		if e == nil {
 			return
 		}
-		dv := e.derivs[d.rid]
+		dv := e.findDeriv(d.rid)
 		if dv == nil {
 			return
 		}
 		dv.count--
 		if dv.count <= 0 {
-			delete(e.derivs, d.rid)
+			e.delDeriv(d.rid)
 		}
 		if n.Mode == ProvReference && !meta {
-			n.Store.DelProv(d.tuple.VID(), d.rid, d.rloc)
+			var vid types.ID
+			vid, n.hashBuf = e.VIDBuf(n.hashBuf)
+			n.Store.DelProv(vid, d.rid, d.rloc)
 		}
 		if n.Mode == ProvCentralized && !meta && d.isBase {
-			n.sendProvRow(n.ID, d.tuple.VID(), types.ZeroID, n.ID, Delete)
+			var vid types.ID
+			vid, n.hashBuf = e.VIDBuf(n.hashBuf)
+			n.sendProvRow(n.ID, vid, types.ZeroID, n.ID, Delete)
 		}
 		if len(e.derivs) == 0 {
 			rel.setVisible(e, false)
-			n.fireAll(d.tuple, Delete, e, e.payload)
+			n.fireAll(occs, d.tuple, Delete, e, e.payload)
 		} else if n.Mode == ProvValue && n.recomputePayload(e) {
-			n.fireAll(d.tuple, Update, e, e.payload)
+			n.fireAll(occs, d.tuple, Update, e, e.payload)
 		}
 
 	case Update:
@@ -335,13 +436,13 @@ func (n *Node) process(d localDelta) {
 		if e == nil || !e.visible {
 			return
 		}
-		dv := e.derivs[d.rid]
+		dv := e.findDeriv(d.rid)
 		if dv == nil {
 			return
 		}
 		dv.payload = d.payload
 		if n.recomputePayload(e) {
-			n.fireAll(d.tuple, Update, e, e.payload)
+			n.fireAll(occs, d.tuple, Update, e, e.payload)
 		}
 	}
 }
@@ -354,8 +455,8 @@ func ndlogIsEvent(pred string) bool {
 // whether the payload changed.
 func (n *Node) recomputePayload(e *entry) bool {
 	comb := bdd.False
-	for _, dv := range e.derivs {
-		comb = n.Mgr.Or(comb, dv.payload)
+	for i := range e.derivs {
+		comb = n.Mgr.Or(comb, e.derivs[i].payload)
 	}
 	if comb == e.payload {
 		return false
@@ -367,8 +468,8 @@ func (n *Node) recomputePayload(e *entry) bool {
 // fireAll runs every rule occurrence triggered by a delta of this
 // predicate. deltaEntry may be nil (events); payload is the tuple's current
 // provenance payload in value mode.
-func (n *Node) fireAll(t types.Tuple, sign int8, deltaEntry *entry, payload bdd.Ref) {
-	for _, occ := range n.Prog.Occurrences(t.Pred) {
+func (n *Node) fireAll(occs []occurrence, t types.Tuple, sign int8, deltaEntry *entry, payload bdd.Ref) {
+	for _, occ := range occs {
 		if occ.rule.agg != nil {
 			n.fireAgg(occ.rule, t, sign, payload)
 		} else {
@@ -378,71 +479,114 @@ func (n *Node) fireAll(t types.Tuple, sign int8, deltaEntry *entry, payload bdd.
 }
 
 // firePlan evaluates the delta plan of (rule, pos) for tuple t and emits
-// head derivations.
+// head derivations. All intermediate state (environment, matched tuples,
+// payloads) lives in per-node scratch arenas: one rule firing performs no
+// slice allocation of its own.
 func (n *Node) firePlan(rule *CompiledRule, pos int, t types.Tuple, sign int8,
 	deltaEntry *entry, deltaPayload bdd.Ref) {
 
 	pl := rule.plans[pos]
-	env := make([]types.Value, rule.numVars)
+	env := n.envBuf[:rule.numVars]
 	if !bindTuple(pl.deltaBinds, t, env) {
 		return
 	}
-	matched := make([]types.Tuple, len(rule.atoms))
-	payloads := make([]bdd.Ref, len(rule.atoms))
+	matched := n.matchedBuf[:len(rule.atoms)]
+	ments := n.entBuf[:len(rule.atoms)]
+	payloads := n.payloadBuf[:len(rule.atoms)]
+	for i := range ments {
+		ments[i] = nil
+	}
 	matched[pos] = t
+	ments[pos] = deltaEntry
 	payloads[pos] = deltaPayload
+	n.execPlan(rule, pl, 0, sign, env, matched, ments, payloads)
+}
 
-	var exec func(step int)
-	exec = func(step int) {
-		if n.Err != nil {
+// execPlan runs plan steps from step onward. It is a plain recursive method
+// rather than a closure so the recursion allocates nothing.
+func (n *Node) execPlan(rule *CompiledRule, pl *plan, step int, sign int8,
+	env []types.Value, matched []types.Tuple, ments []*entry, payloads []bdd.Ref) {
+
+	if n.Err != nil {
+		return
+	}
+	if step == len(pl.steps) {
+		n.emitDerivation(rule, env, matched, ments, payloads, sign)
+		return
+	}
+	st := &pl.steps[step]
+	switch st.kind {
+	case stepAssign:
+		v, err := st.expr(env)
+		if err != nil {
+			n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
 			return
 		}
-		if step == len(pl.steps) {
-			n.emitDerivation(rule, env, matched, payloads, sign)
+		env[st.assignSlot] = v
+		n.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
+	case stepCond:
+		v, err := st.expr(env)
+		if err != nil {
+			n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
 			return
 		}
-		st := &pl.steps[step]
-		switch st.kind {
-		case stepAssign:
-			v, err := st.expr(env)
-			if err != nil {
-				n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
-				return
+		if v.Truthy() {
+			n.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
+		}
+	case stepJoin:
+		// Probe the index handle bound at plan-bind time: no index-ID
+		// formatting, and the lookup key is built in a reusable buffer
+		// (the map access on []byte bytes is allocation-free). A nil
+		// handle means the joined atom is an event, which never
+		// materializes.
+		idx := n.joinIdx[st.joinID]
+		if idx == nil {
+			return
+		}
+		n.keyBuf = st.appendLookupKey(n.keyBuf[:0], env)
+		for _, cand := range idx.lookup(n.keyBuf) {
+			if !bindTuple(st.binds, cand.tuple, env) {
+				continue
 			}
-			env[st.assignSlot] = v
-			exec(step + 1)
-		case stepCond:
-			v, err := st.expr(env)
-			if err != nil {
-				n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
-				return
-			}
-			if v.Truthy() {
-				exec(step + 1)
-			}
-		case stepJoin:
-			rel := n.table(rule.atoms[st.atom].pred)
-			for _, cand := range rel.Lookup(st.indexPos, st.lookupKey(env)) {
-				if !bindTuple(st.binds, cand.tuple, env) {
-					continue
-				}
-				matched[st.atom] = cand.tuple
-				payloads[st.atom] = cand.payload
-				exec(step + 1)
-			}
+			matched[st.atom] = cand.tuple
+			ments[st.atom] = cand
+			payloads[st.atom] = cand.payload
+			n.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
 		}
 	}
-	exec(0)
+}
+
+// argArenaChunk sizes the chunked backing store for emitted head arguments.
+// Emitted tuples escape into relations and messages, so their args cannot
+// live in reusable scratch; carving them from a chunk amortizes the per-
+// emission allocation to ~1/chunk.
+const argArenaChunk = 512
+
+func (n *Node) allocArgs(k int) []types.Value {
+	if k == 0 {
+		return nil
+	}
+	if len(n.argArena)+k > cap(n.argArena) {
+		size := argArenaChunk
+		if k > size {
+			size = k
+		}
+		n.argArena = make([]types.Value, 0, size)
+	}
+	off := len(n.argArena)
+	n.argArena = n.argArena[:off+k]
+	return n.argArena[off : off+k : off+k]
 }
 
 // emitDerivation computes the head tuple for one complete join result and
 // routes the delta (locally or over the transport), maintaining provenance
-// per the configured mode.
+// per the configured mode. Input VIDs come from the matched entries' caches;
+// only tuples never stored on this node (event inputs) are hashed here.
 func (n *Node) emitDerivation(rule *CompiledRule, env []types.Value,
-	matched []types.Tuple, payloads []bdd.Ref, sign int8) {
+	matched []types.Tuple, ments []*entry, payloads []bdd.Ref, sign int8) {
 
 	n.RulesFired++
-	args := make([]types.Value, len(rule.headCode))
+	args := n.allocArgs(len(rule.headCode))
 	for i, code := range rule.headCode {
 		v, err := code(env)
 		if err != nil {
@@ -458,16 +602,22 @@ func (n *Node) emitDerivation(rule *CompiledRule, env []types.Value,
 		return
 	}
 
-	inputVIDs := make([]types.ID, len(matched))
-	for i, in := range matched {
-		inputVIDs[i] = in.VID()
+	inputVIDs := n.vidBuf[:len(matched)]
+	for i := range matched {
+		if ments[i] != nil {
+			inputVIDs[i], n.hashBuf = ments[i].VIDBuf(n.hashBuf)
+		} else {
+			inputVIDs[i], n.hashBuf = matched[i].VIDBuf(n.hashBuf)
+		}
 	}
-	rid := types.RuleExecID(rule.Label, n.ID, inputVIDs)
+	var rid types.ID
+	rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, inputVIDs, n.ridBuf)
 
 	if sign != Update {
-		headVID := head.VID()
 		switch n.Mode {
 		case ProvReference:
+			var headVID types.ID
+			headVID, n.hashBuf = head.VIDBuf(n.hashBuf)
 			if sign == Insert {
 				n.Store.AddRuleExec(rid, rule.Label, inputVIDs)
 				for _, in := range inputVIDs {
@@ -482,6 +632,8 @@ func (n *Node) emitDerivation(rule *CompiledRule, env []types.Value,
 		case ProvCentralized:
 			// The deriving node knows the whole derivation: it relays both
 			// the ruleExec row and the head's prov row to the server.
+			var headVID types.ID
+			headVID, n.hashBuf = head.VIDBuf(n.hashBuf)
 			n.sendRuleExecRow(rid, rule.Label, inputVIDs, sign)
 			n.sendProvRow(dst, headVID, rid, n.ID, sign)
 		}
@@ -520,7 +672,7 @@ func (n *Node) route(head types.Tuple, dst types.NodeID, sign int8, rid types.ID
 // group state.
 func (n *Node) fireAgg(rule *CompiledRule, t types.Tuple, sign int8, payload bdd.Ref) {
 	pl := rule.plans[0]
-	env := make([]types.Value, rule.numVars)
+	env := n.envBuf[:rule.numVars]
 	if !bindTuple(pl.deltaBinds, t, env) {
 		return
 	}
@@ -547,7 +699,7 @@ func (n *Node) fireAgg(rule *CompiledRule, t types.Tuple, sign int8, payload bdd
 		}
 	}
 	spec := rule.agg
-	groupVals := make([]types.Value, len(spec.groupCode))
+	groupVals := n.groupBuf[:len(spec.groupCode)]
 	for i, code := range spec.groupCode {
 		v, err := code(env)
 		if err != nil {
@@ -556,16 +708,16 @@ func (n *Node) fireAgg(rule *CompiledRule, t types.Tuple, sign int8, payload bdd
 		}
 		groupVals[i] = v
 	}
-	groups := n.aggState[rule.Label]
+	groups := n.aggByRule[rule.idx]
 	if groups == nil {
 		groups = map[string]*aggGroup{}
-		n.aggState[rule.Label] = groups
+		n.aggByRule[rule.idx] = groups
 	}
-	gk := aggEntryKey(types.List(groupVals...), nil)
-	g := groups[gk]
+	n.keyBuf = appendValuesKey(n.keyBuf[:0], groupVals)
+	g := groups[string(n.keyBuf)]
 	if g == nil {
 		g = newAggGroup()
-		groups[gk] = g
+		groups[string(n.keyBuf)] = g
 	}
 
 	if sign == Update {
@@ -574,32 +726,39 @@ func (n *Node) fireAgg(rule *CompiledRule, t types.Tuple, sign int8, payload bdd
 		if n.Mode == ProvValue && g.curWinner != nil && g.curWinner.input.Equal(t) && g.curOut != nil {
 			out := *g.curOut
 			out.Pred = rule.HeadPred
-			rid := types.RuleExecID(rule.Label, n.ID, []types.ID{t.VID()})
+			n.vidBuf[0], n.hashBuf = t.VIDBuf(n.hashBuf)
+			var rid types.ID
+			rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, n.vidBuf[:1], n.ridBuf)
 			n.route(out, n.ID, Update, rid, payload)
 		}
 		return
 	}
 
+	// vals is per-node scratch; update copies it if it must retain it.
 	var sortVal types.Value
-	var carried []types.Value
+	vals := n.carryBuf[:0]
 	switch spec.Fn {
 	case "MIN", "MAX":
 		sortVal = env[spec.sortSlot]
 		for _, s := range spec.carried {
-			carried = append(carried, env[s])
+			vals = append(vals, env[s])
 		}
 	case "COUNT":
 		sortVal = types.Int(0)
 	case "AGGLIST":
-		vals := make([]types.Value, 0, len(spec.listSlots))
 		for _, s := range spec.listSlots {
 			vals = append(vals, env[s])
 		}
+	}
+	n.carryBuf = vals[:0]
+	carried := vals
+	if spec.Fn == "AGGLIST" {
 		if len(vals) > 0 {
 			sortVal = vals[0]
 			carried = vals[1:]
 		} else {
 			sortVal = types.Int(0)
+			carried = nil
 		}
 	}
 
@@ -617,26 +776,40 @@ func (n *Node) emitAggChange(rule *CompiledRule, out types.Tuple, em aggEmit, ca
 	var rid types.ID
 	var payload bdd.Ref
 	if em.hasWin {
-		winVID := em.winner.VID()
-		rid = types.RuleExecID(rule.Label, n.ID, []types.ID{winVID})
-		headVID := out.VID()
+		// The winning input is stored in the body relation; reuse its
+		// cached VID instead of re-hashing the tuple.
+		var winEnt *entry
+		if rel := n.aggBodyRel[rule.idx]; rel != nil {
+			winEnt = rel.get(em.winner)
+		}
+		var winVID types.ID
+		if winEnt != nil {
+			winVID, n.hashBuf = winEnt.VIDBuf(n.hashBuf)
+		} else {
+			winVID, n.hashBuf = em.winner.VIDBuf(n.hashBuf)
+		}
+		n.vidBuf[0] = winVID
+		rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, n.vidBuf[:1], n.ridBuf)
 		switch n.Mode {
 		case ProvReference:
+			var headVID types.ID
+			headVID, n.hashBuf = out.VIDBuf(n.hashBuf)
 			if em.sign == Insert {
-				n.Store.AddRuleExec(rid, rule.Label, []types.ID{winVID})
+				n.Store.AddRuleExec(rid, rule.Label, n.vidBuf[:1])
 				n.Store.AddParent(winVID, rid, headVID, n.ID)
 			} else {
 				n.Store.DelRuleExec(rid)
 				n.Store.DelParent(winVID, rid, headVID, n.ID)
 			}
 		case ProvCentralized:
-			n.sendRuleExecRow(rid, rule.Label, []types.ID{winVID}, em.sign)
+			var headVID types.ID
+			headVID, n.hashBuf = out.VIDBuf(n.hashBuf)
+			n.sendRuleExecRow(rid, rule.Label, n.vidBuf[:1], em.sign)
 			n.sendProvRow(n.ID, headVID, rid, n.ID, em.sign)
-		}
-		if n.Mode == ProvValue {
+		case ProvValue:
 			payload = bdd.True
-			if e := n.table(em.winner.Pred).get(em.winner); e != nil {
-				payload = e.payload
+			if winEnt != nil {
+				payload = winEnt.payload
 			}
 		}
 	}

@@ -13,6 +13,14 @@ type Program struct {
 	Rules      []*CompiledRule
 	byBodyPred map[string][]occurrence
 	preds      map[string]*PredInfo
+
+	// Hot-path sizing, computed once at compile time so nodes can bind
+	// index handles and allocate scratch arenas before evaluation starts.
+	numJoins  int // total stepJoin steps across all plans; joinIDs are [0,numJoins)
+	numTables int // stored (non-event) predicates; tableIDs are [0,numTables)
+	maxVars   int // widest rule environment
+	maxAtoms  int // widest rule body
+	maxGroup  int // widest aggregate group-by list
 }
 
 type occurrence struct {
@@ -26,6 +34,14 @@ type PredInfo struct {
 	Arity int
 	Event bool
 	Base  bool // EDB: never derived by a rule
+
+	// tableID is a dense index over the program's stored (non-event)
+	// predicates, assigned at compile time so nodes can keep relations in
+	// a slice instead of resolving a string map per delta. -1 for events.
+	tableID int
+	// occs caches Occurrences(Name) so one predicate lookup serves the
+	// whole delta-processing path.
+	occs []occurrence
 }
 
 // CompiledRule is the executable form of one NDlog rule.
@@ -39,6 +55,7 @@ type CompiledRule struct {
 	atoms       []*atomSpec
 	plans       []*plan  // one per body atom position
 	agg         *AggSpec // non-nil for aggregate rules
+	idx         int      // position in Program.Rules; keys per-rule node state
 	source      *ndlog.Rule
 }
 
@@ -98,6 +115,7 @@ type planStep struct {
 	indexPos []int
 	keyParts []keyPart
 	binds    []bindSpec
+	joinID   int // program-wide join-step id; nodes bind it to an index handle
 
 	// stepAssign / stepCond
 	assignSlot int
@@ -162,6 +180,39 @@ func Compile(p *ndlog.Program) (*Program, error) {
 	for _, f := range p.Facts {
 		if err := notePred(f.Pred, len(f.Args)); err != nil {
 			return nil, err
+		}
+	}
+
+	// Number every join step and record scratch sizes for plan-bind time.
+	for _, info := range prog.preds {
+		if info.Event {
+			info.tableID = -1
+			continue
+		}
+		info.tableID = prog.numTables
+		prog.numTables++
+	}
+	for name, info := range prog.preds {
+		info.occs = prog.byBodyPred[name]
+	}
+	for ri, cr := range prog.Rules {
+		cr.idx = ri
+		if cr.numVars > prog.maxVars {
+			prog.maxVars = cr.numVars
+		}
+		if len(cr.atoms) > prog.maxAtoms {
+			prog.maxAtoms = len(cr.atoms)
+		}
+		if cr.agg != nil && len(cr.agg.groupCode) > prog.maxGroup {
+			prog.maxGroup = len(cr.agg.groupCode)
+		}
+		for _, pl := range cr.plans {
+			for i := range pl.steps {
+				if pl.steps[i].kind == stepJoin {
+					pl.steps[i].joinID = prog.numJoins
+					prog.numJoins++
+				}
+			}
 		}
 	}
 	return prog, nil
@@ -518,8 +569,9 @@ func bindTuple(binds []bindSpec, t types.Tuple, env []types.Value) bool {
 	return true
 }
 
-func (s *planStep) lookupKey(env []types.Value) string {
-	var b []byte
+// appendLookupKey builds the join-probe key for the step into b. Probes pass
+// a per-node scratch buffer so the innermost join loop allocates nothing.
+func (s *planStep) appendLookupKey(b []byte, env []types.Value) []byte {
 	for _, p := range s.keyParts {
 		if p.isConst {
 			b = p.val.Encode(b)
@@ -527,5 +579,5 @@ func (s *planStep) lookupKey(env []types.Value) string {
 			b = env[p.slot].Encode(b)
 		}
 	}
-	return string(b)
+	return b
 }

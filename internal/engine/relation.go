@@ -1,8 +1,8 @@
 package engine
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/bdd"
@@ -21,15 +21,66 @@ type deriv struct {
 }
 
 // entry is one tuple of a relation together with its derivation multiset.
-// The tuple is visible while at least one derivation is present.
+// The tuple is visible while at least one derivation is present. The
+// canonical key and the provenance VID are cached here so each tuple is
+// encoded and SHA-1-hashed at most once per lifetime on a node.
+//
+// Derivations are held by value in a small slice: most tuples have one or
+// two, and the per-entry map plus per-derivation pointer boxes were among
+// the largest allocation sources in fixpoint profiles.
 type entry struct {
 	tuple   types.Tuple
-	derivs  map[types.ID]*deriv
+	key     string // canonical encoding; the entries map key
+	derivs  []deriv
 	visible bool
 	payload bdd.Ref // value mode: OR over derivation payloads
+
+	vid    types.ID
+	vidOK  bool
+	stored bool // VID→tuple mapping already registered with the prov store
 }
 
 func (e *entry) derivCount() int { return len(e.derivs) }
+
+// findDeriv returns a pointer to the derivation keyed by rid, or nil. The
+// pointer aliases the entry's slice: it is invalidated by addDeriv/delDeriv
+// and must not be retained across them.
+func (e *entry) findDeriv(rid types.ID) *deriv {
+	for i := range e.derivs {
+		if e.derivs[i].rid == rid {
+			return &e.derivs[i]
+		}
+	}
+	return nil
+}
+
+func (e *entry) addDeriv(rid types.ID, rloc types.NodeID) *deriv {
+	e.derivs = append(e.derivs, deriv{rid: rid, rloc: rloc, payload: bdd.False})
+	return &e.derivs[len(e.derivs)-1]
+}
+
+func (e *entry) delDeriv(rid types.ID) {
+	for i := range e.derivs {
+		if e.derivs[i].rid == rid {
+			last := len(e.derivs) - 1
+			e.derivs[i] = e.derivs[last]
+			e.derivs[last] = deriv{}
+			e.derivs = e.derivs[:last]
+			return
+		}
+	}
+}
+
+// VIDBuf returns the tuple's provenance vertex identifier, computing and
+// caching it on first use. buf is scratch for the canonical encoding; the
+// (possibly grown) buffer is returned for reuse.
+func (e *entry) VIDBuf(buf []byte) (types.ID, []byte) {
+	if !e.vidOK {
+		e.vid, buf = e.tuple.VIDBuf(buf)
+		e.vidOK = true
+	}
+	return e.vid, buf
+}
 
 // Relation is a materialized table with hash indexes maintained
 // incrementally as tuples become visible and invisible.
@@ -37,11 +88,48 @@ type Relation struct {
 	name    string
 	entries map[string]*entry
 	indexes map[string]*index
+	visible int    // O(1) Len
+	scratch []byte // reusable key-encoding buffer
 }
 
+// index is a hash index over a fixed set of argument positions. Buckets are
+// held by pointer so adding to an existing bucket needs no map re-assignment
+// (and thus no string-key allocation); emptied buckets are deleted eagerly
+// so distinct-key churn cannot grow the map without bound.
 type index struct {
 	positions []int
-	buckets   map[string][]*entry
+	buckets   map[string]*[]*entry
+}
+
+// lookup returns the visible entries whose indexed values encode to key.
+// The []byte key makes the map access allocation-free.
+func (idx *index) lookup(key []byte) []*entry {
+	if p := idx.buckets[string(key)]; p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (idx *index) add(key []byte, e *entry) {
+	if p := idx.buckets[string(key)]; p != nil {
+		*p = append(*p, e)
+		return
+	}
+	b := append(make([]*entry, 0, 4), e)
+	idx.buckets[string(key)] = &b
+}
+
+func (idx *index) remove(key []byte, e *entry) {
+	p := idx.buckets[string(key)]
+	if p == nil {
+		return
+	}
+	*p = removeEntry(*p, e)
+	// Drop emptied buckets eagerly: retaining them would leak one map
+	// entry per distinct key ever indexed under churn workloads.
+	if len(*p) == 0 {
+		delete(idx.buckets, string(key))
+	}
 }
 
 // NewRelation creates an empty relation.
@@ -56,29 +144,25 @@ func NewRelation(name string) *Relation {
 // Name returns the relation name.
 func (r *Relation) Name() string { return r.name }
 
-// Len reports the number of visible tuples.
-func (r *Relation) Len() int {
-	n := 0
-	for _, e := range r.entries {
-		if e.visible {
-			n++
-		}
-	}
-	return n
-}
+// Len reports the number of visible tuples in O(1).
+func (r *Relation) Len() int { return r.visible }
 
 // Get returns the entry for a tuple, or nil.
-func (r *Relation) get(t types.Tuple) *entry { return r.entries[t.Key()] }
+func (r *Relation) get(t types.Tuple) *entry {
+	r.scratch = t.Encode(r.scratch[:0])
+	return r.entries[string(r.scratch)]
+}
 
 // getOrCreate returns the entry for a tuple, creating an invisible one if
 // needed.
 func (r *Relation) getOrCreate(t types.Tuple) *entry {
-	k := t.Key()
-	e := r.entries[k]
-	if e == nil {
-		e = &entry{tuple: t, derivs: make(map[types.ID]*deriv), payload: bdd.False}
-		r.entries[k] = e
+	r.scratch = t.Encode(r.scratch[:0])
+	if e := r.entries[string(r.scratch)]; e != nil {
+		return e
 	}
+	k := string(r.scratch)
+	e := &entry{tuple: t, key: k, payload: bdd.False}
+	r.entries[k] = e
 	return e
 }
 
@@ -88,19 +172,21 @@ func (r *Relation) setVisible(e *entry, visible bool) {
 		return
 	}
 	e.visible = visible
+	if visible {
+		r.visible++
+	} else {
+		r.visible--
+	}
 	for _, idx := range r.indexes {
-		key := indexKey(e.tuple, idx.positions)
+		r.scratch = appendIndexKey(r.scratch[:0], e.tuple, idx.positions)
 		if visible {
-			idx.buckets[key] = append(idx.buckets[key], e)
+			idx.add(r.scratch, e)
 		} else {
-			idx.buckets[key] = removeEntry(idx.buckets[key], e)
-			if len(idx.buckets[key]) == 0 {
-				delete(idx.buckets, key)
-			}
+			idx.remove(r.scratch, e)
 		}
 	}
 	if !visible && len(e.derivs) == 0 {
-		delete(r.entries, e.tuple.Key())
+		delete(r.entries, e.key)
 	}
 }
 
@@ -108,54 +194,56 @@ func removeEntry(list []*entry, e *entry) []*entry {
 	for i, x := range list {
 		if x == e {
 			list[i] = list[len(list)-1]
+			list[len(list)-1] = nil
 			return list[:len(list)-1]
 		}
 	}
 	return list
 }
 
-func indexKey(t types.Tuple, positions []int) string {
-	var b []byte
+func appendIndexKey(b []byte, t types.Tuple, positions []int) []byte {
 	for _, p := range positions {
 		b = t.Args[p].Encode(b)
+	}
+	return b
+}
+
+// indexID renders the position list as a canonical map key without any
+// fmt-based formatting. It runs only at index-creation and handle-resolution
+// time, never per probe.
+func indexID(positions []int) string {
+	b := make([]byte, 0, 2*len(positions))
+	for i, p := range positions {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(p), 10)
 	}
 	return string(b)
 }
 
-func indexID(positions []int) string {
-	parts := make([]string, len(positions))
-	for i, p := range positions {
-		parts[i] = fmt.Sprint(p)
-	}
-	return strings.Join(parts, ",")
-}
-
 // EnsureIndex creates (and backfills) a hash index over the given argument
-// positions.
-func (r *Relation) EnsureIndex(positions []int) {
+// positions, returning a direct handle usable for probe-time lookups.
+func (r *Relation) EnsureIndex(positions []int) *index {
 	id := indexID(positions)
-	if _, ok := r.indexes[id]; ok {
-		return
+	if idx, ok := r.indexes[id]; ok {
+		return idx
 	}
-	idx := &index{positions: append([]int{}, positions...), buckets: make(map[string][]*entry)}
+	idx := &index{positions: append([]int{}, positions...), buckets: make(map[string]*[]*entry)}
 	for _, e := range r.entries {
 		if e.visible {
-			key := indexKey(e.tuple, idx.positions)
-			idx.buckets[key] = append(idx.buckets[key], e)
+			r.scratch = appendIndexKey(r.scratch[:0], e.tuple, idx.positions)
+			idx.add(r.scratch, e)
 		}
 	}
 	r.indexes[id] = idx
+	return idx
 }
 
-// Lookup returns the visible entries whose values at the index positions
-// encode to key. The index must exist.
-func (r *Relation) Lookup(positions []int, key string) []*entry {
-	idx := r.indexes[indexID(positions)]
-	if idx == nil {
-		return nil
-	}
-	return idx.buckets[key]
-}
+// Index returns the handle of an existing index over positions, or nil. The
+// engine resolves every join step to such a handle once at plan-bind time so
+// probes skip index-ID formatting entirely.
+func (r *Relation) Index(positions []int) *index { return r.indexes[indexID(positions)] }
 
 // Scan invokes fn for every visible tuple.
 func (r *Relation) Scan(fn func(t types.Tuple)) {
@@ -169,10 +257,18 @@ func (r *Relation) Scan(fn func(t types.Tuple)) {
 // Tuples returns the visible tuples sorted canonically (for deterministic
 // output in tests and examples).
 func (r *Relation) Tuples() []types.Tuple {
-	var out []types.Tuple
-	r.Scan(func(t types.Tuple) { out = append(out, t) })
-	sort.Slice(out, func(i, j int) bool {
-		return strings.Compare(out[i].Key(), out[j].Key()) < 0
+	es := make([]*entry, 0, r.visible)
+	for _, e := range r.entries {
+		if e.visible {
+			es = append(es, e)
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		return strings.Compare(es[i].key, es[j].key) < 0
 	})
+	out := make([]types.Tuple, len(es))
+	for i, e := range es {
+		out[i] = e.tuple
+	}
 	return out
 }

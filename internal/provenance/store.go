@@ -11,6 +11,10 @@
 // partition of ruleExec for rules executed locally. The store additionally
 // keeps the VID→tuple mapping (the paper's "systems table that maps VIDs to
 // tuples") and reverse dataflow edges used by cache invalidation (§6.1).
+//
+// Rows are stored by value inside their per-VID slices: the store sits on
+// the engine's delta hot path, and per-row pointer boxes more than doubled
+// the evaluator's allocation count in fixpoint profiles.
 package provenance
 
 import (
@@ -51,14 +55,26 @@ type Parent struct {
 	Count   int
 }
 
+// parentKey identifies one reverse dataflow edge for O(1) add/remove. The
+// RID alone determines the derived head (an RID hashes the rule, its
+// location and its exact inputs), so (vid, rid) is unique per edge. Hub
+// tuples (e.g. a link consumed by every route derivation) accumulate long
+// parent lists, and the linear scans previously done by AddParent dominated
+// fixpoint profiles.
+type parentKey struct {
+	vid types.ID
+	rid types.ID
+}
+
 // Store is one node's partition of the provenance graph.
 type Store struct {
 	Node types.NodeID
 
-	prov     map[types.ID][]*ProvEntry
-	ruleExec map[types.ID]*RuleExecEntry
-	tuples   map[types.ID]types.Tuple
-	parents  map[types.ID][]*Parent
+	prov      map[types.ID][]ProvEntry
+	ruleExec  map[types.ID]RuleExecEntry
+	tuples    map[types.ID]types.Tuple
+	parents   map[types.ID][]Parent
+	parentIdx map[parentKey]int // position inside parents[vid]
 
 	// OnProvChange, when set, fires after the derivation set of a local
 	// VID changes (entry added or removed). The query cache uses it for
@@ -69,19 +85,29 @@ type Store struct {
 // NewStore creates an empty partition for a node.
 func NewStore(node types.NodeID) *Store {
 	return &Store{
-		Node:     node,
-		prov:     make(map[types.ID][]*ProvEntry),
-		ruleExec: make(map[types.ID]*RuleExecEntry),
-		tuples:   make(map[types.ID]types.Tuple),
-		parents:  make(map[types.ID][]*Parent),
+		Node:      node,
+		prov:      make(map[types.ID][]ProvEntry),
+		ruleExec:  make(map[types.ID]RuleExecEntry),
+		tuples:    make(map[types.ID]types.Tuple),
+		parents:   make(map[types.ID][]Parent),
+		parentIdx: make(map[parentKey]int),
 	}
 }
 
 // RegisterTuple records the VID→tuple mapping for a local tuple.
 func (s *Store) RegisterTuple(t types.Tuple) types.ID {
 	vid := t.VID()
-	s.tuples[vid] = t
+	s.RegisterTupleVID(vid, t)
 	return vid
+}
+
+// RegisterTupleVID records the VID→tuple mapping for a tuple whose VID the
+// caller has already computed, avoiding a redundant hash on the engine's hot
+// path (the engine caches VIDs on relation entries).
+func (s *Store) RegisterTupleVID(vid types.ID, t types.Tuple) {
+	if _, ok := s.tuples[vid]; !ok {
+		s.tuples[vid] = t
+	}
 }
 
 // TupleOf resolves a local VID to its tuple.
@@ -92,14 +118,15 @@ func (s *Store) TupleOf(vid types.ID) (types.Tuple, bool) {
 
 // AddProv inserts (or increments) a prov entry.
 func (s *Store) AddProv(vid, rid types.ID, rloc types.NodeID) {
-	for _, e := range s.prov[vid] {
-		if e.RID == rid && e.RLoc == rloc {
-			e.Count++
+	entries := s.prov[vid]
+	for i := range entries {
+		if entries[i].RID == rid && entries[i].RLoc == rloc {
+			entries[i].Count++
 			s.changed(vid)
 			return
 		}
 	}
-	s.prov[vid] = append(s.prov[vid], &ProvEntry{VID: vid, RID: rid, RLoc: rloc, Count: 1})
+	s.prov[vid] = append(entries, ProvEntry{VID: vid, RID: rid, RLoc: rloc, Count: 1})
 	s.changed(vid)
 }
 
@@ -107,10 +134,10 @@ func (s *Store) AddProv(vid, rid types.ID, rloc types.NodeID) {
 // whether the entry existed.
 func (s *Store) DelProv(vid, rid types.ID, rloc types.NodeID) bool {
 	entries := s.prov[vid]
-	for i, e := range entries {
-		if e.RID == rid && e.RLoc == rloc {
-			e.Count--
-			if e.Count <= 0 {
+	for i := range entries {
+		if entries[i].RID == rid && entries[i].RLoc == rloc {
+			entries[i].Count--
+			if entries[i].Count <= 0 {
 				s.prov[vid] = append(entries[:i], entries[i+1:]...)
 				if len(s.prov[vid]) == 0 {
 					delete(s.prov, vid)
@@ -132,17 +159,19 @@ func (s *Store) changed(vid types.ID) {
 
 // Derivations returns the visible prov entries for a VID. Callers must not
 // mutate the returned slice.
-func (s *Store) Derivations(vid types.ID) []*ProvEntry { return s.prov[vid] }
+func (s *Store) Derivations(vid types.ID) []ProvEntry { return s.prov[vid] }
 
-// AddRuleExec inserts (or increments) a ruleExec entry.
+// AddRuleExec inserts (or increments) a ruleExec entry. vidList may be
+// caller scratch; it is copied when a new entry is created.
 func (s *Store) AddRuleExec(rid types.ID, rule string, vidList []types.ID) {
 	if e, ok := s.ruleExec[rid]; ok {
 		e.Count++
+		s.ruleExec[rid] = e
 		return
 	}
 	cp := make([]types.ID, len(vidList))
 	copy(cp, vidList)
-	s.ruleExec[rid] = &RuleExecEntry{RID: rid, Rule: rule, VIDList: cp, Count: 1}
+	s.ruleExec[rid] = RuleExecEntry{RID: rid, Rule: rule, VIDList: cp, Count: 1}
 }
 
 // DelRuleExec decrements (and possibly removes) a ruleExec entry.
@@ -154,12 +183,14 @@ func (s *Store) DelRuleExec(rid types.ID) bool {
 	e.Count--
 	if e.Count <= 0 {
 		delete(s.ruleExec, rid)
+	} else {
+		s.ruleExec[rid] = e
 	}
 	return true
 }
 
 // RuleExecOf resolves a local RID.
-func (s *Store) RuleExecOf(rid types.ID) (*RuleExecEntry, bool) {
+func (s *Store) RuleExecOf(rid types.ID) (RuleExecEntry, bool) {
 	e, ok := s.ruleExec[rid]
 	return e, ok
 }
@@ -167,34 +198,46 @@ func (s *Store) RuleExecOf(rid types.ID) (*RuleExecEntry, bool) {
 // AddParent records that local tuple vid was consumed by rule execution rid
 // deriving headVID at headLoc.
 func (s *Store) AddParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
-	for _, p := range s.parents[vid] {
-		if p.RID == rid && p.HeadVID == headVID && p.HeadLoc == headLoc {
-			p.Count++
-			return
-		}
+	k := parentKey{vid: vid, rid: rid}
+	list := s.parents[vid]
+	if pos, ok := s.parentIdx[k]; ok {
+		list[pos].Count++
+		return
 	}
-	s.parents[vid] = append(s.parents[vid], &Parent{RID: rid, HeadVID: headVID, HeadLoc: headLoc, Count: 1})
+	s.parentIdx[k] = len(list)
+	s.parents[vid] = append(list, Parent{RID: rid, HeadVID: headVID, HeadLoc: headLoc, Count: 1})
 }
 
 // DelParent removes one reverse edge occurrence.
 func (s *Store) DelParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
+	k := parentKey{vid: vid, rid: rid}
+	pos, ok := s.parentIdx[k]
+	if !ok {
+		return
+	}
 	list := s.parents[vid]
-	for i, p := range list {
-		if p.RID == rid && p.HeadVID == headVID && p.HeadLoc == headLoc {
-			p.Count--
-			if p.Count <= 0 {
-				s.parents[vid] = append(list[:i], list[i+1:]...)
-				if len(s.parents[vid]) == 0 {
-					delete(s.parents, vid)
-				}
-			}
-			return
-		}
+	list[pos].Count--
+	if list[pos].Count > 0 {
+		return
+	}
+	delete(s.parentIdx, k)
+	last := len(list) - 1
+	if pos != last {
+		list[pos] = list[last]
+		s.parentIdx[parentKey{vid: vid, rid: list[pos].RID}] = pos
+	}
+	list[last] = Parent{}
+	list = list[:last]
+	if len(list) == 0 {
+		delete(s.parents, vid)
+	} else {
+		s.parents[vid] = list
 	}
 }
 
-// Parents returns the reverse dataflow edges of a local VID.
-func (s *Store) Parents(vid types.ID) []*Parent { return s.parents[vid] }
+// Parents returns the reverse dataflow edges of a local VID. Callers must
+// not mutate the returned slice.
+func (s *Store) Parents(vid types.ID) []Parent { return s.parents[vid] }
 
 // NumProv reports the number of visible prov entries in the partition.
 func (s *Store) NumProv() int {
@@ -217,11 +260,11 @@ func (s *Store) ProvRows() []string {
 		if t, ok := s.tuples[vid]; ok {
 			label = t.String()
 		}
-		for _, e := range list {
+		for i := range list {
 			rid := "null"
-			rloc := e.RLoc.String()
-			if !e.RID.IsZero() {
-				rid = e.RID.Short()
+			rloc := list[i].RLoc.String()
+			if !list[i].RID.IsZero() {
+				rid = list[i].RID.Short()
 			}
 			rows = append(rows, fmt.Sprintf("%s | %s | %s | %s", s.Node, label, rid, rloc))
 		}

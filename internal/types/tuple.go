@@ -93,22 +93,53 @@ func (t Tuple) WireSize() int {
 // key inside relations.
 func (t Tuple) Key() string { return string(t.Encode(nil)) }
 
+// vidHook, when non-nil, observes every full VID computation. It exists so
+// tests can assert how often tuples are re-hashed on the evaluation hot path;
+// production code never sets it.
+var vidHook func(Tuple)
+
+// SetVIDHook installs (or, with nil, removes) the VID-computation observer.
+// Test instrumentation only; not safe for concurrent use with evaluation.
+func SetVIDHook(f func(Tuple)) { vidHook = f }
+
 // VID computes the tuple's provenance vertex identifier: the SHA-1 digest of
 // its predicate name, location specifier and attribute values — the paper's
 // VID = SHA1("pathCost"+X+Y+C).
-func (t Tuple) VID() ID { return HashBytes(t.Encode(nil)) }
+func (t Tuple) VID() ID {
+	id, _ := t.VIDBuf(nil)
+	return id
+}
+
+// VIDBuf is VID with a caller-supplied scratch buffer for the canonical
+// encoding, so hot paths can hash tuples without allocating per call. It
+// returns the identifier and the (possibly grown) buffer.
+func (t Tuple) VIDBuf(buf []byte) (ID, []byte) {
+	if vidHook != nil {
+		vidHook(t)
+	}
+	buf = t.Encode(buf[:0])
+	return HashBytes(buf), buf
+}
 
 // RuleExecID computes the identifier of a rule-execution vertex for rule
 // named rule at location loc over the given input tuple VIDs — the paper's
 // RID = SHA1(R + RLoc + List).
 func RuleExecID(rule string, loc NodeID, inputs []ID) ID {
-	b := make([]byte, 0, len(rule)+4+IDLen*len(inputs))
+	id, _ := RuleExecIDBuf(rule, loc, inputs, nil)
+	return id
+}
+
+// RuleExecIDBuf is RuleExecID with a caller-supplied scratch buffer. It
+// returns the identifier and the (possibly grown) buffer so hot paths can
+// compute RIDs without allocating per call.
+func RuleExecIDBuf(rule string, loc NodeID, inputs []ID, buf []byte) (ID, []byte) {
+	b := buf[:0]
 	b = append(b, rule...)
 	b = binary.BigEndian.AppendUint32(b, uint32(int32(loc)))
 	for _, in := range inputs {
 		b = append(b, in[:]...)
 	}
-	return HashBytes(b)
+	return HashBytes(b), b
 }
 
 // String renders the tuple in the paper's notation, e.g.
