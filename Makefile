@@ -1,11 +1,13 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml); `make bench` regenerates the machine-readable
-# before/after record in BENCH_PR1.json against the checked-in baseline.
+# before/after record in BENCH_PR2.json against the checked-in pre-PR2
+# baseline run, and `make bench-compare` prints a benchstat-style delta of
+# a smoke run against the committed BENCH_PR1.json numbers (report-only).
 
 GO ?= go
 BENCHES := BenchmarkEngineFixpoint|BenchmarkQueryBFS|BenchmarkCacheInvalidation
 
-.PHONY: all build vet test check bench bench-smoke clean
+.PHONY: all build vet test check bench bench-smoke bench-compare clean
 
 all: check
 
@@ -21,14 +23,26 @@ test:
 check: vet build test
 
 # Full hot-path benchmark run: three samples of each tracked benchmark with
-# allocation stats, merged with the pre-PR baseline into BENCH_PR1.json.
+# allocation stats, merged with the pre-PR2 baseline into BENCH_PR2.json.
+# The simnet dispatch micro-benchmark is appended with a time-based budget
+# (per-op cost is tens of nanoseconds; 10 iterations would be noise).
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=5x -count=3 . | tee bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.txt -current bench_current.txt -out BENCH_PR1.json
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=10x -count=3 . | tee bench_current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSimnetDispatch' -benchmem -benchtime=2s . | tee -a bench_current.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_BASELINE_PR2.txt -current bench_current.txt \
+		-out BENCH_PR2.json -print \
+		-note "before/after results for the allocation-free simnet overhaul (PR 2); baseline is the PR 1 code on the same hardware; regenerate with make bench"
 
 # One-iteration smoke run used by CI to catch benchmark bit-rot cheaply.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineFixpoint' -benchtime=1x .
 
+# CI delta report: smoke-run the tracked benchmarks once and print the
+# change against the committed PR 1 record. Report-only — the `-` prefix
+# keeps a regression (or a noisy runner) from failing the job.
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1x . | tee bench_smoke.txt
+	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR1.json -current bench_smoke.txt -print
+
 clean:
-	rm -f bench_current.txt
+	rm -f bench_current.txt bench_smoke.txt

@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ndlog"
 	"repro/internal/provquery"
+	"repro/internal/simnet"
 	"repro/internal/topology"
 	"repro/internal/types"
 )
@@ -260,6 +261,37 @@ func BenchmarkMessageCodec(b *testing.B) {
 		if _, err := engine.DecodeMessage(enc); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSimnetDispatch measures the simulator substrate in isolation:
+// scheduling and delivering messages across a multi-hop topology, with no
+// engine work attached. This is the per-message overhead every figure
+// benchmark pays millions of times; it must stay allocation-free.
+func BenchmarkSimnetDispatch(b *testing.B) {
+	sim := simnet.NewSim()
+	nw := simnet.NewNetwork(sim, 32)
+	for i := 1; i < 32; i++ {
+		nw.AddLink(types.NodeID(i-1), types.NodeID(i), simnet.Link{Latency: simnet.Millisecond, Bps: 1e9})
+	}
+	delivered := 0
+	for i := 0; i < 32; i++ {
+		nw.Register(types.NodeID(i), simnet.HandlerFunc(func(types.NodeID, any, int) { delivered++ }))
+	}
+	payload := &engine.Message{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := types.NodeID(i % 32)
+		to := types.NodeID((i * 11) % 32)
+		nw.Send(from, to, payload, 128)
+		if i%64 == 63 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+	if delivered == 0 {
+		b.Fatal("no messages delivered")
 	}
 }
 

@@ -1,12 +1,18 @@
 // Command benchjson converts `go test -bench` output into the machine-
 // readable before/after record the repo keeps under version control
-// (BENCH_PR1.json). It parses benchmark result lines from a baseline file
-// and a current file, averages repeated -count runs per benchmark, and
-// emits one JSON document with both sides plus the speedup ratios.
+// (BENCH_PR<n>.json). It parses benchmark result lines from a baseline
+// file and a current file, averages repeated -count runs per benchmark,
+// and emits one JSON document with both sides plus the speedup ratios.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -baseline BENCH_BASELINE.txt -current bench_current.txt -out BENCH_PR1.json
+//	go run ./cmd/benchjson -baseline BENCH_BASELINE_PR2.txt -current bench_current.txt -out BENCH_PR2.json
+//
+// The baseline may instead be a previously committed record: with
+// -baseline-json the `current` side of that JSON document becomes the
+// baseline, which is how CI compares a smoke run against the standing
+// numbers. -print renders a benchstat-style delta table to stdout
+// (report-only; the exit code never depends on the deltas).
 package main
 
 import (
@@ -103,17 +109,79 @@ func parseFile(path string) (map[string]*Result, []string, error) {
 	return out, order, nil
 }
 
+// jsonDoc mirrors the committed BENCH_PR<n>.json layout.
+type jsonDoc struct {
+	Note       string                 `json:"note"`
+	Benchmarks map[string]*Comparison `json:"benchmarks"`
+	Order      []string               `json:"order"`
+}
+
+// loadJSONBaseline reads a committed record and returns its `current` side
+// as the baseline result set.
+func loadJSONBaseline(path string) (map[string]*Result, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]*Result{}
+	var order []string
+	for _, name := range doc.Order {
+		if c := doc.Benchmarks[name]; c != nil && c.Current != nil {
+			out[name] = c.Current
+			order = append(order, name)
+		}
+	}
+	return out, order, nil
+}
+
+// printDelta renders a benchstat-style comparison table.
+func printDelta(base, cur map[string]*Result, order []string) {
+	fmt.Printf("%-34s %15s %15s %9s %10s\n", "benchmark", "baseline ns/op", "current ns/op", "delta", "allocs Δ")
+	for _, name := range order {
+		b, c := base[name], cur[name]
+		switch {
+		case b == nil && c == nil:
+			continue
+		case b == nil:
+			fmt.Printf("%-34s %15s %15.0f %9s %10s\n", name, "-", c.NsPerOp, "new", "-")
+		case c == nil:
+			fmt.Printf("%-34s %15.0f %15s %9s %10s\n", name, b.NsPerOp, "-", "gone", "-")
+		default:
+			delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			allocs := "-"
+			if ba, ca := b.Metrics["allocs/op"], c.Metrics["allocs/op"]; ba > 0 {
+				allocs = fmt.Sprintf("%+.1f%%", (ca-ba)/ba*100)
+			}
+			fmt.Printf("%-34s %15.0f %15.0f %+8.1f%% %10s\n", name, b.NsPerOp, c.NsPerOp, delta, allocs)
+		}
+	}
+}
+
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_BASELINE.txt", "pre-change bench output")
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.txt", "pre-change bench output (text)")
+	baselineJSON := flag.String("baseline-json", "", "committed BENCH_*.json whose `current` side is the baseline (overrides -baseline)")
 	currentPath := flag.String("current", "", "post-change bench output (required)")
-	outPath := flag.String("out", "BENCH_PR1.json", "output JSON path")
+	outPath := flag.String("out", "", "output JSON path (omit to skip writing)")
+	note := flag.String("note", "", "note recorded in the output document")
+	doPrint := flag.Bool("print", false, "print a benchstat-style delta table to stdout")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -current is required")
 		os.Exit(2)
 	}
 
-	base, baseOrder, err := parseFile(*baselinePath)
+	var base map[string]*Result
+	var baseOrder []string
+	var err error
+	if *baselineJSON != "" {
+		base, baseOrder, err = loadJSONBaseline(*baselineJSON)
+	} else {
+		base, baseOrder, err = parseFile(*baselinePath)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
@@ -130,12 +198,18 @@ func main() {
 			order = append(order, name)
 		}
 	}
-	doc := struct {
-		Note       string                 `json:"note"`
-		Benchmarks map[string]*Comparison `json:"benchmarks"`
-		Order      []string               `json:"order"`
-	}{
-		Note:       "before/after results for the PSN hot-path overhaul; regenerate with `make bench`",
+	if *doPrint {
+		printDelta(base, cur, order)
+	}
+	if *outPath == "" {
+		return
+	}
+	docNote := *note
+	if docNote == "" {
+		docNote = "before/after benchmark record; regenerate with `make bench`"
+	}
+	doc := jsonDoc{
+		Note:       docNote,
 		Benchmarks: map[string]*Comparison{},
 		Order:      order,
 	}

@@ -45,6 +45,13 @@ type Config struct {
 type Host struct {
 	Engine *engine.Node
 	Query  *provquery.Processor
+
+	// The cluster-wide message free lists (the simulation is
+	// single-threaded, so senders and receivers share them). A message is
+	// released here, after its handler returns — the simnet delivery is
+	// the last point the transport owns it.
+	msgs *engine.MessagePool
+	qry  *provquery.MsgPool
 }
 
 // HandleMessage implements simnet.Handler by dispatching on payload type.
@@ -52,8 +59,10 @@ func (h *Host) HandleMessage(from types.NodeID, payload any, size int) {
 	switch m := payload.(type) {
 	case *engine.Message:
 		h.Engine.HandleMessage(from, m)
+		h.msgs.Put(m)
 	case *provquery.Msg:
 		h.Query.Handle(from, m)
+		h.qry.Put(m)
 	default:
 		panic(fmt.Sprintf("core: unknown payload %T", payload))
 	}
@@ -101,17 +110,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{Cfg: cfg, Sim: sim, Net: nw, Topo: cfg.Topo, Prog: prog, Alloc: alloc}
+	msgPool := engine.NewMessagePool()
+	qryPool := provquery.NewMsgPool()
 	for i := 0; i < cfg.Topo.N; i++ {
 		id := types.NodeID(i)
 		en := engine.NewNode(id, prog, cfg.Mode, simTransport{nw}, alloc)
 		en.Central = cfg.Central
+		en.Msgs = msgPool
 		qp := provquery.NewProcessor(id, en.Store, udf, func(to types.NodeID, m *provquery.Msg) {
 			nw.Send(id, to, m, m.WireSize())
 		})
 		qp.Strategy = cfg.Strategy
 		qp.Threshold = cfg.Threshold
 		qp.CacheOn = cfg.CacheOn
-		h := &Host{Engine: en, Query: qp}
+		qp.Msgs = qryPool
+		h := &Host{Engine: en, Query: qp, msgs: msgPool, qry: qryPool}
 		nw.Register(id, h)
 		c.Hosts = append(c.Hosts, h)
 	}

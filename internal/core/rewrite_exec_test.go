@@ -8,6 +8,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/engine"
 	"repro/internal/ndlog"
+	"repro/internal/provenance"
 	"repro/internal/topology"
 	"repro/internal/types"
 )
@@ -120,32 +121,20 @@ func testRewriteEquivalence(t *testing.T, prog *ndlog.Program, preds []string, c
 	diffSets(t, "ruleExec", nativeRE, rewrittenRE)
 }
 
-// allRuleExecRows reconstructs the node's ruleExec rows by walking the
-// reverse (parent) edges of every local tuple of the given predicates.
+// allRuleExecRows enumerates the node's native ruleExec rows. (Reverse
+// parent edges no longer exist after a plain fixpoint — they are installed
+// per cached query traversal — so the rows are read from the store's
+// ruleExec partition directly.)
 func allRuleExecRows(h *Host, preds []string) []string {
+	_ = preds
 	var out []string
-	seen := map[types.ID]bool{}
-	for _, pred := range preds {
-		table := h.Engine.Table(pred)
-		if table == nil {
-			continue
+	h.Engine.Store.ForEachRuleExec(func(re provenance.RuleExecEntry) {
+		var vids []string
+		for _, v := range re.VIDList {
+			vids = append(vids, v.String())
 		}
-		for _, tu := range table.Tuples() {
-			for _, par := range h.Engine.Store.Parents(tu.VID()) {
-				if seen[par.RID] {
-					continue
-				}
-				if re, ok := h.Engine.Store.RuleExecOf(par.RID); ok {
-					seen[par.RID] = true
-					var vids []string
-					for _, v := range re.VIDList {
-						vids = append(vids, v.String())
-					}
-					out = append(out, fmt.Sprintf("%s|%s|%v", re.RID, re.Rule, vids))
-				}
-			}
-		}
-	}
+		out = append(out, fmt.Sprintf("%s|%s|%v", re.RID, re.Rule, vids))
+	})
 	sort.Strings(out)
 	return out
 }

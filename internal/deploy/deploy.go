@@ -66,6 +66,13 @@ type NodeProc struct {
 	done   chan struct{}
 	closed sync.Once
 
+	// Message free lists. All engine and query activity of a node runs on
+	// its single worker goroutine, so the unsynchronized pools are safe:
+	// outgoing messages are released right after serialization, incoming
+	// ones after their handler returns.
+	engPool *engine.MessagePool
+	qryPool *provquery.MsgPool
+
 	SentBytes atomic.Int64
 	SentMsgs  atomic.Int64
 	Recorder  *stats.Bandwidth // written only by this node's worker
@@ -83,6 +90,7 @@ type udpTransport struct{ np *NodeProc }
 
 func (t udpTransport) Send(from, to types.NodeID, m *engine.Message) {
 	t.np.sendDatagram(to, tagEngine, m.Encode(nil))
+	t.np.engPool.Put(m)
 }
 
 // NewCluster binds sockets and builds node processes; call Start to begin
@@ -113,13 +121,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			inbox:    make(chan work, 4096),
 			done:     make(chan struct{}),
 			Recorder: stats.NewBandwidth(int64(100 * time.Millisecond)),
+			engPool:  engine.NewMessagePool(),
+			qryPool:  provquery.NewMsgPool(),
 		}
 		en := engine.NewNode(np.ID, prog, cfg.Mode, udpTransport{np}, alloc)
 		en.Central = cfg.Central
+		en.Msgs = np.engPool
 		qp := provquery.NewProcessor(np.ID, en.Store, udf, func(to types.NodeID, m *provquery.Msg) {
 			np.sendDatagram(to, tagQuery, m.Encode(nil))
+			np.qryPool.Put(m)
 		})
 		qp.CacheOn = cfg.CacheOn
+		qp.Msgs = np.qryPool
 		np.Engine = en
 		np.Query = qp
 		cl.Nodes = append(cl.Nodes, np)
@@ -249,8 +262,10 @@ func (np *NodeProc) workLoop() {
 				w.command()
 			case w.engMsg != nil:
 				np.Engine.HandleMessage(w.from, w.engMsg)
+				np.engPool.Put(w.engMsg)
 			case w.qryMsg != nil:
 				np.Query.Handle(w.from, w.qryMsg)
+				np.qryPool.Put(w.qryMsg)
 			}
 			np.cl.processed.Add(1)
 		case <-np.done:

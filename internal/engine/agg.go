@@ -18,6 +18,7 @@ type aggEntry struct {
 // rows and the currently emitted output.
 type aggGroup struct {
 	entries map[string]*aggEntry
+	free    []*aggEntry   // retired entries recycled by later inserts
 	keyBuf  []byte        // reusable entry-key buffer
 	argsBuf []types.Value // reusable candidate-output buffer
 	emitBuf []aggEmit     // reusable emit buffer, valid until the next refresh
@@ -61,19 +62,36 @@ func (g *aggGroup) update(spec *AggSpec, groupVals []types.Value,
 	sortVal types.Value, carried []types.Value, input types.Tuple, sign int8) []aggEmit {
 
 	g.keyBuf = appendAggEntryKey(g.keyBuf[:0], sortVal, carried)
+	ordered := spec.Fn == "MIN" || spec.Fn == "MAX"
 	switch sign {
 	case Insert:
 		e := g.entries[string(g.keyBuf)]
 		if e == nil {
-			var kept []types.Value
-			if len(carried) > 0 {
-				kept = append(make([]types.Value, 0, len(carried)), carried...)
+			if n := len(g.free); n > 0 {
+				e = g.free[n-1]
+				g.free[n-1] = nil
+				g.free = g.free[:n-1]
+				e.input, e.sortVal, e.count = input, sortVal, 0
+				e.carried = append(e.carried[:0], carried...)
+			} else {
+				var kept []types.Value
+				if len(carried) > 0 {
+					kept = append(make([]types.Value, 0, len(carried)), carried...)
+				}
+				e = &aggEntry{input: input, sortVal: sortVal, carried: kept}
 			}
-			e = &aggEntry{input: input, sortVal: sortVal, carried: kept}
 			g.entries[string(g.keyBuf)] = e
 		}
 		e.count++
 		g.total++
+		// MIN/MAX fast path: the output only moves when the group had no
+		// output yet or the inserted row dethrones the current winner.
+		// Everything else — copies of the winner, rows worse than the
+		// winner — is the common case in route computation and skips the
+		// full rescan refresh would do.
+		if ordered && g.curOut != nil && (e == g.curWinner || !beats(spec, e, g.curWinner)) {
+			return nil
+		}
 	case Delete:
 		e := g.entries[string(g.keyBuf)]
 		if e == nil {
@@ -83,11 +101,31 @@ func (g *aggGroup) update(spec *AggSpec, groupVals []types.Value,
 		g.total--
 		if e.count <= 0 {
 			delete(g.entries, string(g.keyBuf))
+			// Recycle the entry. Safe: refresh re-resolves curWinner before
+			// this update returns, so no live reference survives (see the
+			// fast path below — a deleted winner always reaches refresh).
+			g.free = append(g.free, e)
+		}
+		// MIN/MAX fast path: removing a non-winning row, or one copy of a
+		// winner that remains in the multiset, leaves the output untouched.
+		if ordered && g.curOut != nil && (e != g.curWinner || e.count > 0) {
+			return nil
 		}
 	default:
 		return nil
 	}
 	return g.refresh(spec, groupVals)
+}
+
+// beats reports whether a wins over b under spec's ordering (including the
+// deterministic carried-value tie-break, which is strict because entries
+// are keyed by their full (sortVal, carried) encoding).
+func beats(spec *AggSpec, a, b *aggEntry) bool {
+	c := a.sortVal.Compare(b.sortVal)
+	if spec.Fn == "MAX" {
+		c = -c
+	}
+	return c < 0 || (c == 0 && compareCarried(a, b) < 0)
 }
 
 // refresh recomputes the output tuple and diffs it against the currently

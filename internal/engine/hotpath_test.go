@@ -137,6 +137,41 @@ func TestSteadyStateFiringAllocs(t *testing.T) {
 	}
 }
 
+// TestSweepSparesRetractingEntry: when the tombstone sweep fires inside
+// setVisible(e, false), the entry whose retraction triggered it must keep
+// its fields — the caller is still mid-cascade and reads its payload and
+// cached VID afterwards. All other tombstones are cleared and recycled.
+func TestSweepSparesRetractingEntry(t *testing.T) {
+	rel := NewRelation("p")
+	var entries []*entry
+	const n = 300
+	for i := 0; i < n; i++ {
+		e := rel.getOrCreate(types.NewTuple("p", types.Node(0), types.Int(int64(i))))
+		e.addDeriv(types.ID{byte(i), byte(i >> 8)}, 0).count++
+		rel.setVisible(e, true)
+		entries = append(entries, e)
+	}
+	// Retract everything; the sweep threshold (dead > 128 && dead >
+	// 2*visible) trips mid-loop while later entries are still visible.
+	swept := false
+	for _, e := range entries {
+		e.delDeriv(e.derivs[0].rid)
+		rel.setVisible(e, false)
+		if e.tuple.Pred == "" {
+			t.Fatal("sweep cleared the entry whose retraction triggered it")
+		}
+		if !swept && len(rel.freeEntries) > 0 {
+			swept = true
+		}
+	}
+	if !swept {
+		t.Fatal("sweep never triggered; threshold assumptions stale")
+	}
+	if rel.Len() != 0 {
+		t.Fatalf("Len = %d after full retraction, want 0", rel.Len())
+	}
+}
+
 // TestProcessHashesDeltaTupleOnce asserts the satellite requirement that
 // Node.process computes a delta tuple's VID exactly once: the insert hashes
 // it, and every later use — provenance rows, rule firing, parent edges, the

@@ -151,6 +151,20 @@ func (m *Message) String() string {
 // the discrete-event simulator and for real UDP sockets; the engine is
 // oblivious to which one carries its traffic (the paper's "identical
 // codebase for both simulation and deployment modes").
+//
+// Ownership: a Message passed to Send belongs to the transport from that
+// point on. When the sending Node has a MessagePool attached, the transport
+// must release the message back to it once the message is fully consumed
+// (after the receiving handler returns in simulation, after serialization
+// in deployment).
 type Transport interface {
 	Send(from, to types.NodeID, m *Message)
 }
+
+// MessagePool is an explicit free list of Message values (see types.Pool
+// for the sharing and zero-on-Put contract). Recycling the structs removes
+// the per-message allocation class from the simulation entirely.
+type MessagePool = types.Pool[Message]
+
+// NewMessagePool creates an empty pool.
+func NewMessagePool() *MessagePool { return &MessagePool{} }

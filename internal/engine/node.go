@@ -62,6 +62,11 @@ type Node struct {
 	Transport Transport
 	Central   types.NodeID // ProvCentralized: the server node
 
+	// Msgs, when set, is the free list outgoing messages are drawn from;
+	// the transport releases them after delivery (see Transport). Nil keeps
+	// plain allocation (tests with transports that retain messages).
+	Msgs *MessagePool
+
 	// Store holds this node's partition of the provenance graph
 	// (reference and centralized modes).
 	Store *provenance.Store
@@ -616,18 +621,14 @@ func (n *Node) emitDerivation(rule *CompiledRule, env []types.Value,
 	if sign != Update {
 		switch n.Mode {
 		case ProvReference:
-			var headVID types.ID
-			headVID, n.hashBuf = head.VIDBuf(n.hashBuf)
+			// Reverse (parent) edges are installed by the query processor
+			// when it caches a traversal (§6.1), so a derivation records
+			// only its ruleExec row — no head hashing, no per-input edge
+			// maintenance on this path.
 			if sign == Insert {
 				n.Store.AddRuleExec(rid, rule.Label, inputVIDs)
-				for _, in := range inputVIDs {
-					n.Store.AddParent(in, rid, headVID, dst)
-				}
 			} else {
 				n.Store.DelRuleExec(rid)
-				for _, in := range inputVIDs {
-					n.Store.DelParent(in, rid, headVID, dst)
-				}
 			}
 		case ProvCentralized:
 			// The deriving node knows the whole derivation: it relays both
@@ -655,7 +656,8 @@ func (n *Node) route(head types.Tuple, dst types.NodeID, sign int8, rid types.ID
 		n.enqueue(localDelta{tuple: head, sign: sign, rid: rid, rloc: n.ID, payload: payload})
 		return
 	}
-	m := &Message{Tuple: head, Delta: sign}
+	m := n.newMessage()
+	m.Tuple, m.Delta = head, sign
 	switch n.Mode {
 	case ProvReference:
 		m.HasRef, m.RID, m.RLoc = true, rid, n.ID
@@ -667,6 +669,10 @@ func (n *Node) route(head types.Tuple, dst types.NodeID, sign int8, rid types.ID
 	}
 	n.Transport.Send(n.ID, dst, m)
 }
+
+// newMessage draws an outgoing message from the pool (nil pool: plain
+// allocation).
+func (n *Node) newMessage() *Message { return n.Msgs.Get() }
 
 // fireAgg routes a delta of an aggregate rule's body predicate through the
 // group state.
@@ -792,14 +798,10 @@ func (n *Node) emitAggChange(rule *CompiledRule, out types.Tuple, em aggEmit, ca
 		rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, n.vidBuf[:1], n.ridBuf)
 		switch n.Mode {
 		case ProvReference:
-			var headVID types.ID
-			headVID, n.hashBuf = out.VIDBuf(n.hashBuf)
 			if em.sign == Insert {
 				n.Store.AddRuleExec(rid, rule.Label, n.vidBuf[:1])
-				n.Store.AddParent(winVID, rid, headVID, n.ID)
 			} else {
 				n.Store.DelRuleExec(rid)
-				n.Store.DelParent(winVID, rid, headVID, n.ID)
 			}
 		case ProvCentralized:
 			var headVID types.ID
@@ -828,7 +830,9 @@ func (n *Node) sendProvRow(loc types.NodeID, vid, rid types.ID, rloc types.NodeI
 		n.enqueue(localDelta{tuple: row, sign: sign, rloc: n.ID})
 		return
 	}
-	n.Transport.Send(n.ID, n.Central, &Message{Tuple: row, Delta: sign})
+	m := n.newMessage()
+	m.Tuple, m.Delta = row, sign
+	n.Transport.Send(n.ID, n.Central, m)
 }
 
 func (n *Node) sendRuleExecRow(rid types.ID, rule string, inputs []types.ID, sign int8) {
@@ -841,5 +845,7 @@ func (n *Node) sendRuleExecRow(rid types.ID, rule string, inputs []types.ID, sig
 		n.enqueue(localDelta{tuple: row, sign: sign, rloc: n.ID})
 		return
 	}
-	n.Transport.Send(n.ID, n.Central, &Message{Tuple: row, Delta: sign})
+	m := n.newMessage()
+	m.Tuple, m.Delta = row, sign
+	n.Transport.Send(n.ID, n.Central, m)
 }

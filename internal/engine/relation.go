@@ -73,10 +73,16 @@ func (e *entry) delDeriv(rid types.ID) {
 
 // VIDBuf returns the tuple's provenance vertex identifier, computing and
 // caching it on first use. buf is scratch for the canonical encoding; the
-// (possibly grown) buffer is returned for reuse.
+// (possibly grown) buffer is returned for reuse. The cached map key IS the
+// canonical encoding, so the first hash copies it instead of re-encoding
+// the tuple value by value.
 func (e *entry) VIDBuf(buf []byte) (types.ID, []byte) {
 	if !e.vidOK {
-		e.vid, buf = e.tuple.VIDBuf(buf)
+		if e.key != "" {
+			e.vid, buf = types.VIDOfKey(e.tuple, e.key, buf)
+		} else {
+			e.vid, buf = e.tuple.VIDBuf(buf)
+		}
 		e.vidOK = true
 	}
 	return e.vid, buf
@@ -84,12 +90,55 @@ func (e *entry) VIDBuf(buf []byte) (types.ID, []byte) {
 
 // Relation is a materialized table with hash indexes maintained
 // incrementally as tuples become visible and invisible.
+//
+// Fully retracted entries are kept in the map as tombstones instead of
+// being deleted: under churn the same tuples are re-derived moments later,
+// and a reused tombstone brings back its canonical key string and cached
+// SHA-1 VID for free (re-deriving a route after a link flap costs neither
+// an allocation nor a hash). The tombstone population is bounded by sweep:
+// memory stays within a small factor of the live high-water mark.
 type Relation struct {
 	name    string
 	entries map[string]*entry
 	indexes map[string]*index
 	visible int    // O(1) Len
+	dead    int    // invisible derivation-free entries retained for reuse
 	scratch []byte // reusable key-encoding buffer
+
+	// freeEntries recycles entry structs reclaimed by sweep; derivArena
+	// chunk-allocates initial derivation slices. Most tuples carry exactly
+	// one derivation, so the per-entry "first append" used to be one of
+	// the largest allocation classes in fixpoint profiles. deriv holds no
+	// pointers, so arena chunks cost the garbage collector nothing to
+	// scan; entry does hold pointers and therefore goes through a cleared
+	// free list rather than an arena that would pin dead tuples.
+	freeEntries []*entry
+	derivArena  []deriv
+}
+
+const derivArenaChunk = 256
+
+// allocEntry returns a zeroed entry, recycling one swept earlier if
+// available.
+func (r *Relation) allocEntry() *entry {
+	if n := len(r.freeEntries); n > 0 {
+		e := r.freeEntries[n-1]
+		r.freeEntries[n-1] = nil
+		r.freeEntries = r.freeEntries[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
+// allocDerivs carves an empty capacity-1 derivation slice from the chunked
+// arena; entries with alternative derivations spill to a regular append.
+func (r *Relation) allocDerivs() []deriv {
+	if len(r.derivArena) == cap(r.derivArena) {
+		r.derivArena = make([]deriv, 0, derivArenaChunk)
+	}
+	n := len(r.derivArena)
+	r.derivArena = r.derivArena[:n+1]
+	return r.derivArena[n : n : n+1]
 }
 
 // index is a hash index over a fixed set of argument positions. Buckets are
@@ -154,14 +203,27 @@ func (r *Relation) get(t types.Tuple) *entry {
 }
 
 // getOrCreate returns the entry for a tuple, creating an invisible one if
-// needed.
+// needed. A matching tombstone is revived: its cached key and VID carry
+// over (equal canonical encodings imply equal tuples and equal VIDs).
 func (r *Relation) getOrCreate(t types.Tuple) *entry {
 	r.scratch = t.Encode(r.scratch[:0])
 	if e := r.entries[string(r.scratch)]; e != nil {
+		if !e.visible && len(e.derivs) == 0 {
+			// Revival: the provenance store dropped this VID's rows when
+			// the last derivation went, so the VID→tuple mapping must be
+			// re-registered, and value-mode payloads restart from scratch.
+			// The cached key and VID stay valid (equal encodings imply
+			// equal tuples).
+			r.dead--
+			e.stored = false
+			e.payload = bdd.False
+		}
 		return e
 	}
 	k := string(r.scratch)
-	e := &entry{tuple: t, key: k, payload: bdd.False}
+	e := r.allocEntry()
+	e.tuple, e.key, e.payload = t, k, bdd.False
+	e.derivs = r.allocDerivs()
 	r.entries[k] = e
 	return e
 }
@@ -186,8 +248,32 @@ func (r *Relation) setVisible(e *entry, visible bool) {
 		}
 	}
 	if !visible && len(e.derivs) == 0 {
-		delete(r.entries, e.key)
+		// Tombstone the entry for reuse rather than deleting it. Its fields
+		// are left untouched — the caller is still mid-retraction and fires
+		// the delete cascade with e.payload; getOrCreate resets state on
+		// revival.
+		r.dead++
+		if r.dead > 128 && r.dead > 2*r.visible {
+			r.sweep(e)
+		}
 	}
+}
+
+// sweep deletes all tombstones except spare, bounding retained memory to a
+// small factor of the live entry count. Swept entries are cleared
+// (releasing their tuples and keys) and recycled through the free list.
+// spare is the entry whose retraction triggered the sweep: its caller is
+// still mid-cascade and reads its payload and cached VID after this
+// returns, so it must survive untouched.
+func (r *Relation) sweep(spare *entry) {
+	for k, e := range r.entries {
+		if e != spare && !e.visible && len(e.derivs) == 0 {
+			delete(r.entries, k)
+			*e = entry{}
+			r.freeEntries = append(r.freeEntries, e)
+		}
+	}
+	r.dead = 1 // the spared tombstone remains
 }
 
 func removeEntry(list []*entry, e *entry) []*entry {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/apps"
 	"repro/internal/engine"
@@ -105,6 +106,10 @@ func newChurner(topo *topology.Topology, rng *rand.Rand) *churner {
 	for n := range stubSet {
 		ch.stubs = append(ch.stubs, n)
 	}
+	// Map iteration order is random; the stub list feeds seeded link
+	// synthesis, so it must be in a canonical order for a fixed seed to
+	// yield a fixed churn sequence.
+	sort.Slice(ch.stubs, func(i, j int) bool { return ch.stubs[i] < ch.stubs[j] })
 	return ch
 }
 

@@ -67,6 +67,11 @@ type parentKey struct {
 }
 
 // Store is one node's partition of the provenance graph.
+//
+// Reverse dataflow edges (parents) are installed lazily by the query
+// processor when it caches a traversal level — §6.1 invalidation is their
+// only consumer, so their maintenance cost is paid per cached query, never
+// per derivation on the engine's hot path.
 type Store struct {
 	Node types.NodeID
 
@@ -75,6 +80,15 @@ type Store struct {
 	tuples    map[types.ID]types.Tuple
 	parents   map[types.ID][]Parent
 	parentIdx map[parentKey]int // position inside parents[vid]
+
+	// Chunked arenas for the first element of per-VID row slices and for
+	// ruleExec input lists. Most VIDs have exactly one prov row and one
+	// parent edge, so the per-VID "first append" allocations dominated the
+	// store's profile; carving capacity-1 slices from a chunk amortizes
+	// them to ~1/chunk. Longer lists spill to regular append growth.
+	provArena   []ProvEntry
+	parentArena []Parent
+	vidArena    []types.ID
 
 	// OnProvChange, when set, fires after the derivation set of a local
 	// VID changes (entry added or removed). The query cache uses it for
@@ -92,6 +106,46 @@ func NewStore(node types.NodeID) *Store {
 		parents:   make(map[types.ID][]Parent),
 		parentIdx: make(map[parentKey]int),
 	}
+}
+
+const storeArenaChunk = 256
+
+func (s *Store) allocProv1() []ProvEntry {
+	if len(s.provArena) == cap(s.provArena) {
+		s.provArena = make([]ProvEntry, 0, storeArenaChunk)
+	}
+	n := len(s.provArena)
+	s.provArena = s.provArena[:n+1]
+	return s.provArena[n : n : n+1]
+}
+
+func (s *Store) allocParent1() []Parent {
+	if len(s.parentArena) == cap(s.parentArena) {
+		s.parentArena = make([]Parent, 0, storeArenaChunk)
+	}
+	n := len(s.parentArena)
+	s.parentArena = s.parentArena[:n+1]
+	return s.parentArena[n : n : n+1]
+}
+
+// allocVIDs carves a copy of vidList from the chunked ID arena.
+func (s *Store) allocVIDs(vidList []types.ID) []types.ID {
+	k := len(vidList)
+	if k == 0 {
+		return nil
+	}
+	if len(s.vidArena)+k > cap(s.vidArena) {
+		size := storeArenaChunk
+		if k > size {
+			size = k
+		}
+		s.vidArena = make([]types.ID, 0, size)
+	}
+	n := len(s.vidArena)
+	s.vidArena = s.vidArena[:n+k]
+	cp := s.vidArena[n : n+k : n+k]
+	copy(cp, vidList)
+	return cp
 }
 
 // RegisterTuple records the VID→tuple mapping for a local tuple.
@@ -125,6 +179,9 @@ func (s *Store) AddProv(vid, rid types.ID, rloc types.NodeID) {
 			s.changed(vid)
 			return
 		}
+	}
+	if entries == nil {
+		entries = s.allocProv1()
 	}
 	s.prov[vid] = append(entries, ProvEntry{VID: vid, RID: rid, RLoc: rloc, Count: 1})
 	s.changed(vid)
@@ -169,9 +226,7 @@ func (s *Store) AddRuleExec(rid types.ID, rule string, vidList []types.ID) {
 		s.ruleExec[rid] = e
 		return
 	}
-	cp := make([]types.ID, len(vidList))
-	copy(cp, vidList)
-	s.ruleExec[rid] = RuleExecEntry{RID: rid, Rule: rule, VIDList: cp, Count: 1}
+	s.ruleExec[rid] = RuleExecEntry{RID: rid, Rule: rule, VIDList: s.allocVIDs(vidList), Count: 1}
 }
 
 // DelRuleExec decrements (and possibly removes) a ruleExec entry.
@@ -195,6 +250,14 @@ func (s *Store) RuleExecOf(rid types.ID) (RuleExecEntry, bool) {
 	return e, ok
 }
 
+// ForEachRuleExec invokes fn for every visible ruleExec entry (iteration
+// order is unspecified).
+func (s *Store) ForEachRuleExec(fn func(RuleExecEntry)) {
+	for _, e := range s.ruleExec {
+		fn(e)
+	}
+}
+
 // AddParent records that local tuple vid was consumed by rule execution rid
 // deriving headVID at headLoc.
 func (s *Store) AddParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
@@ -205,6 +268,9 @@ func (s *Store) AddParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
 		return
 	}
 	s.parentIdx[k] = len(list)
+	if list == nil {
+		list = s.allocParent1()
+	}
 	s.parents[vid] = append(list, Parent{RID: rid, HeadVID: headVID, HeadLoc: headLoc, Count: 1})
 }
 
@@ -239,6 +305,19 @@ func (s *Store) DelParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
 // not mutate the returned slice.
 func (s *Store) Parents(vid types.ID) []Parent { return s.parents[vid] }
 
+// DropParents removes every reverse edge of a VID (an invalidation wave
+// consumed them). A slice previously returned by Parents stays readable.
+func (s *Store) DropParents(vid types.ID) {
+	list, ok := s.parents[vid]
+	if !ok {
+		return
+	}
+	for i := range list {
+		delete(s.parentIdx, parentKey{vid: vid, rid: list[i].RID})
+	}
+	delete(s.parents, vid)
+}
+
 // NumProv reports the number of visible prov entries in the partition.
 func (s *Store) NumProv() int {
 	n := 0
@@ -250,6 +329,9 @@ func (s *Store) NumProv() int {
 
 // NumRuleExec reports the number of visible ruleExec entries.
 func (s *Store) NumRuleExec() int { return len(s.ruleExec) }
+
+// NumParents reports the number of reverse dataflow edges.
+func (s *Store) NumParents() int { return len(s.parentIdx) }
 
 // ProvRows renders the partition's prov relation as sorted printable rows
 // (Loc, tuple, RID short, RLoc) — the format of the paper's Table 1.

@@ -25,7 +25,11 @@ const (
 	// KProvResult is eProvResults(@Ret, QID, VID, Prov).
 	KProvResult
 	// KRuleQuery is eRuleQuery(@RLoc, RQID, RID, X): expand the rule
-	// execution vertex RID.
+	// execution vertex RID. It additionally carries the VID of the head
+	// tuple being expanded (the querying vertex), which the rule node
+	// records on its reverse dataflow edges when it caches the result —
+	// §6.1 invalidation bookkeeping is paid per cached traversal, not per
+	// derivation.
 	KRuleQuery
 	// KRuleResult is eRuleResults(@X, RQID, RID, Prov).
 	KRuleResult
@@ -37,7 +41,7 @@ const (
 type Msg struct {
 	Kind    MsgKind
 	QID     types.ID // query instance (RQID for rule queries)
-	VID     types.ID // tuple vertex (prov queries/results, invalidation)
+	VID     types.ID // tuple vertex (prov queries/results, invalidation, rule queries: the head being expanded)
 	RID     types.ID // rule execution vertex (rule queries/results)
 	Ret     types.NodeID
 	Payload []byte // UDF-encoded provenance (results only)
@@ -46,8 +50,10 @@ type Msg struct {
 // WireSize reports the serialized size in bytes.
 func (m *Msg) WireSize() int {
 	switch m.Kind {
-	case KProvQuery, KRuleQuery:
+	case KProvQuery:
 		return 1 + types.IDLen + types.IDLen + 4
+	case KRuleQuery:
+		return 1 + types.IDLen + types.IDLen + types.IDLen + 4
 	case KProvResult, KRuleResult:
 		return 1 + types.IDLen + types.IDLen + 4 + uvarintLen(uint64(len(m.Payload))) + len(m.Payload)
 	case KInvalidate:
@@ -67,6 +73,7 @@ func (m *Msg) Encode(dst []byte) []byte {
 	case KRuleQuery:
 		dst = append(dst, m.QID[:]...)
 		dst = append(dst, m.RID[:]...)
+		dst = append(dst, m.VID[:]...)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(m.Ret)))
 	case KProvResult:
 		dst = append(dst, m.QID[:]...)
@@ -85,6 +92,16 @@ func (m *Msg) Encode(dst []byte) []byte {
 	}
 	return dst
 }
+
+// MsgPool is an explicit free list of protocol messages (see types.Pool
+// for the sharing and zero-on-Put contract): query traversals exchange
+// many small Msg structs, and recycling them keeps the steady-state query
+// path allocation-free. Releasing a Msg drops (never reuses) its Payload
+// slice, so results retained by pending queries and caches are unaffected.
+type MsgPool = types.Pool[Msg]
+
+// NewMsgPool creates an empty pool.
+func NewMsgPool() *MsgPool { return &MsgPool{} }
 
 var errBadMsg = errors.New("provquery: malformed message")
 
@@ -128,7 +145,7 @@ func DecodeMsg(b []byte) (*Msg, error) {
 			return nil, errBadMsg
 		}
 	case KRuleQuery:
-		if !readID(&m.QID) || !readID(&m.RID) || !readRet() {
+		if !readID(&m.QID) || !readID(&m.RID) || !readID(&m.VID) || !readRet() {
 			return nil, errBadMsg
 		}
 	case KProvResult:

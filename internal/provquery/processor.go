@@ -66,6 +66,7 @@ type pendProv struct {
 type pendRule struct {
 	rqid, rid types.ID
 	ret       types.NodeID
+	headVID   types.ID // the tuple vertex this rule execution derives
 	rule      string
 	children  []types.ID
 	results   [][]byte
@@ -92,8 +93,14 @@ type Processor struct {
 
 	// Send ships a protocol message to another node; the runtime charges
 	// its wire size. Self-sends never occur (local work is dispatched
-	// directly, like RapidNet local events).
+	// directly, like RapidNet local events). A sent Msg belongs to the
+	// transport: when Msgs is set, the transport releases it back to the
+	// pool once consumed.
 	Send func(to types.NodeID, m *Msg)
+
+	// Msgs, when set, is the free list protocol messages are drawn from.
+	// Nil keeps plain allocation.
+	Msgs *MsgPool
 
 	rng *rand.Rand
 
@@ -152,14 +159,20 @@ func (p *Processor) Query(vid types.ID, loc types.NodeID, cb func(payload []byte
 	copy(b[12:], vid[:16])
 	qid := types.HashBytes(b[:])
 	p.onComplete[qid] = cb
-	m := &Msg{Kind: KProvQuery, QID: qid, VID: vid, Ret: p.Node}
+	m := p.newMsg()
+	m.Kind, m.QID, m.VID, m.Ret = KProvQuery, qid, vid, p.Node
 	if loc == p.Node {
 		p.handleProvQuery(m)
+		p.Msgs.Put(m)
 	} else {
 		p.Send(loc, m)
 	}
 	return qid
 }
+
+// newMsg draws an outgoing message from the pool (nil pool: plain
+// allocation).
+func (p *Processor) newMsg() *Msg { return p.Msgs.Get() }
 
 // Handle dispatches an incoming protocol message.
 func (p *Processor) Handle(from types.NodeID, m *Msg) {
@@ -177,9 +190,14 @@ func (p *Processor) Handle(from types.NodeID, m *Msg) {
 	}
 }
 
+// reply routes a response message. Locally-dispatched messages are dead
+// once Handle returns (handlers copy the fields they keep and may retain
+// the Payload slice, never the struct), so they go straight back to the
+// pool.
 func (p *Processor) reply(to types.NodeID, m *Msg) {
 	if to == p.Node {
 		p.Handle(p.Node, m)
+		p.Msgs.Put(m)
 		return
 	}
 	p.Send(to, m)
@@ -192,7 +210,9 @@ func (p *Processor) handleProvQuery(m *Msg) {
 	if p.CacheOn {
 		if ce, ok := p.cache[m.VID]; ok && ce.udf == p.UDF.Name() {
 			p.CacheHits++
-			p.reply(m.Ret, &Msg{Kind: KProvResult, QID: m.QID, VID: m.VID, Ret: m.Ret, Payload: ce.payload})
+			r := p.newMsg()
+			r.Kind, r.QID, r.VID, r.Ret, r.Payload = KProvResult, m.QID, m.VID, m.Ret, ce.payload
+			p.reply(m.Ret, r)
 			return
 		}
 		p.CacheMisses++
@@ -311,9 +331,11 @@ func (p *Processor) issueRuleChild(pp *pendProv, idx int) {
 	c := &pp.children[idx]
 	rqid := subQueryID(pp.qid, c.rid)
 	p.rqidToProv[rqid] = childRef{parent: pp.qid, idx: idx}
-	m := &Msg{Kind: KRuleQuery, QID: rqid, RID: c.rid, Ret: p.Node}
+	m := p.newMsg()
+	m.Kind, m.QID, m.RID, m.VID, m.Ret = KRuleQuery, rqid, c.rid, pp.vid, p.Node
 	if c.rloc == p.Node {
 		p.handleRuleQuery(m)
+		p.Msgs.Put(m)
 		return
 	}
 	p.Send(c.rloc, m)
@@ -345,7 +367,9 @@ func (p *Processor) maybeFinishProv(pp *pendProv) {
 			p.cache[pp.vid] = &cacheEntry{udf: p.UDF.Name(), payload: res}
 		}
 	}
-	p.reply(pp.ret, &Msg{Kind: KProvResult, QID: pp.qid, VID: pp.vid, Ret: pp.ret, Payload: res})
+	r := p.newMsg()
+	r.Kind, r.QID, r.VID, r.Ret, r.Payload = KProvResult, pp.qid, pp.vid, pp.ret, res
+	p.reply(pp.ret, r)
 }
 
 func (p *Processor) handleRuleResult(m *Msg) {
@@ -374,7 +398,9 @@ func (p *Processor) handleRuleQuery(m *Msg) {
 	if p.CacheOn {
 		if ce, ok := p.ruleCache[m.RID]; ok && ce.udf == p.UDF.Name() {
 			p.CacheHits++
-			p.reply(m.Ret, &Msg{Kind: KRuleResult, QID: m.QID, RID: m.RID, Ret: m.Ret, Payload: ce.payload})
+			r := p.newMsg()
+			r.Kind, r.QID, r.RID, r.Ret, r.Payload = KRuleResult, m.QID, m.RID, m.Ret, ce.payload
+			p.reply(m.Ret, r)
 			return
 		}
 		p.CacheMisses++
@@ -384,13 +410,16 @@ func (p *Processor) handleRuleQuery(m *Msg) {
 		// The rule execution was retracted while the query was in flight
 		// (churn); answer with the empty product.
 		res := p.UDF.Rule(nil, "?", p.Node)
-		p.reply(m.Ret, &Msg{Kind: KRuleResult, QID: m.QID, RID: m.RID, Ret: m.Ret, Payload: res})
+		r := p.newMsg()
+		r.Kind, r.QID, r.RID, r.Ret, r.Payload = KRuleResult, m.QID, m.RID, m.Ret, res
+		p.reply(m.Ret, r)
 		return
 	}
 	pr := &pendRule{
 		rqid:     m.QID,
 		rid:      m.RID,
 		ret:      m.Ret,
+		headVID:  m.VID,
 		rule:     re.Rule,
 		children: re.VIDList,
 		results:  make([][]byte, len(re.VIDList)),
@@ -435,7 +464,10 @@ func (p *Processor) advanceRule(pr *pendRule) {
 func (p *Processor) issueProvChild(pr *pendRule, idx int, vid types.ID) {
 	qid := subQueryID(pr.rqid, vid)
 	p.qidToRule[qid] = childRef{parent: pr.rqid, idx: idx}
-	p.handleProvQuery(&Msg{Kind: KProvQuery, QID: qid, VID: vid, Ret: p.Node})
+	m := p.newMsg()
+	m.Kind, m.QID, m.VID, m.Ret = KProvQuery, qid, vid, p.Node
+	p.handleProvQuery(m)
+	p.Msgs.Put(m)
 }
 
 func (p *Processor) maybeFinishRule(pr *pendRule) {
@@ -459,8 +491,19 @@ func (p *Processor) maybeFinishRule(pr *pendRule) {
 	res := p.UDF.Rule(collect(pr.results, pr.done), pr.rule, p.Node)
 	if p.CacheOn && complete && p.Strategy != Moonwalk {
 		p.ruleCache[pr.rid] = &cacheEntry{udf: p.UDF.Name(), payload: res}
+		// Install the §6.1 reverse dataflow edges for this now-cached
+		// traversal level: each input tuple (local, bodies are localized)
+		// points through this rule execution at the head vertex it
+		// derives. Edges are created here — per cached traversal — rather
+		// than on every derivation in the engine, and are consumed when an
+		// invalidation wave clears this level.
+		for _, child := range pr.children {
+			p.Store.AddParent(child, pr.rid, pr.headVID, pr.ret)
+		}
 	}
-	p.reply(pr.ret, &Msg{Kind: KRuleResult, QID: pr.rqid, RID: pr.rid, Ret: pr.ret, Payload: res})
+	r := p.newMsg()
+	r.Kind, r.QID, r.RID, r.Ret, r.Payload = KRuleResult, pr.rqid, pr.rid, pr.ret, res
+	p.reply(pr.ret, r)
 }
 
 func (p *Processor) handleProvResult(m *Msg) {
@@ -493,7 +536,10 @@ func (p *Processor) handleProvResult(m *Msg) {
 // invalidate drops cached results that depend on vid and propagates the
 // invalidation flag toward dependent (head) tuples. Propagation stops as
 // soon as a node had nothing cached: a cached ancestor implies cached
-// results along the whole reverse path, so an empty cache bounds the walk.
+// results along the whole reverse path (complete traversals cache — and
+// install reverse edges — at every level), so an empty cache bounds the
+// walk. The walked edges are consumed: every cache at or above this vertex
+// is cold afterwards, and the next cached traversal re-installs them.
 func (p *Processor) invalidate(vid types.ID) {
 	if !p.CacheOn {
 		return
@@ -503,24 +549,37 @@ func (p *Processor) invalidate(vid types.ID) {
 		delete(p.cache, vid)
 		removed = true
 	}
-	for _, par := range p.Store.Parents(vid) {
+	parents := p.Store.Parents(vid)
+	for _, par := range parents {
 		if _, ok := p.ruleCache[par.RID]; ok {
 			delete(p.ruleCache, par.RID)
 			removed = true
 		}
 	}
+	if len(parents) > 0 {
+		p.Store.DropParents(vid)
+	}
 	if !removed {
 		return
 	}
 	p.Invalidations++
-	for _, par := range p.Store.Parents(vid) {
+	for _, par := range parents {
 		if par.HeadLoc == p.Node {
 			p.invalidate(par.HeadVID)
 		} else {
-			p.Send(par.HeadLoc, &Msg{Kind: KInvalidate, VID: par.HeadVID})
+			m := p.newMsg()
+			m.Kind, m.VID = KInvalidate, par.HeadVID
+			p.Send(par.HeadLoc, m)
 		}
 	}
 }
 
 // CacheSize reports the number of cached vertex results (tuple + rule).
 func (p *Processor) CacheSize() int { return len(p.cache) + len(p.ruleCache) }
+
+// Pending reports the number of in-flight query protocol records (pending
+// traversals, child references and completion callbacks) — a diagnostic
+// for leak detection in long churn runs.
+func (p *Processor) Pending() int {
+	return len(p.pendProv) + len(p.pendRule) + len(p.rqidToProv) + len(p.qidToRule) + len(p.onComplete)
+}

@@ -1,7 +1,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/stats"
@@ -23,6 +22,15 @@ func mkEdge(u, v types.NodeID) edge {
 	return edge{u, v}
 }
 
+// neighbor is one adjacency entry with the link parameters inlined, so
+// Dijkstra's inner loop walks a flat slice instead of hitting the links map
+// once per edge.
+type neighbor struct {
+	to  types.NodeID
+	lat Time
+	bps int64
+}
+
 // Network models the physical substrate: nodes joined by links with latency
 // and bandwidth. Messages between non-adjacent nodes (provenance queries
 // are node-to-node at the IP layer) follow the minimum-latency path; the
@@ -31,14 +39,21 @@ type Network struct {
 	sim      *Sim
 	n        int
 	links    map[edge]Link
-	adj      map[types.NodeID][]types.NodeID
-	handlers map[types.NodeID]Handler
+	adj      [][]neighbor // indexed by NodeID
+	handlers []Handler    // indexed by NodeID
 
-	// routes caches minimum-latency path data; invalidated on topology
-	// changes (churn).
-	routeLat   [][]Time
-	routeBps   [][]int64
-	routeDirty bool
+	// Route caches are per-source and lazy: a topology change only bumps
+	// topoGen, and a source's row is recomputed by Dijkstra on its next
+	// send. Under churn this replaces the old eager all-pairs recompute
+	// with one single-source run per node that actually transmits.
+	routeLat [][]Time  // per source; nil until first used
+	routeBps [][]int64 // per source; nil until first used
+	routeGen []uint64  // topoGen the source's row was computed at (0 = never)
+	topoGen  uint64
+
+	// Dijkstra scratch, reused across recomputes.
+	djDone []bool
+	djHeap []dijkstraItem
 
 	// Accounting.
 	SentBytes   []int64 // per sending node
@@ -60,12 +75,15 @@ func NewNetwork(sim *Sim, n int) *Network {
 		sim:         sim,
 		n:           n,
 		links:       make(map[edge]Link),
-		adj:         make(map[types.NodeID][]types.NodeID),
-		handlers:    make(map[types.NodeID]Handler),
+		adj:         make([][]neighbor, n),
+		handlers:    make([]Handler, n),
+		routeLat:    make([][]Time, n),
+		routeBps:    make([][]int64, n),
+		routeGen:    make([]uint64, n),
+		topoGen:     1,
 		SentBytes:   make([]int64, n),
 		RecvBytes:   make([]int64, n),
 		SentMsgs:    make([]int64, n),
-		routeDirty:  true,
 		MsgOverhead: DefaultMsgOverhead,
 	}
 }
@@ -82,12 +100,25 @@ func (nw *Network) Register(node types.NodeID, h Handler) { nw.handlers[node] = 
 // AddLink installs (or replaces) the bidirectional link u-v.
 func (nw *Network) AddLink(u, v types.NodeID, l Link) {
 	e := mkEdge(u, v)
-	if _, exists := nw.links[e]; !exists {
-		nw.adj[u] = append(nw.adj[u], v)
-		nw.adj[v] = append(nw.adj[v], u)
+	if _, exists := nw.links[e]; exists {
+		nw.setNeighbor(u, v, l)
+		nw.setNeighbor(v, u, l)
+	} else {
+		nw.adj[u] = append(nw.adj[u], neighbor{to: v, lat: l.Latency, bps: l.Bps})
+		nw.adj[v] = append(nw.adj[v], neighbor{to: u, lat: l.Latency, bps: l.Bps})
 	}
 	nw.links[e] = l
-	nw.routeDirty = true
+	nw.topoGen++
+}
+
+func (nw *Network) setNeighbor(u, v types.NodeID, l Link) {
+	list := nw.adj[u]
+	for i := range list {
+		if list[i].to == v {
+			list[i].lat, list[i].bps = l.Latency, l.Bps
+			return
+		}
+	}
 }
 
 // RemoveLink removes the bidirectional link u-v; it reports whether the
@@ -98,16 +129,22 @@ func (nw *Network) RemoveLink(u, v types.NodeID) bool {
 		return false
 	}
 	delete(nw.links, e)
-	nw.adj[u] = removeNode(nw.adj[u], v)
-	nw.adj[v] = removeNode(nw.adj[v], u)
-	nw.routeDirty = true
+	nw.adj[u] = removeNeighbor(nw.adj[u], v)
+	nw.adj[v] = removeNeighbor(nw.adj[v], u)
+	nw.topoGen++
 	return true
 }
 
-func removeNode(list []types.NodeID, x types.NodeID) []types.NodeID {
-	for i, n := range list {
-		if n == x {
-			return append(list[:i], list[i+1:]...)
+// removeNeighbor swap-deletes the entry for x. Adjacency order is not part
+// of the simulator's contract (routing orders by latency, FIFO ties by
+// scheduling sequence), so the O(1) delete is safe.
+func removeNeighbor(list []neighbor, x types.NodeID) []neighbor {
+	for i := range list {
+		if list[i].to == x {
+			last := len(list) - 1
+			list[i] = list[last]
+			list[last] = neighbor{}
+			return list[:last]
 		}
 	}
 	return list
@@ -119,9 +156,13 @@ func (nw *Network) HasLink(u, v types.NodeID) bool {
 	return ok
 }
 
-// Neighbors returns the direct neighbors of u. Callers must not mutate the
-// returned slice.
-func (nw *Network) Neighbors(u types.NodeID) []types.NodeID { return nw.adj[u] }
+// Neighbors appends the direct neighbors of u to dst and returns it.
+func (nw *Network) Neighbors(u types.NodeID, dst []types.NodeID) []types.NodeID {
+	for _, nb := range nw.adj[u] {
+		dst = append(dst, nb.to)
+	}
+	return dst
+}
 
 // NumLinks reports the number of installed links.
 func (nw *Network) NumLinks() int { return len(nw.links) }
@@ -131,58 +172,50 @@ func (nw *Network) NumLinks() int { return len(nw.links) }
 // delay. Messages to self are delivered after a fixed small local delay.
 func (nw *Network) Send(from, to types.NodeID, payload any, size int) {
 	total := size + nw.MsgOverhead
-	if from != to {
+	var delay Time
+	if from == to {
 		// Self-deliveries are local events: they never reach the wire and
 		// cost no bandwidth, mirroring RapidNet local event dispatch.
+		delay = 10 * Microsecond
+	} else {
+		lat, bps := nw.pathCost(from, to)
+		if bps <= 0 {
+			// Unreachable right now (e.g. under churn): drop, as UDP would.
+			// Nothing was put on the wire, so nothing is charged.
+			return
+		}
 		nw.SentBytes[from] += int64(total)
 		nw.SentMsgs[from]++
 		nw.TotalBytes += int64(total)
 		if nw.Recorder != nil {
 			nw.Recorder.Record(int64(nw.sim.Now()), int64(total))
 		}
-	}
-	var delay Time
-	if from == to {
-		delay = 10 * Microsecond
-	} else {
-		lat, bps := nw.pathCost(from, to)
-		if bps <= 0 {
-			// Unreachable right now (e.g. under churn): drop, as UDP would.
-			return
-		}
 		delay = lat + Time(int64(total)*8*int64(Second)/bps)
 	}
-	nw.sim.After(delay, func() {
-		if h, ok := nw.handlers[to]; ok {
-			if from != to {
-				nw.RecvBytes[to] += int64(total)
-			}
-			h.HandleMessage(from, payload, total)
-		}
-	})
+	nw.sim.scheduleMessage(nw.sim.now+delay, nw, from, to, payload, total)
+}
+
+// deliver hands a scheduled message to its destination handler.
+func (nw *Network) deliver(from, to types.NodeID, payload any, size int) {
+	h := nw.handlers[to]
+	if h == nil {
+		return
+	}
+	if from != to {
+		nw.RecvBytes[to] += int64(size)
+	}
+	h.HandleMessage(from, payload, size)
 }
 
 // pathCost returns (latency, bottleneck bandwidth) of the minimum-latency
-// path between two nodes, or (0, 0) when unreachable.
+// path between two nodes, or (0, 0) when unreachable. The source's route
+// row is recomputed on demand when stale.
 func (nw *Network) pathCost(u, v types.NodeID) (Time, int64) {
-	if nw.routeDirty {
-		nw.recomputeRoutes()
+	if nw.routeGen[u] != nw.topoGen {
+		nw.dijkstraFrom(u)
+		nw.routeGen[u] = nw.topoGen
 	}
 	return nw.routeLat[u][v], nw.routeBps[u][v]
-}
-
-// recomputeRoutes runs Dijkstra (on latency) from every node. Topologies in
-// the paper's experiments are a few hundred nodes with a few hundred links,
-// so all-pairs recomputation on churn is affordable.
-func (nw *Network) recomputeRoutes() {
-	nw.routeLat = make([][]Time, nw.n)
-	nw.routeBps = make([][]int64, nw.n)
-	for i := 0; i < nw.n; i++ {
-		lat, bps := nw.dijkstra(types.NodeID(i))
-		nw.routeLat[i] = lat
-		nw.routeBps[i] = bps
-	}
-	nw.routeDirty = false
 }
 
 type dijkstraItem struct {
@@ -190,49 +223,94 @@ type dijkstraItem struct {
 	dist Time
 }
 
-type dijkstraHeap []dijkstraItem
+// djPush/djPop implement a concrete-typed binary heap on the reusable
+// scratch slice (container/heap would box every item through `any`).
+func djPush(h []dijkstraItem, it dijkstraItem) []dijkstraItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].dist <= h[i].dist {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
 
-func (h dijkstraHeap) Len() int           { return len(h) }
-func (h dijkstraHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
-func (h dijkstraHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *dijkstraHeap) Push(x any)        { *h = append(*h, x.(dijkstraItem)) }
-func (h *dijkstraHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func djPop(h []dijkstraItem) (dijkstraItem, []dijkstraItem) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h[r].dist < h[l].dist {
+			min = r
+		}
+		if h[i].dist <= h[min].dist {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top, h
+}
 
-func (nw *Network) dijkstra(src types.NodeID) ([]Time, []int64) {
+// dijkstraFrom recomputes the minimum-latency routes of a single source
+// into its (reused) route row, using per-Network scratch arrays. Churn thus
+// costs one single-source run per sender instead of an eager all-pairs
+// recompute per topology change.
+func (nw *Network) dijkstraFrom(src types.NodeID) {
 	const inf = Time(1) << 62
-	lat := make([]Time, nw.n)
-	bps := make([]int64, nw.n)
-	done := make([]bool, nw.n)
+	lat, bps := nw.routeLat[src], nw.routeBps[src]
+	if lat == nil {
+		lat = make([]Time, nw.n)
+		bps = make([]int64, nw.n)
+		nw.routeLat[src], nw.routeBps[src] = lat, bps
+	}
+	if nw.djDone == nil {
+		nw.djDone = make([]bool, nw.n)
+	}
+	done := nw.djDone
 	for i := range lat {
 		lat[i] = inf
+		bps[i] = 0
+		done[i] = false
 	}
 	lat[src] = 0
 	bps[src] = 1 << 62
-	h := dijkstraHeap{{src, 0}}
+	h := append(nw.djHeap[:0], dijkstraItem{src, 0})
 	for len(h) > 0 {
-		it := heap.Pop(&h).(dijkstraItem)
+		var it dijkstraItem
+		it, h = djPop(h)
 		u := it.node
 		if done[u] {
 			continue
 		}
 		done[u] = true
-		for _, v := range nw.adj[u] {
-			l := nw.links[mkEdge(u, v)]
-			nd := lat[u] + l.Latency
-			if nd < lat[v] {
-				lat[v] = nd
-				bps[v] = minBps(bps[u], l.Bps)
-				heap.Push(&h, dijkstraItem{v, nd})
+		for _, nb := range nw.adj[u] {
+			nd := lat[u] + nb.lat
+			if nd < lat[nb.to] {
+				lat[nb.to] = nd
+				bps[nb.to] = minBps(bps[u], nb.bps)
+				h = djPush(h, dijkstraItem{nb.to, nd})
 			}
 		}
 	}
+	nw.djHeap = h[:0]
 	for i := range lat {
 		if lat[i] == inf {
 			lat[i] = 0
 			bps[i] = 0
 		}
 	}
-	return lat, bps
 }
 
 func minBps(a, b int64) int64 {

@@ -7,8 +7,6 @@
 package simnet
 
 import (
-	"container/heap"
-
 	"repro/internal/types"
 )
 
@@ -26,31 +24,48 @@ const (
 // Seconds renders t as floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// event is a typed tagged union. Message deliveries — the overwhelming
+// majority of scheduled work in a fixpoint run — carry their fields inline
+// so the send→deliver path never allocates a closure; timers keep the
+// func() escape hatch for experiment scripts and topology injection.
 type event struct {
-	at  Time
-	seq int64
-	fn  func()
+	at      Time
+	seq     int64
+	payload any
+	fn      func()
+	nw      *Network
+	from    types.NodeID
+	to      types.NodeID
+	size    int32
+	// kind discriminates the union: evTimer runs fn, evMessage delivers
+	// (from, to, payload, size) through nw. Field order keeps the struct at
+	// 64 bytes — it is copied on every heap sift and cleared on every pop.
+	kind uint8
 }
 
-type eventHeap []event
+const (
+	evTimer uint8 = iota
+	evMessage
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Sim is the discrete-event scheduler. It is single-threaded: handlers run
 // one at a time in virtual-time order (FIFO for equal timestamps).
+//
+// The queue is a 4-ary implicit heap over one reusable backing array:
+// shallower than a binary heap (fewer cache lines touched per sift) and,
+// unlike container/heap, free of the per-push interface boxing that used to
+// charge one allocation to every scheduled message.
 type Sim struct {
 	now    Time
 	seq    int64
-	events eventHeap
+	events []event
 	steps  int64
 }
 
@@ -63,26 +78,95 @@ func (s *Sim) Now() Time { return s.now }
 // Steps reports the number of events executed so far.
 func (s *Sim) Steps() int64 { return s.steps }
 
+// push inserts e into the 4-ary heap, sifting up.
+func (s *Sim) push(e event) {
+	s.events = append(s.events, e)
+	i := len(s.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(&s.events[i], &s.events[parent]) {
+			break
+		}
+		s.events[i], s.events[parent] = s.events[parent], s.events[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the backing array never pins payloads or closures.
+func (s *Sim) pop() event {
+	ev := s.events
+	top := ev[0]
+	n := len(ev) - 1
+	ev[0] = ev[n]
+	ev[n] = event{}
+	ev = ev[:n]
+	s.events = ev
+	// Sift down: move the smallest of up to four children up.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(&ev[c], &ev[min]) {
+				min = c
+			}
+		}
+		if !eventLess(&ev[min], &ev[i]) {
+			break
+		}
+		ev[i], ev[min] = ev[min], ev[i]
+		i = min
+	}
+	return top
+}
+
 // At schedules fn at absolute virtual time t (clamped to now).
 func (s *Sim) At(t Time, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, seq: s.seq, kind: evTimer, fn: fn})
 }
 
 // After schedules fn d nanoseconds from now.
 func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
+// scheduleMessage enqueues a message-delivery event with its fields inline:
+// no closure, no boxing (payload is a pointer in every production caller).
+func (s *Sim) scheduleMessage(t Time, nw *Network, from, to types.NodeID, payload any, size int) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.push(event{at: t, seq: s.seq, kind: evMessage, from: from, to: to, size: int32(size), payload: payload, nw: nw})
+}
+
+// dispatch executes one popped event.
+func (s *Sim) dispatch(e *event) {
+	if e.kind == evMessage {
+		e.nw.deliver(e.from, e.to, e.payload, int(e.size))
+	} else {
+		e.fn()
+	}
+}
+
 // Run executes events until the queue is empty (a distributed fixpoint for
 // protocols without timers) and returns the final virtual time.
 func (s *Sim) Run() Time {
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(event)
+		e := s.pop()
 		s.now = e.at
 		s.steps++
-		e.fn()
+		s.dispatch(&e)
 	}
 	return s.now
 }
@@ -91,10 +175,10 @@ func (s *Sim) Run() Time {
 // clock to the deadline. Remaining events stay queued.
 func (s *Sim) RunUntil(deadline Time) {
 	for len(s.events) > 0 && s.events[0].at <= deadline {
-		e := heap.Pop(&s.events).(event)
+		e := s.pop()
 		s.now = e.at
 		s.steps++
-		e.fn()
+		s.dispatch(&e)
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -109,6 +193,9 @@ type Handler interface {
 	// HandleMessage is invoked when a message from another node arrives.
 	// payload is the in-memory form; size is its modelled wire size in
 	// bytes (identical to the UDP datagram size in deployment mode).
+	// The payload is only valid for the duration of the call: the
+	// transport that owns the message may recycle it once the handler
+	// returns (see the Message/Msg pools in engine and provquery).
 	HandleMessage(from types.NodeID, payload any, size int)
 }
 

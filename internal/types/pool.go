@@ -1,0 +1,40 @@
+package types
+
+// Pool is an explicit LIFO free list of *T values. Transports use it to
+// recycle message structs on the steady-state send→deliver path, where a
+// fixpoint run ships millions of messages through a single goroutine.
+//
+// The contract shared by every instantiation:
+//   - Put zeroes the struct before listing it, so a pooled value never
+//     pins tuples, payload bytes or other references. Slices a receiver
+//     retained out of the struct are unaffected — they are dropped, never
+//     reused.
+//   - Pools are not safe for concurrent use; callers confine one pool per
+//     goroutine (the whole simulated cluster, or one deployed node
+//     worker).
+//   - Both methods tolerate a nil receiver/argument, so optional pools
+//     need no call-site guards.
+type Pool[T any] struct{ free []*T }
+
+// Get returns a zeroed value, recycling a released one when available.
+func (p *Pool[T]) Get() *T {
+	if p != nil {
+		if n := len(p.free); n > 0 {
+			x := p.free[n-1]
+			p.free[n-1] = nil
+			p.free = p.free[:n-1]
+			return x
+		}
+	}
+	return new(T)
+}
+
+// Put releases a value back to the free list.
+func (p *Pool[T]) Put(x *T) {
+	if p == nil || x == nil {
+		return
+	}
+	var zero T
+	*x = zero
+	p.free = append(p.free, x)
+}

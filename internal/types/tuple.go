@@ -121,6 +121,19 @@ func (t Tuple) VIDBuf(buf []byte) (ID, []byte) {
 	return HashBytes(buf), buf
 }
 
+// VIDOfKey computes t's VID from its already-computed canonical encoding
+// (as produced by Encode and cached as a relation map key), skipping the
+// value-by-value re-encode. buf is scratch for the hash input. The VID hook
+// still observes the computation — it is a full hash, just over cached
+// bytes.
+func VIDOfKey(t Tuple, key string, buf []byte) (ID, []byte) {
+	if vidHook != nil {
+		vidHook(t)
+	}
+	buf = append(buf[:0], key...)
+	return HashBytes(buf), buf
+}
+
 // RuleExecID computes the identifier of a rule-execution vertex for rule
 // named rule at location loc over the given input tuple VIDs — the paper's
 // RID = SHA1(R + RLoc + List).
