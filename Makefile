@@ -1,18 +1,23 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml); `make bench` regenerates the machine-readable
-# before/after record in BENCH_PR2.json against the checked-in pre-PR2
+# before/after record in BENCH_PR3.json against the checked-in pre-PR3
 # baseline run, and `make bench-compare` prints a benchstat-style delta of
-# a smoke run against the committed BENCH_PR1.json numbers (report-only).
+# a smoke run against the committed BENCH_PR2.json numbers (report-only).
 
 GO ?= go
 BENCHES := BenchmarkEngineFixpoint|BenchmarkQueryBFS|BenchmarkCacheInvalidation
 
-.PHONY: all build vet test check bench bench-smoke bench-compare clean
+.PHONY: all build fmt vet test doccheck check bench bench-smoke bench-compare clean
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# Formatting gate: fails loudly when any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -20,29 +25,48 @@ vet:
 test:
 	$(GO) test ./...
 
-check: vet build test
+# Documentation link check: every local file referenced from the markdown
+# docs must exist, so ARCHITECTURE.md / docs/wire-format.md / README files
+# cannot silently rot as the tree moves.
+doccheck:
+	@fail=0; \
+	for doc in *.md docs/*.md examples/*.md; do \
+		[ -f "$$doc" ] || continue; \
+		dir=$$(dirname $$doc); \
+		for ref in $$(grep -oE '\]\(([^)#]+)' $$doc | sed 's/](//' | grep -v '^http'); do \
+			if [ ! -e "$$dir/$$ref" ] && [ ! -e "$$ref" ]; then \
+				echo "$$doc: broken link -> $$ref"; fail=1; \
+			fi; \
+		done; \
+	done; \
+	for ref in $$(grep -ohE '\x60(internal|docs|examples|cmd)/[A-Za-z0-9_./-]+\x60' *.md docs/*.md examples/*.md 2>/dev/null | tr -d '\x60' | sort -u); do \
+		if [ ! -e "$$ref" ]; then echo "doc reference missing from tree: $$ref"; fail=1; fi; \
+	done; \
+	if [ $$fail -eq 0 ]; then echo "doccheck ok"; else exit 1; fi
+
+check: fmt vet build test doccheck
 
 # Full hot-path benchmark run: three samples of each tracked benchmark with
-# allocation stats, merged with the pre-PR2 baseline into BENCH_PR2.json.
+# allocation stats, merged with the pre-PR3 baseline into BENCH_PR3.json.
 # The simnet dispatch micro-benchmark is appended with a time-based budget
 # (per-op cost is tens of nanoseconds; 10 iterations would be noise).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=10x -count=3 . | tee bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSimnetDispatch' -benchmem -benchtime=2s . | tee -a bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline BENCH_BASELINE_PR2.txt -current bench_current.txt \
-		-out BENCH_PR2.json -print \
-		-note "before/after results for the allocation-free simnet overhaul (PR 2); baseline is the PR 1 code on the same hardware; regenerate with make bench"
+	$(GO) run ./cmd/benchjson -baseline BENCH_BASELINE_PR3.txt -current bench_current.txt \
+		-out BENCH_PR3.json -print \
+		-note "before/after results for the compact value representation + interning layer (PR 3); baseline is the PR 2 code on the same hardware; regenerate with make bench"
 
 # One-iteration smoke run used by CI to catch benchmark bit-rot cheaply.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineFixpoint' -benchtime=1x .
 
 # CI delta report: smoke-run the tracked benchmarks once and print the
-# change against the committed PR 1 record. Report-only — the `-` prefix
+# change against the committed PR 2 record. Report-only — the `-` prefix
 # keeps a regression (or a noisy runner) from failing the job.
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1x . | tee bench_smoke.txt
-	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR1.json -current bench_smoke.txt -print
+	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR2.json -current bench_smoke.txt -print
 
 clean:
 	rm -f bench_current.txt bench_smoke.txt

@@ -295,6 +295,35 @@ func BenchmarkSimnetDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkValueIntern measures the steady-state cost of the compact value
+// layer: re-constructing already-interned values (the common case for
+// predicates, path lists and IDs under churn) and building the fixed-width
+// handle keys relations and indexes hash on. Both must stay allocation-free
+// — the intern_test.go / hotpath_test.go fences enforce that; this tracks
+// the cycle cost.
+func BenchmarkValueIntern(b *testing.B) {
+	id := types.HashString("bench-intern")
+	elems := []types.Value{types.Node(1), types.Node(2), types.Node(3)}
+	warm := types.NewTuple("p", types.Node(1), types.Str("bench-intern"),
+		types.IDVal(id), types.List(elems...))
+	var key []byte
+	key = warm.AppendArgsKey(key[:0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := types.Str("bench-intern")
+		w := types.IDVal(id)
+		l := types.List(elems...)
+		key = key[:0]
+		key = v.AppendKey(key)
+		key = w.AppendKey(key)
+		key = l.AppendKey(key)
+		if len(key) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
 // BenchmarkCacheInvalidation measures provenance-change invalidation under
 // churn with warm caches.
 func BenchmarkCacheInvalidation(b *testing.B) {

@@ -16,33 +16,39 @@ type aggEntry struct {
 
 // aggGroup maintains one group of an aggregate rule: the multiset of input
 // rows and the currently emitted output.
+//
+// Group structs, entry structs, carried-value copies and output argument
+// slices are all carved from the owning node's chunked arenas (value slices
+// are pointer-free under the compact Value representation, so the arenas
+// cost the garbage collector nothing to scan); the group itself holds only
+// its entry map and reusable scratch.
 type aggGroup struct {
 	entries map[string]*aggEntry
 	free    []*aggEntry   // retired entries recycled by later inserts
-	keyBuf  []byte        // reusable entry-key buffer
 	argsBuf []types.Value // reusable candidate-output buffer
 	emitBuf []aggEmit     // reusable emit buffer, valid until the next refresh
-	// curOut is the currently emitted head tuple (nil when none), and
-	// curWinner the input tuple it was traced to (MIN/MAX provenance).
-	curOut    *types.Tuple
+	// curOut is the currently emitted head tuple (hasOut reports whether
+	// one exists), and curWinner the input entry it was traced to (MIN/MAX
+	// provenance).
+	curOut    types.Tuple
+	hasOut    bool
 	curWinner *aggEntry
 	total     int // COUNT<*>
 }
 
-func newAggGroup() *aggGroup { return &aggGroup{entries: map[string]*aggEntry{}} }
-
-// appendValuesKey appends the self-delimiting canonical encodings of vals to
-// b. Group and entry keys are built in reusable buffers so the aggregate
-// delta path does not allocate per input row.
+// appendValuesKey appends the fixed-width handle keys of vals to b (see
+// types.Value.AppendKey). Group and entry keys are built in reusable buffers
+// so the aggregate delta path does not allocate per input row, and the
+// handle form copies no payload bytes.
 func appendValuesKey(b []byte, vals []types.Value) []byte {
 	for _, v := range vals {
-		b = v.Encode(b)
+		b = v.AppendKey(b)
 	}
 	return b
 }
 
 func appendAggEntryKey(b []byte, sortVal types.Value, carried []types.Value) []byte {
-	b = sortVal.Encode(b)
+	b = sortVal.AppendKey(b)
 	return appendValuesKey(b, carried)
 }
 
@@ -56,31 +62,33 @@ type aggEmit struct {
 
 // update applies one input delta and returns the emitted output changes.
 // groupVals are the evaluated group-by head arguments; spec drives the
-// aggregate function. carried may be caller scratch: it is copied if the
-// entry must retain it.
-func (g *aggGroup) update(spec *AggSpec, groupVals []types.Value,
+// aggregate function; n supplies the arenas retained data is carved from.
+// carried may be caller scratch: it is copied if the entry must retain it.
+func (g *aggGroup) update(n *Node, spec *AggSpec, groupVals []types.Value,
 	sortVal types.Value, carried []types.Value, input types.Tuple, sign int8) []aggEmit {
 
-	g.keyBuf = appendAggEntryKey(g.keyBuf[:0], sortVal, carried)
+	n.aggKeyBuf = appendAggEntryKey(n.aggKeyBuf[:0], sortVal, carried)
+	key := n.aggKeyBuf
 	ordered := spec.Fn == "MIN" || spec.Fn == "MAX"
 	switch sign {
 	case Insert:
-		e := g.entries[string(g.keyBuf)]
+		e := g.entries[string(key)]
 		if e == nil {
-			if n := len(g.free); n > 0 {
-				e = g.free[n-1]
-				g.free[n-1] = nil
-				g.free = g.free[:n-1]
+			if fn := len(g.free); fn > 0 {
+				e = g.free[fn-1]
+				g.free[fn-1] = nil
+				g.free = g.free[:fn-1]
 				e.input, e.sortVal, e.count = input, sortVal, 0
 				e.carried = append(e.carried[:0], carried...)
 			} else {
-				var kept []types.Value
+				e = n.allocAggEntry()
+				e.input, e.sortVal = input, sortVal
 				if len(carried) > 0 {
-					kept = append(make([]types.Value, 0, len(carried)), carried...)
+					e.carried = n.allocArgs(len(carried))
+					copy(e.carried, carried)
 				}
-				e = &aggEntry{input: input, sortVal: sortVal, carried: kept}
 			}
-			g.entries[string(g.keyBuf)] = e
+			g.entries[string(key)] = e
 		}
 		e.count++
 		g.total++
@@ -89,18 +97,18 @@ func (g *aggGroup) update(spec *AggSpec, groupVals []types.Value,
 		// Everything else — copies of the winner, rows worse than the
 		// winner — is the common case in route computation and skips the
 		// full rescan refresh would do.
-		if ordered && g.curOut != nil && (e == g.curWinner || !beats(spec, e, g.curWinner)) {
+		if ordered && g.hasOut && (e == g.curWinner || !beats(spec, e, g.curWinner)) {
 			return nil
 		}
 	case Delete:
-		e := g.entries[string(g.keyBuf)]
+		e := g.entries[string(key)]
 		if e == nil {
 			return nil // deletion of an unseen row: ignore defensively
 		}
 		e.count--
 		g.total--
 		if e.count <= 0 {
-			delete(g.entries, string(g.keyBuf))
+			delete(g.entries, string(key))
 			// Recycle the entry. Safe: refresh re-resolves curWinner before
 			// this update returns, so no live reference survives (see the
 			// fast path below — a deleted winner always reaches refresh).
@@ -108,13 +116,13 @@ func (g *aggGroup) update(spec *AggSpec, groupVals []types.Value,
 		}
 		// MIN/MAX fast path: removing a non-winning row, or one copy of a
 		// winner that remains in the multiset, leaves the output untouched.
-		if ordered && g.curOut != nil && (e != g.curWinner || e.count > 0) {
+		if ordered && g.hasOut && (e != g.curWinner || e.count > 0) {
 			return nil
 		}
 	default:
 		return nil
 	}
-	return g.refresh(spec, groupVals)
+	return g.refresh(n, spec, groupVals)
 }
 
 // beats reports whether a wins over b under spec's ordering (including the
@@ -131,28 +139,32 @@ func beats(spec *AggSpec, a, b *aggEntry) bool {
 // refresh recomputes the output tuple and diffs it against the currently
 // emitted one. The returned slice aliases the group's emit buffer and is
 // valid until the next refresh. The steady-state path — an input delta that
-// does not change the output — allocates nothing.
-func (g *aggGroup) refresh(spec *AggSpec, groupVals []types.Value) []aggEmit {
+// does not change the output — allocates nothing, and a changed output
+// carves its retained argument slice from the node's arena.
+func (g *aggGroup) refresh(n *Node, spec *AggSpec, groupVals []types.Value) []aggEmit {
 	newArgs, newWinner, ok := g.compute(spec, groupVals)
 	emits := g.emitBuf[:0]
-	if g.curOut != nil && !(ok && argsEqual(g.curOut.Args, newArgs)) {
-		em := aggEmit{tuple: *g.curOut, sign: Delete}
+	if g.hasOut && !(ok && argsEqual(g.curOut.Args, newArgs)) {
+		em := aggEmit{tuple: g.curOut, sign: Delete}
 		if g.curWinner != nil {
 			em.winner, em.hasWin = g.curWinner.input, true
 		}
 		emits = append(emits, em)
-		g.curOut, g.curWinner = nil, nil
+		g.curOut, g.hasOut, g.curWinner = types.Tuple{}, false, nil
 	}
-	if ok && g.curOut == nil {
+	if ok && !g.hasOut {
 		// Materialize the candidate output: it escapes into the group
-		// state and the emitted delta.
-		out := types.Tuple{Args: append(make([]types.Value, 0, len(newArgs)), newArgs...)}
+		// state and the emitted delta, so its args leave the scratch
+		// buffer for the arena.
+		retained := n.allocArgs(len(newArgs))
+		copy(retained, newArgs)
+		out := types.Tuple{Args: retained}
 		em := aggEmit{tuple: out, sign: Insert}
 		if newWinner != nil {
 			em.winner, em.hasWin = newWinner.input, true
 		}
 		emits = append(emits, em)
-		g.curOut, g.curWinner = &out, newWinner
+		g.curOut, g.hasOut, g.curWinner = out, true, newWinner
 	}
 	g.emitBuf = emits
 	return emits
@@ -163,7 +175,7 @@ func argsEqual(a, b []types.Value) bool {
 		return false
 	}
 	for i := range a {
-		if !a[i].Equal(b[i]) {
+		if a[i] != b[i] {
 			return false
 		}
 	}

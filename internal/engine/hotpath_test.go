@@ -45,9 +45,9 @@ func TestRelationLenTracksVisibility(t *testing.T) {
 }
 
 // TestJoinProbeAllocFree exercises the primitive the innermost join loop is
-// built from — encode the probe key into a reusable buffer, look up the
-// pre-resolved index handle — and requires it to allocate nothing on an
-// index hit (the acceptance bound is ≤ 1).
+// built from — build the fixed-width handle key into a reusable buffer, look
+// up the pre-resolved index handle — and requires it to allocate nothing on
+// an index hit.
 func TestJoinProbeAllocFree(t *testing.T) {
 	rel := NewRelation("link")
 	idx := rel.EnsureIndex([]int{1})
@@ -63,9 +63,9 @@ func TestJoinProbeAllocFree(t *testing.T) {
 	probe := types.Node(3)
 	var key []byte
 	hits := 0
-	key = probe.Encode(key[:0]) // warm the buffer
+	key = probe.AppendKey(key[:0]) // warm the buffer
 	allocs := testing.AllocsPerRun(200, func() {
-		key = probe.Encode(key[:0])
+		key = probe.AppendKey(key[:0])
 		hits += len(idx.lookup(key))
 	})
 	if hits == 0 {
@@ -73,6 +73,30 @@ func TestJoinProbeAllocFree(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Errorf("join probe allocated %.2f objects per run, want 0", allocs)
+	}
+}
+
+// TestValueConstructionOnFiringPathAllocFree pins the interning layer's
+// contribution to the firing path: re-constructing values that already exist
+// in the intern tables — the steady state for strings, IDs and path lists
+// under churn — allocates nothing, and neither does rebuilding an entry key
+// from them in a warm buffer.
+func TestValueConstructionOnFiringPathAllocFree(t *testing.T) {
+	id := types.HashString("firing-path")
+	elems := []types.Value{types.Node(1), types.Node(2), types.Node(3)}
+	warmTuple := types.NewTuple("p", types.Node(1), types.Str("firing-path"),
+		types.IDVal(id), types.List(elems...))
+	var key []byte
+	key = warmTuple.AppendArgsKey(key[:0])
+	allocs := testing.AllocsPerRun(300, func() {
+		tu := types.NewTuple("p", types.Node(1), types.Str("firing-path"),
+			types.IDVal(id), types.List(elems...))
+		key = tu.AppendArgsKey(key[:0])
+	})
+	// One allocation is the NewTuple args slice itself (variadic call);
+	// value construction and keying must add nothing on top.
+	if allocs > 1 {
+		t.Errorf("warm value construction allocated %.2f objects per run, want ≤ 1", allocs)
 	}
 }
 

@@ -26,6 +26,8 @@ const (
 )
 
 // Message is one tuple shipped between nodes during protocol execution.
+// The serialized layout is specified in docs/wire-format.md; WireSize and
+// Encode must stay in lockstep so simulated byte counts match deployment.
 // The provenance mode determines which optional fields travel:
 //
 //   - reference-based: HasRef with the (RID, RLoc) pair — the paper's "only

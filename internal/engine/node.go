@@ -109,6 +109,27 @@ type Node struct {
 	hashBuf    []byte
 	argArena   []types.Value // chunked backing store for emitted head args
 
+	// ridCache memoizes rule-execution identifiers. An RID is the SHA-1 of
+	// (rule, this node, exact input VIDs), so it is fully determined by the
+	// rule index and the inputs' interned VID handles — a 4+4k-byte key.
+	// Under churn the same derivations fire repeatedly (insert, delete,
+	// re-insert), and the memo turns every repeat into a map hit instead of
+	// a SHA-1. Only derivations whose inputs are all stored tuples are
+	// cached: event tuples are transient and usually unique, so caching
+	// them would grow the memo (and the intern table) without ever hitting.
+	// The memo is monotone per node, bounded by the distinct derivations
+	// the workload produces — the same order as the ruleExec partition.
+	ridCache map[string]ridCacheVal
+	ridKey   []byte
+
+	// Chunked arenas for aggregate state: group and entry structs plus the
+	// entry-key scratch. Aggregates allocate one group per (rule, group-by)
+	// combination and one entry per distinct input row; boxing each struct
+	// individually was a leading allocation class in fixpoint profiles.
+	aggKeyBuf     []byte
+	aggEntryArena []aggEntry
+	aggGroupArena []aggGroup
+
 	// Err records the first internal evaluation error (malformed program
 	// data); the node stops deriving after an error.
 	Err error
@@ -166,6 +187,7 @@ func NewNode(id types.NodeID, prog *Program, mode ProvMode, tr Transport, alloc 
 			n.aggBodyRel[r.idx] = n.table(r.atoms[0].pred)
 		}
 	}
+	n.ridCache = make(map[string]ridCacheVal)
 	n.envBuf = make([]types.Value, prog.maxVars)
 	n.matchedBuf = make([]types.Tuple, prog.maxAtoms)
 	n.entBuf = make([]*entry, prog.maxAtoms)
@@ -361,20 +383,20 @@ func (n *Node) process(d localDelta) {
 			dv = e.addDeriv(d.rid, d.rloc)
 		}
 		dv.count++
-		// The entry caches the canonical VID, so each stored tuple is
-		// hashed at most once per lifetime regardless of how many deltas
-		// and provenance branches touch it.
+		// The entry caches the canonical VID and its interned handle, so
+		// each stored tuple is hashed at most once per lifetime regardless
+		// of how many deltas and provenance branches touch it, and store
+		// partitions are addressed by the 4-byte handle.
 		if n.Mode == ProvReference && !meta {
-			var vid types.ID
-			vid, n.hashBuf = e.VIDBuf(n.hashBuf)
+			_, n.hashBuf = e.VIDBuf(n.hashBuf)
 			if !e.stored {
 				// The store drops the VID→tuple row when the last prov
 				// entry goes (at which point this entry is deleted too),
 				// so one registration per entry lifetime suffices.
-				n.Store.RegisterTupleVID(vid, d.tuple)
+				n.Store.RegisterTupleVIDH(e.vidHandle(), d.tuple)
 				e.stored = true
 			}
-			n.Store.AddProv(vid, d.rid, d.rloc)
+			n.Store.AddProvH(e.vidHandle(), d.rid, d.rloc)
 		}
 		// Centralized: the deriving node reports derived rows; the owner
 		// reports base rows.
@@ -417,9 +439,8 @@ func (n *Node) process(d localDelta) {
 			e.delDeriv(d.rid)
 		}
 		if n.Mode == ProvReference && !meta {
-			var vid types.ID
-			vid, n.hashBuf = e.VIDBuf(n.hashBuf)
-			n.Store.DelProv(vid, d.rid, d.rloc)
+			_, n.hashBuf = e.VIDBuf(n.hashBuf)
+			n.Store.DelProvH(e.vidHandle(), d.rid, d.rloc)
 		}
 		if n.Mode == ProvCentralized && !meta && d.isBase {
 			var vid types.ID
@@ -583,6 +604,31 @@ func (n *Node) allocArgs(k int) []types.Value {
 	return n.argArena[off : off+k : off+k]
 }
 
+// aggArenaChunk sizes the chunked arenas for aggregate group and entry
+// structs.
+const aggArenaChunk = 128
+
+// allocAggEntry carves a zeroed aggregate entry from the chunked arena.
+func (n *Node) allocAggEntry() *aggEntry {
+	if len(n.aggEntryArena) == cap(n.aggEntryArena) {
+		n.aggEntryArena = make([]aggEntry, 0, aggArenaChunk)
+	}
+	n.aggEntryArena = n.aggEntryArena[:len(n.aggEntryArena)+1]
+	return &n.aggEntryArena[len(n.aggEntryArena)-1]
+}
+
+// allocAggGroup carves a fresh aggregate group (with its entry map ready)
+// from the chunked arena.
+func (n *Node) allocAggGroup() *aggGroup {
+	if len(n.aggGroupArena) == cap(n.aggGroupArena) {
+		n.aggGroupArena = make([]aggGroup, 0, aggArenaChunk)
+	}
+	n.aggGroupArena = n.aggGroupArena[:len(n.aggGroupArena)+1]
+	g := &n.aggGroupArena[len(n.aggGroupArena)-1]
+	g.entries = make(map[string]*aggEntry)
+	return g
+}
+
 // emitDerivation computes the head tuple for one complete join result and
 // routes the delta (locally or over the transport), maintaining provenance
 // per the configured mode. Input VIDs come from the matched entries' caches;
@@ -608,15 +654,24 @@ func (n *Node) emitDerivation(rule *CompiledRule, env []types.Value,
 	}
 
 	inputVIDs := n.vidBuf[:len(matched)]
+	cacheable := true
 	for i := range matched {
 		if ments[i] != nil {
 			inputVIDs[i], n.hashBuf = ments[i].VIDBuf(n.hashBuf)
 		} else {
+			// Event input: transient, no entry to cache on, and usually a
+			// one-off — keep it out of the RID memo and intern table.
+			cacheable = false
 			inputVIDs[i], n.hashBuf = matched[i].VIDBuf(n.hashBuf)
 		}
 	}
 	var rid types.ID
-	rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, inputVIDs, n.ridBuf)
+	var ridh types.IDHandle
+	if cacheable {
+		rid, ridh = n.ruleExecID(rule, ments, inputVIDs)
+	} else {
+		rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, inputVIDs, n.ridBuf)
+	}
 
 	if sign != Update {
 		switch n.Mode {
@@ -625,9 +680,14 @@ func (n *Node) emitDerivation(rule *CompiledRule, env []types.Value,
 			// when it caches a traversal (§6.1), so a derivation records
 			// only its ruleExec row — no head hashing, no per-input edge
 			// maintenance on this path.
-			if sign == Insert {
+			switch {
+			case sign == Insert && ridh != 0:
+				n.Store.AddRuleExecH(ridh, rid, rule.Label, inputVIDs)
+			case sign == Insert:
 				n.Store.AddRuleExec(rid, rule.Label, inputVIDs)
-			} else {
+			case ridh != 0:
+				n.Store.DelRuleExecH(ridh)
+			default:
 				n.Store.DelRuleExec(rid)
 			}
 		case ProvCentralized:
@@ -648,6 +708,36 @@ func (n *Node) emitDerivation(rule *CompiledRule, env []types.Value,
 		}
 	}
 	n.route(head, dst, sign, rid, payload)
+}
+
+// ridCacheVal is one memoized rule-execution identifier: the digest plus
+// its interned handle (which keys the ruleExec store partition).
+type ridCacheVal struct {
+	id types.ID
+	h  types.IDHandle
+}
+
+// ruleExecID returns the RID for a derivation whose inputs are all stored
+// entries, computing the SHA-1 once per distinct (rule, inputs) combination
+// and replaying it from the memo afterwards. The memo key is the rule index
+// followed by the inputs' interned VID handles — equal handles mean equal
+// VIDs, and the node's own ID (part of the hash) is constant per node.
+func (n *Node) ruleExecID(rule *CompiledRule, ments []*entry, inputVIDs []types.ID) (types.ID, types.IDHandle) {
+	k := n.ridKey[:0]
+	k = append(k, byte(rule.idx), byte(rule.idx>>8), byte(rule.idx>>16), byte(rule.idx>>24))
+	for _, e := range ments {
+		h := e.vidHandle()
+		k = append(k, byte(h), byte(h>>8), byte(h>>16), byte(h>>24))
+	}
+	n.ridKey = k
+	if c, ok := n.ridCache[string(k)]; ok {
+		return c.id, c.h
+	}
+	var rid types.ID
+	rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, inputVIDs, n.ridBuf)
+	c := ridCacheVal{id: rid, h: types.InternID(rid)}
+	n.ridCache[string(k)] = c
+	return c.id, c.h
 }
 
 // route delivers a derived delta to its destination node.
@@ -722,15 +812,15 @@ func (n *Node) fireAgg(rule *CompiledRule, t types.Tuple, sign int8, payload bdd
 	n.keyBuf = appendValuesKey(n.keyBuf[:0], groupVals)
 	g := groups[string(n.keyBuf)]
 	if g == nil {
-		g = newAggGroup()
+		g = n.allocAggGroup()
 		groups[string(n.keyBuf)] = g
 	}
 
 	if sign == Update {
 		// Value-mode payload update: if the updated input is the current
 		// winner, the head's payload follows it.
-		if n.Mode == ProvValue && g.curWinner != nil && g.curWinner.input.Equal(t) && g.curOut != nil {
-			out := *g.curOut
+		if n.Mode == ProvValue && g.curWinner != nil && g.curWinner.input.Equal(t) && g.hasOut {
+			out := g.curOut
 			out.Pred = rule.HeadPred
 			n.vidBuf[0], n.hashBuf = t.VIDBuf(n.hashBuf)
 			var rid types.ID
@@ -768,7 +858,7 @@ func (n *Node) fireAgg(rule *CompiledRule, t types.Tuple, sign int8, payload bdd
 		}
 	}
 
-	for _, em := range g.update(spec, groupVals, sortVal, carried, t, sign) {
+	for _, em := range g.update(n, spec, groupVals, sortVal, carried, t, sign) {
 		out := em.tuple
 		out.Pred = rule.HeadPred
 		n.emitAggChange(rule, out, em, t)
@@ -789,18 +879,30 @@ func (n *Node) emitAggChange(rule *CompiledRule, out types.Tuple, em aggEmit, ca
 			winEnt = rel.get(em.winner)
 		}
 		var winVID types.ID
+		var ridh types.IDHandle
 		if winEnt != nil {
 			winVID, n.hashBuf = winEnt.VIDBuf(n.hashBuf)
+			n.vidBuf[0] = winVID
+			// Aggregate RIDs hash a single stored input; memoize them like
+			// join RIDs (entBuf is idle here — fireAgg never runs inside
+			// execPlan, so borrowing slot 0 cannot clobber a live plan).
+			n.entBuf[0] = winEnt
+			rid, ridh = n.ruleExecID(rule, n.entBuf[:1], n.vidBuf[:1])
 		} else {
 			winVID, n.hashBuf = em.winner.VIDBuf(n.hashBuf)
+			n.vidBuf[0] = winVID
+			rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, n.vidBuf[:1], n.ridBuf)
 		}
-		n.vidBuf[0] = winVID
-		rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, n.vidBuf[:1], n.ridBuf)
 		switch n.Mode {
 		case ProvReference:
-			if em.sign == Insert {
+			switch {
+			case em.sign == Insert && ridh != 0:
+				n.Store.AddRuleExecH(ridh, rid, rule.Label, n.vidBuf[:1])
+			case em.sign == Insert:
 				n.Store.AddRuleExec(rid, rule.Label, n.vidBuf[:1])
-			} else {
+			case ridh != 0:
+				n.Store.DelRuleExecH(ridh)
+			default:
 				n.Store.DelRuleExec(rid)
 			}
 		case ProvCentralized:

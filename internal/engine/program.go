@@ -569,14 +569,17 @@ func bindTuple(binds []bindSpec, t types.Tuple, env []types.Value) bool {
 	return true
 }
 
-// appendLookupKey builds the join-probe key for the step into b. Probes pass
-// a per-node scratch buffer so the innermost join loop allocates nothing.
+// appendLookupKey builds the join-probe key for the step into b: the
+// fixed-width handle key of each key part (matching appendIndexKey on the
+// index side). Probes pass a per-node scratch buffer so the innermost join
+// loop allocates nothing, and interned handles mean no string or digest
+// bytes are copied per probe.
 func (s *planStep) appendLookupKey(b []byte, env []types.Value) []byte {
 	for _, p := range s.keyParts {
 		if p.isConst {
-			b = p.val.Encode(b)
+			b = p.val.AppendKey(b)
 		} else {
-			b = env[p.slot].Encode(b)
+			b = env[p.slot].AppendKey(b)
 		}
 	}
 	return b

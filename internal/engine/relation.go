@@ -22,20 +22,21 @@ type deriv struct {
 
 // entry is one tuple of a relation together with its derivation multiset.
 // The tuple is visible while at least one derivation is present. The
-// canonical key and the provenance VID are cached here so each tuple is
-// encoded and SHA-1-hashed at most once per lifetime on a node.
+// provenance VID (with its interned handle) is cached here so each tuple
+// is SHA-1-hashed at most once per lifetime on a node; the relation map
+// key (the tuple's args handle key) lives only in the entries map itself.
 //
 // Derivations are held by value in a small slice: most tuples have one or
 // two, and the per-entry map plus per-derivation pointer boxes were among
 // the largest allocation sources in fixpoint profiles.
 type entry struct {
 	tuple   types.Tuple
-	key     string // canonical encoding; the entries map key
 	derivs  []deriv
 	visible bool
 	payload bdd.Ref // value mode: OR over derivation payloads
 
 	vid    types.ID
+	vidh   types.IDHandle // interned vid; keys the provenance store partition
 	vidOK  bool
 	stored bool // VID→tuple mapping already registered with the prov store
 }
@@ -71,22 +72,22 @@ func (e *entry) delDeriv(rid types.ID) {
 	}
 }
 
-// VIDBuf returns the tuple's provenance vertex identifier, computing and
-// caching it on first use. buf is scratch for the canonical encoding; the
-// (possibly grown) buffer is returned for reuse. The cached map key IS the
-// canonical encoding, so the first hash copies it instead of re-encoding
-// the tuple value by value.
+// VIDBuf returns the tuple's provenance vertex identifier, computing,
+// interning and caching it on first use. buf is scratch for the canonical
+// encoding; the (possibly grown) buffer is returned for reuse. Interned
+// arguments make the encode a sequence of memoized copies, and the interned
+// vidh is what the provenance store partitions key on.
 func (e *entry) VIDBuf(buf []byte) (types.ID, []byte) {
 	if !e.vidOK {
-		if e.key != "" {
-			e.vid, buf = types.VIDOfKey(e.tuple, e.key, buf)
-		} else {
-			e.vid, buf = e.tuple.VIDBuf(buf)
-		}
+		e.vid, buf = e.tuple.VIDBuf(buf)
+		e.vidh = types.InternID(e.vid)
 		e.vidOK = true
 	}
 	return e.vid, buf
 }
+
+// vidHandle returns the interned VID handle; valid only after VIDBuf.
+func (e *entry) vidHandle() types.IDHandle { return e.vidh }
 
 // Relation is a materialized table with hash indexes maintained
 // incrementally as tuples become visible and invisible.
@@ -105,21 +106,24 @@ type Relation struct {
 	dead    int    // invisible derivation-free entries retained for reuse
 	scratch []byte // reusable key-encoding buffer
 
-	// freeEntries recycles entry structs reclaimed by sweep; derivArena
-	// chunk-allocates initial derivation slices. Most tuples carry exactly
-	// one derivation, so the per-entry "first append" used to be one of
-	// the largest allocation classes in fixpoint profiles. deriv holds no
-	// pointers, so arena chunks cost the garbage collector nothing to
-	// scan; entry does hold pointers and therefore goes through a cleared
-	// free list rather than an arena that would pin dead tuples.
+	// freeEntries recycles entry structs reclaimed by sweep; entryArena
+	// chunk-allocates fresh ones (boxing each entry individually was a
+	// leading allocation class in fixpoint profiles — arena chunks never
+	// pin stale tuples because sweep zeroes an entry before listing it);
+	// derivArena chunk-allocates initial derivation slices. Most tuples
+	// carry exactly one derivation, so the per-entry "first append" used
+	// to be another of the largest allocation classes. deriv and
+	// types.Value hold no pointers, so those chunks cost the garbage
+	// collector nothing to scan.
 	freeEntries []*entry
+	entryArena  []entry
 	derivArena  []deriv
 }
 
 const derivArenaChunk = 256
 
-// allocEntry returns a zeroed entry, recycling one swept earlier if
-// available.
+// allocEntry returns a zeroed entry, recycling one swept earlier when
+// available and carving from the chunked arena otherwise.
 func (r *Relation) allocEntry() *entry {
 	if n := len(r.freeEntries); n > 0 {
 		e := r.freeEntries[n-1]
@@ -127,7 +131,11 @@ func (r *Relation) allocEntry() *entry {
 		r.freeEntries = r.freeEntries[:n-1]
 		return e
 	}
-	return &entry{}
+	if len(r.entryArena) == cap(r.entryArena) {
+		r.entryArena = make([]entry, 0, derivArenaChunk)
+	}
+	r.entryArena = r.entryArena[:len(r.entryArena)+1]
+	return &r.entryArena[len(r.entryArena)-1]
 }
 
 // allocDerivs carves an empty capacity-1 derivation slice from the chunked
@@ -196,24 +204,27 @@ func (r *Relation) Name() string { return r.name }
 // Len reports the number of visible tuples in O(1).
 func (r *Relation) Len() int { return r.visible }
 
-// Get returns the entry for a tuple, or nil.
+// Get returns the entry for a tuple, or nil. Entries are keyed by the
+// fixed-width args handle key (types.Tuple.AppendArgsKey): building it
+// copies no string or digest bytes, and key equality coincides with tuple
+// equality because interned handles are canonical.
 func (r *Relation) get(t types.Tuple) *entry {
-	r.scratch = t.Encode(r.scratch[:0])
+	r.scratch = t.AppendArgsKey(r.scratch[:0])
 	return r.entries[string(r.scratch)]
 }
 
 // getOrCreate returns the entry for a tuple, creating an invisible one if
-// needed. A matching tombstone is revived: its cached key and VID carry
-// over (equal canonical encodings imply equal tuples and equal VIDs).
+// needed. A matching tombstone is revived: its cached VID and handle carry
+// over (equal handle keys imply equal tuples and equal VIDs).
 func (r *Relation) getOrCreate(t types.Tuple) *entry {
-	r.scratch = t.Encode(r.scratch[:0])
+	r.scratch = t.AppendArgsKey(r.scratch[:0])
 	if e := r.entries[string(r.scratch)]; e != nil {
 		if !e.visible && len(e.derivs) == 0 {
 			// Revival: the provenance store dropped this VID's rows when
 			// the last derivation went, so the VID→tuple mapping must be
 			// re-registered, and value-mode payloads restart from scratch.
-			// The cached key and VID stay valid (equal encodings imply
-			// equal tuples).
+			// The cached VID and handle stay valid (equal handle keys
+			// imply equal tuples).
 			r.dead--
 			e.stored = false
 			e.payload = bdd.False
@@ -222,7 +233,7 @@ func (r *Relation) getOrCreate(t types.Tuple) *entry {
 	}
 	k := string(r.scratch)
 	e := r.allocEntry()
-	e.tuple, e.key, e.payload = t, k, bdd.False
+	e.tuple, e.payload = t, bdd.False
 	e.derivs = r.allocDerivs()
 	r.entries[k] = e
 	return e
@@ -261,7 +272,7 @@ func (r *Relation) setVisible(e *entry, visible bool) {
 
 // sweep deletes all tombstones except spare, bounding retained memory to a
 // small factor of the live entry count. Swept entries are cleared
-// (releasing their tuples and keys) and recycled through the free list.
+// (releasing their tuples) and recycled through the free list.
 // spare is the entry whose retraction triggered the sweep: its caller is
 // still mid-cascade and reads its payload and cached VID after this
 // returns, so it must survive untouched.
@@ -289,7 +300,7 @@ func removeEntry(list []*entry, e *entry) []*entry {
 
 func appendIndexKey(b []byte, t types.Tuple, positions []int) []byte {
 	for _, p := range positions {
-		b = t.Args[p].Encode(b)
+		b = t.Args[p].AppendKey(b)
 	}
 	return b
 }
@@ -341,20 +352,28 @@ func (r *Relation) Scan(fn func(t types.Tuple)) {
 }
 
 // Tuples returns the visible tuples sorted canonically (for deterministic
-// output in tests and examples).
+// output in tests and examples). Entry map keys are process-local handle
+// keys, so this cold path re-derives the canonical encoding to sort by —
+// the order must not depend on interning history.
 func (r *Relation) Tuples() []types.Tuple {
-	es := make([]*entry, 0, r.visible)
+	type sortable struct {
+		e   *entry
+		enc string
+	}
+	es := make([]sortable, 0, r.visible)
+	var buf []byte
 	for _, e := range r.entries {
 		if e.visible {
-			es = append(es, e)
+			buf = e.tuple.Encode(buf[:0])
+			es = append(es, sortable{e: e, enc: string(buf)})
 		}
 	}
 	sort.Slice(es, func(i, j int) bool {
-		return strings.Compare(es[i].key, es[j].key) < 0
+		return strings.Compare(es[i].enc, es[j].enc) < 0
 	})
 	out := make([]types.Tuple, len(es))
-	for i, e := range es {
-		out[i] = e.tuple
+	for i, s := range es {
+		out[i] = s.e.tuple
 	}
 	return out
 }

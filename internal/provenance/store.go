@@ -15,6 +15,15 @@
 // Rows are stored by value inside their per-VID slices: the store sits on
 // the engine's delta hot path, and per-row pointer boxes more than doubled
 // the evaluator's allocation count in fixpoint profiles.
+//
+// Partitions are keyed by interned ID handles (types.IDHandle), not by the
+// 20-byte digests themselves: map operations hash and compare 4 bytes, and
+// the (vid, rid) reverse-edge index keys 8 bytes instead of 40. The engine
+// caches handles on its relation entries and calls the *H methods directly;
+// the ID-based methods intern (write paths) or look up without interning
+// (read paths, so probing an unknown VID cannot grow the intern table) and
+// delegate. Row values keep full IDs — handles are process-local and never
+// travel in query replies or on the wire.
 package provenance
 
 import (
@@ -60,10 +69,10 @@ type Parent struct {
 // location and its exact inputs), so (vid, rid) is unique per edge. Hub
 // tuples (e.g. a link consumed by every route derivation) accumulate long
 // parent lists, and the linear scans previously done by AddParent dominated
-// fixpoint profiles.
+// fixpoint profiles. Interned handles shrink the key from 40 bytes to 8.
 type parentKey struct {
-	vid types.ID
-	rid types.ID
+	vidh types.IDHandle
+	ridh types.IDHandle
 }
 
 // Store is one node's partition of the provenance graph.
@@ -75,11 +84,11 @@ type parentKey struct {
 type Store struct {
 	Node types.NodeID
 
-	prov      map[types.ID][]ProvEntry
-	ruleExec  map[types.ID]RuleExecEntry
-	tuples    map[types.ID]types.Tuple
-	parents   map[types.ID][]Parent
-	parentIdx map[parentKey]int // position inside parents[vid]
+	prov      map[types.IDHandle][]ProvEntry
+	ruleExec  map[types.IDHandle]RuleExecEntry
+	tuples    map[types.IDHandle]types.Tuple
+	parents   map[types.IDHandle][]Parent
+	parentIdx map[parentKey]int // position inside parents[vidh]
 
 	// Chunked arenas for the first element of per-VID row slices and for
 	// ruleExec input lists. Most VIDs have exactly one prov row and one
@@ -100,10 +109,10 @@ type Store struct {
 func NewStore(node types.NodeID) *Store {
 	return &Store{
 		Node:      node,
-		prov:      make(map[types.ID][]ProvEntry),
-		ruleExec:  make(map[types.ID]RuleExecEntry),
-		tuples:    make(map[types.ID]types.Tuple),
-		parents:   make(map[types.ID][]Parent),
+		prov:      make(map[types.IDHandle][]ProvEntry),
+		ruleExec:  make(map[types.IDHandle]RuleExecEntry),
+		tuples:    make(map[types.IDHandle]types.Tuple),
+		parents:   make(map[types.IDHandle][]Parent),
 		parentIdx: make(map[parentKey]int),
 	}
 }
@@ -151,54 +160,80 @@ func (s *Store) allocVIDs(vidList []types.ID) []types.ID {
 // RegisterTuple records the VID→tuple mapping for a local tuple.
 func (s *Store) RegisterTuple(t types.Tuple) types.ID {
 	vid := t.VID()
-	s.RegisterTupleVID(vid, t)
+	s.RegisterTupleVIDH(types.InternID(vid), t)
 	return vid
 }
 
 // RegisterTupleVID records the VID→tuple mapping for a tuple whose VID the
-// caller has already computed, avoiding a redundant hash on the engine's hot
-// path (the engine caches VIDs on relation entries).
+// caller has already computed.
 func (s *Store) RegisterTupleVID(vid types.ID, t types.Tuple) {
-	if _, ok := s.tuples[vid]; !ok {
-		s.tuples[vid] = t
+	s.RegisterTupleVIDH(types.InternID(vid), t)
+}
+
+// RegisterTupleVIDH is RegisterTupleVID for a caller that holds the interned
+// handle (the engine caches one per relation entry), avoiding the 20-byte
+// dedup-map lookup on the hot path.
+func (s *Store) RegisterTupleVIDH(vidh types.IDHandle, t types.Tuple) {
+	if _, ok := s.tuples[vidh]; !ok {
+		s.tuples[vidh] = t
 	}
 }
 
 // TupleOf resolves a local VID to its tuple.
 func (s *Store) TupleOf(vid types.ID) (types.Tuple, bool) {
-	t, ok := s.tuples[vid]
+	h, ok := types.LookupID(vid)
+	if !ok {
+		return types.Tuple{}, false
+	}
+	t, ok := s.tuples[h]
 	return t, ok
 }
 
 // AddProv inserts (or increments) a prov entry.
 func (s *Store) AddProv(vid, rid types.ID, rloc types.NodeID) {
-	entries := s.prov[vid]
+	s.AddProvH(types.InternID(vid), rid, rloc)
+}
+
+// AddProvH is AddProv keyed by the caller's interned VID handle.
+func (s *Store) AddProvH(vidh types.IDHandle, rid types.ID, rloc types.NodeID) {
+	entries := s.prov[vidh]
 	for i := range entries {
 		if entries[i].RID == rid && entries[i].RLoc == rloc {
 			entries[i].Count++
-			s.changed(vid)
+			s.changed(entries[i].VID)
 			return
 		}
 	}
 	if entries == nil {
 		entries = s.allocProv1()
 	}
-	s.prov[vid] = append(entries, ProvEntry{VID: vid, RID: rid, RLoc: rloc, Count: 1})
+	vid := vidh.ID()
+	s.prov[vidh] = append(entries, ProvEntry{VID: vid, RID: rid, RLoc: rloc, Count: 1})
 	s.changed(vid)
 }
 
 // DelProv decrements (and possibly removes) a prov entry; it reports
 // whether the entry existed.
 func (s *Store) DelProv(vid, rid types.ID, rloc types.NodeID) bool {
-	entries := s.prov[vid]
+	h, ok := types.LookupID(vid)
+	if !ok {
+		return false
+	}
+	return s.DelProvH(h, rid, rloc)
+}
+
+// DelProvH is DelProv keyed by the caller's interned VID handle.
+func (s *Store) DelProvH(vidh types.IDHandle, rid types.ID, rloc types.NodeID) bool {
+	entries := s.prov[vidh]
 	for i := range entries {
 		if entries[i].RID == rid && entries[i].RLoc == rloc {
+			vid := entries[i].VID
 			entries[i].Count--
 			if entries[i].Count <= 0 {
-				s.prov[vid] = append(entries[:i], entries[i+1:]...)
-				if len(s.prov[vid]) == 0 {
-					delete(s.prov, vid)
-					delete(s.tuples, vid)
+				s.prov[vidh] = append(entries[:i], entries[i+1:]...)
+				if len(s.prov[vidh]) == 0 {
+					delete(s.prov, vidh)
+					delete(s.tuples, vidh)
 				}
 			}
 			s.changed(vid)
@@ -216,37 +251,62 @@ func (s *Store) changed(vid types.ID) {
 
 // Derivations returns the visible prov entries for a VID. Callers must not
 // mutate the returned slice.
-func (s *Store) Derivations(vid types.ID) []ProvEntry { return s.prov[vid] }
+func (s *Store) Derivations(vid types.ID) []ProvEntry {
+	h, ok := types.LookupID(vid)
+	if !ok {
+		return nil
+	}
+	return s.prov[h]
+}
 
 // AddRuleExec inserts (or increments) a ruleExec entry. vidList may be
 // caller scratch; it is copied when a new entry is created.
 func (s *Store) AddRuleExec(rid types.ID, rule string, vidList []types.ID) {
-	if e, ok := s.ruleExec[rid]; ok {
+	s.AddRuleExecH(types.InternID(rid), rid, rule, vidList)
+}
+
+// AddRuleExecH is AddRuleExec keyed by the caller's interned RID handle (the
+// engine's RID cache hands them out).
+func (s *Store) AddRuleExecH(ridh types.IDHandle, rid types.ID, rule string, vidList []types.ID) {
+	if e, ok := s.ruleExec[ridh]; ok {
 		e.Count++
-		s.ruleExec[rid] = e
+		s.ruleExec[ridh] = e
 		return
 	}
-	s.ruleExec[rid] = RuleExecEntry{RID: rid, Rule: rule, VIDList: s.allocVIDs(vidList), Count: 1}
+	s.ruleExec[ridh] = RuleExecEntry{RID: rid, Rule: rule, VIDList: s.allocVIDs(vidList), Count: 1}
 }
 
 // DelRuleExec decrements (and possibly removes) a ruleExec entry.
 func (s *Store) DelRuleExec(rid types.ID) bool {
-	e, ok := s.ruleExec[rid]
+	h, ok := types.LookupID(rid)
+	if !ok {
+		return false
+	}
+	return s.DelRuleExecH(h)
+}
+
+// DelRuleExecH is DelRuleExec keyed by the caller's interned RID handle.
+func (s *Store) DelRuleExecH(ridh types.IDHandle) bool {
+	e, ok := s.ruleExec[ridh]
 	if !ok {
 		return false
 	}
 	e.Count--
 	if e.Count <= 0 {
-		delete(s.ruleExec, rid)
+		delete(s.ruleExec, ridh)
 	} else {
-		s.ruleExec[rid] = e
+		s.ruleExec[ridh] = e
 	}
 	return true
 }
 
 // RuleExecOf resolves a local RID.
 func (s *Store) RuleExecOf(rid types.ID) (RuleExecEntry, bool) {
-	e, ok := s.ruleExec[rid]
+	h, ok := types.LookupID(rid)
+	if !ok {
+		return RuleExecEntry{}, false
+	}
+	e, ok := s.ruleExec[h]
 	return e, ok
 }
 
@@ -259,10 +319,12 @@ func (s *Store) ForEachRuleExec(fn func(RuleExecEntry)) {
 }
 
 // AddParent records that local tuple vid was consumed by rule execution rid
-// deriving headVID at headLoc.
+// deriving headVID at headLoc. This is a write path driven by the query
+// processor's cache installation, so both IDs are interned.
 func (s *Store) AddParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
-	k := parentKey{vid: vid, rid: rid}
-	list := s.parents[vid]
+	vidh := types.InternID(vid)
+	k := parentKey{vidh: vidh, ridh: types.InternID(rid)}
+	list := s.parents[vidh]
 	if pos, ok := s.parentIdx[k]; ok {
 		list[pos].Count++
 		return
@@ -271,17 +333,25 @@ func (s *Store) AddParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
 	if list == nil {
 		list = s.allocParent1()
 	}
-	s.parents[vid] = append(list, Parent{RID: rid, HeadVID: headVID, HeadLoc: headLoc, Count: 1})
+	s.parents[vidh] = append(list, Parent{RID: rid, HeadVID: headVID, HeadLoc: headLoc, Count: 1})
 }
 
 // DelParent removes one reverse edge occurrence.
 func (s *Store) DelParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
-	k := parentKey{vid: vid, rid: rid}
+	vidh, ok := types.LookupID(vid)
+	if !ok {
+		return
+	}
+	ridh, ok := types.LookupID(rid)
+	if !ok {
+		return
+	}
+	k := parentKey{vidh: vidh, ridh: ridh}
 	pos, ok := s.parentIdx[k]
 	if !ok {
 		return
 	}
-	list := s.parents[vid]
+	list := s.parents[vidh]
 	list[pos].Count--
 	if list[pos].Count > 0 {
 		return
@@ -290,32 +360,45 @@ func (s *Store) DelParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
 	last := len(list) - 1
 	if pos != last {
 		list[pos] = list[last]
-		s.parentIdx[parentKey{vid: vid, rid: list[pos].RID}] = pos
+		movedRidh, _ := types.LookupID(list[pos].RID)
+		s.parentIdx[parentKey{vidh: vidh, ridh: movedRidh}] = pos
 	}
 	list[last] = Parent{}
 	list = list[:last]
 	if len(list) == 0 {
-		delete(s.parents, vid)
+		delete(s.parents, vidh)
 	} else {
-		s.parents[vid] = list
+		s.parents[vidh] = list
 	}
 }
 
 // Parents returns the reverse dataflow edges of a local VID. Callers must
 // not mutate the returned slice.
-func (s *Store) Parents(vid types.ID) []Parent { return s.parents[vid] }
+func (s *Store) Parents(vid types.ID) []Parent {
+	h, ok := types.LookupID(vid)
+	if !ok {
+		return nil
+	}
+	return s.parents[h]
+}
 
 // DropParents removes every reverse edge of a VID (an invalidation wave
 // consumed them). A slice previously returned by Parents stays readable.
 func (s *Store) DropParents(vid types.ID) {
-	list, ok := s.parents[vid]
+	vidh, ok := types.LookupID(vid)
+	if !ok {
+		return
+	}
+	list, ok := s.parents[vidh]
 	if !ok {
 		return
 	}
 	for i := range list {
-		delete(s.parentIdx, parentKey{vid: vid, rid: list[i].RID})
+		if ridh, ok := types.LookupID(list[i].RID); ok {
+			delete(s.parentIdx, parentKey{vidh: vidh, ridh: ridh})
+		}
 	}
-	delete(s.parents, vid)
+	delete(s.parents, vidh)
 }
 
 // NumProv reports the number of visible prov entries in the partition.
@@ -337,12 +420,15 @@ func (s *Store) NumParents() int { return len(s.parentIdx) }
 // (Loc, tuple, RID short, RLoc) — the format of the paper's Table 1.
 func (s *Store) ProvRows() []string {
 	var rows []string
-	for vid, list := range s.prov {
-		label := vid.Short()
-		if t, ok := s.tuples[vid]; ok {
+	for vidh, list := range s.prov {
+		label := ""
+		if t, ok := s.tuples[vidh]; ok {
 			label = t.String()
 		}
 		for i := range list {
+			if label == "" {
+				label = list[i].VID.Short()
+			}
 			rid := "null"
 			rloc := list[i].RLoc.String()
 			if !list[i].RID.IsZero() {
@@ -363,7 +449,7 @@ func (s *Store) RuleExecRows() []string {
 		vids := make([]string, len(e.VIDList))
 		for i, v := range e.VIDList {
 			vids[i] = v.Short()
-			if t, ok := s.tuples[v]; ok {
+			if t, ok := s.TupleOf(v); ok {
 				vids[i] = t.String()
 			}
 		}

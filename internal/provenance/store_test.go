@@ -126,3 +126,63 @@ func TestRowRendering(t *testing.T) {
 		t.Fatal("counters wrong")
 	}
 }
+
+// TestHandleKeyedPartitions pins the PR 3 rekeying of the store: the
+// handle-based hot-path API must be observationally identical to the
+// ID-based one, and read paths must tolerate IDs that were never interned
+// anywhere in the process (returning empty results without growing the
+// intern table).
+func TestHandleKeyedPartitions(t *testing.T) {
+	s := NewStore(1)
+	tu := types.NewTuple("q", types.Node(1), types.Int(7))
+	vid := tu.VID()
+	vidh := types.InternID(vid)
+
+	s.RegisterTupleVIDH(vidh, tu)
+	if got, ok := s.TupleOf(vid); !ok || !got.Equal(tu) {
+		t.Fatal("H-registered tuple not visible through the ID API")
+	}
+	s.AddProvH(vidh, tid("r1"), 2)
+	if len(s.Derivations(vid)) != 1 {
+		t.Fatal("H-added prov row not visible through the ID API")
+	}
+	if !s.DelProvH(vidh, tid("r1"), 2) {
+		t.Fatal("DelProvH missed the row AddProvH created")
+	}
+	if len(s.Derivations(vid)) != 0 {
+		t.Fatal("row survived DelProvH")
+	}
+
+	rid := tid("exec")
+	ridh := types.InternID(rid)
+	s.AddRuleExecH(ridh, rid, "sp2", []types.ID{vid})
+	if e, ok := s.RuleExecOf(rid); !ok || e.Rule != "sp2" || e.Count != 1 {
+		t.Fatal("H-added ruleExec row not visible through the ID API")
+	}
+	if !s.DelRuleExecH(ridh) {
+		t.Fatal("DelRuleExecH missed the row")
+	}
+
+	// Read paths on a digest no code ever interned: empty results, no
+	// intern-table growth (LookupID, not InternID, under the hood).
+	var alien types.ID
+	copy(alien[:], "completely-unseen-digest!!")
+	_, _, idsBefore, _ := types.InternStats()
+	if s.Derivations(alien) != nil || s.Parents(alien) != nil {
+		t.Fatal("unknown ID produced rows")
+	}
+	if _, ok := s.TupleOf(alien); ok {
+		t.Fatal("unknown ID resolved to a tuple")
+	}
+	if _, ok := s.RuleExecOf(alien); ok {
+		t.Fatal("unknown ID resolved to a ruleExec row")
+	}
+	if s.DelProv(alien, rid, 0) || s.DelRuleExec(alien) {
+		t.Fatal("deleting under an unknown ID claimed success")
+	}
+	s.DelParent(alien, rid, vid, 0)
+	s.DropParents(alien)
+	if _, _, idsAfter, _ := types.InternStats(); idsAfter != idsBefore {
+		t.Fatalf("read-path probes grew the ID intern table: %d -> %d", idsBefore, idsAfter)
+	}
+}

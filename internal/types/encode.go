@@ -6,8 +6,8 @@ import (
 	"fmt"
 )
 
-// Wire format. Each value encodes as a one-byte kind tag followed by a
-// kind-specific payload:
+// Wire format (specified normatively in docs/wire-format.md). Each value
+// encodes as a one-byte kind tag followed by a kind-specific payload:
 //
 //	nil   -> tag
 //	bool  -> tag + 1 byte
@@ -19,10 +19,48 @@ import (
 //	prov  -> tag + uvarint length + payload bytes
 //
 // The same encoding is used (a) on the simulated and real wire, (b) as the
-// canonical input to SHA-1 when computing VIDs and RIDs, and (c) as map keys
-// inside relations. WireSize always equals len(Encode output).
+// canonical input to SHA-1 when computing VIDs and RIDs. WireSize always
+// equals len(Encode output).
+//
+// The interning layer never leaks into this format: encodings are payload
+// content, byte-for-byte identical to the pre-interning representation, and
+// interned entries simply memoize their encoding so emitting one is a copy.
+// (Process-local handle keys for map lookups come from Value.AppendKey,
+// which is deliberately a different, non-wire byte form.)
 
-var errTruncated = errors.New("types: truncated value encoding")
+var (
+	errTruncated    = errors.New("types: truncated value encoding")
+	errNonCanonical = errors.New("types: non-canonical value encoding")
+)
+
+// readUvarint decodes a uvarint and additionally rejects non-minimal
+// (over-long) encodings. The format doubles as SHA-1 input, so every byte
+// string must have at most one decoding that re-encodes to itself —
+// accepting redundant varint forms (or bool payloads other than 0/1) would
+// break the decode→re-encode identity the fuzz tests pin.
+func readUvarint(b []byte) (uint64, int, bool) {
+	v, sz := binary.Uvarint(b)
+	if sz <= 0 || sz != uvarintLen(v) {
+		return 0, 0, false
+	}
+	return v, sz, true
+}
+
+// encOf returns the cached canonical encoding of an interned value
+// (including the kind tag). Only valid for interned kinds.
+func (v Value) encOf() []byte {
+	switch v.kind {
+	case KindStr:
+		return strTab.store.get(v.h).enc
+	case KindID:
+		return idTab.store.get(v.h).enc
+	case KindList:
+		return listTab.store.get(v.h).enc
+	case KindProv:
+		return provTab.store.get(v.h).enc
+	}
+	return nil
+}
 
 // WireSize reports the encoded size of the value in bytes.
 func (v Value) WireSize() int {
@@ -33,67 +71,40 @@ func (v Value) WireSize() int {
 		return 2
 	case KindInt:
 		return 9
-	case KindStr:
-		return 1 + uvarintLen(uint64(len(v.s))) + len(v.s)
 	case KindNode:
 		return 5
-	case KindID:
-		return 1 + IDLen
-	case KindList:
-		n := 1 + uvarintLen(uint64(len(v.list)))
-		for _, e := range v.list {
-			n += e.WireSize()
-		}
-		return n
-	case KindProv:
-		var n int
-		if v.prov != nil {
-			n = v.prov.WireSize()
-		}
-		return 1 + uvarintLen(uint64(n)) + n
+	default:
+		return len(v.encOf())
 	}
-	return 1
 }
 
 // Encode appends the canonical encoding of v to dst and returns the extended
-// slice.
+// slice. Interned kinds append their memoized encoding in one copy.
 func (v Value) Encode(dst []byte) []byte {
-	dst = append(dst, byte(v.kind))
 	switch v.kind {
 	case KindNil:
+		return append(dst, byte(KindNil))
 	case KindBool:
+		b := byte(0)
 		if v.i != 0 {
-			dst = append(dst, 1)
-		} else {
-			dst = append(dst, 0)
+			b = 1
 		}
+		return append(dst, byte(KindBool), b)
 	case KindInt:
-		dst = binary.BigEndian.AppendUint64(dst, uint64(v.i))
-	case KindStr:
-		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
-		dst = append(dst, v.s...)
+		dst = append(dst, byte(KindInt))
+		return binary.BigEndian.AppendUint64(dst, uint64(v.i))
 	case KindNode:
-		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(v.i)))
-	case KindID:
-		dst = append(dst, v.id[:]...)
-	case KindList:
-		dst = binary.AppendUvarint(dst, uint64(len(v.list)))
-		for _, e := range v.list {
-			dst = e.Encode(dst)
-		}
-	case KindProv:
-		var pb []byte
-		if v.prov != nil {
-			pb = v.prov.EncodePayload()
-		}
-		dst = binary.AppendUvarint(dst, uint64(len(pb)))
-		dst = append(dst, pb...)
+		dst = append(dst, byte(KindNode))
+		return binary.BigEndian.AppendUint32(dst, uint32(int32(v.i)))
+	default:
+		return append(dst, v.encOf()...)
 	}
-	return dst
 }
 
 // DecodeValue decodes one value from b, returning the value and the number
 // of bytes consumed. Provenance payloads decode as opaque byte payloads.
+// Decoding interns heavy payloads, so a decoded value is == to the value
+// that was encoded.
 func DecodeValue(b []byte) (Value, int, error) {
 	if len(b) == 0 {
 		return Value{}, 0, errTruncated
@@ -107,6 +118,9 @@ func DecodeValue(b []byte) (Value, int, error) {
 		if len(rest) < 1 {
 			return Value{}, 0, errTruncated
 		}
+		if rest[0] > 1 {
+			return Value{}, 0, errNonCanonical
+		}
 		return Bool(rest[0] != 0), 2, nil
 	case KindInt:
 		if len(rest) < 8 {
@@ -114,8 +128,8 @@ func DecodeValue(b []byte) (Value, int, error) {
 		}
 		return Int(int64(binary.BigEndian.Uint64(rest))), 9, nil
 	case KindStr:
-		n, sz := binary.Uvarint(rest)
-		if sz <= 0 || len(rest) < sz+int(n) {
+		n, sz, ok := readUvarint(rest)
+		if !ok || n > uint64(len(rest)-sz) {
 			return Value{}, 0, errTruncated
 		}
 		return Str(string(rest[sz : sz+int(n)])), 1 + sz + int(n), nil
@@ -132,12 +146,16 @@ func DecodeValue(b []byte) (Value, int, error) {
 		copy(id[:], rest[:IDLen])
 		return IDVal(id), 1 + IDLen, nil
 	case KindList:
-		n, sz := binary.Uvarint(rest)
-		if sz <= 0 {
+		n, sz, ok := readUvarint(rest)
+		if !ok {
 			return Value{}, 0, errTruncated
 		}
 		used := 1 + sz
-		elems := make([]Value, 0, n)
+		// Cap the preallocation: the count is attacker-controlled (six
+		// hostile bytes could otherwise reserve gigabytes), and every real
+		// element costs at least one byte, so oversized counts fail with
+		// errTruncated after a bounded append.
+		elems := make([]Value, 0, min(n, 64))
 		cur := b[used:]
 		for i := uint64(0); i < n; i++ {
 			e, k, err := DecodeValue(cur)
@@ -150,8 +168,8 @@ func DecodeValue(b []byte) (Value, int, error) {
 		}
 		return List(elems...), used, nil
 	case KindProv:
-		n, sz := binary.Uvarint(rest)
-		if sz <= 0 || len(rest) < sz+int(n) {
+		n, sz, ok := readUvarint(rest)
+		if !ok || n > uint64(len(rest)-sz) {
 			return Value{}, 0, errTruncated
 		}
 		pb := make([]byte, n)

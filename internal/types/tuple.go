@@ -57,18 +57,19 @@ func (t Tuple) Encode(dst []byte) []byte {
 // DecodeTuple decodes one tuple from b, returning the tuple and the number
 // of bytes consumed.
 func DecodeTuple(b []byte) (Tuple, int, error) {
-	n, sz := binary.Uvarint(b)
-	if sz <= 0 || len(b) < sz+int(n) {
+	n, sz, ok := readUvarint(b)
+	if !ok || n > uint64(len(b)-sz) {
 		return Tuple{}, 0, errTruncated
 	}
 	pred := string(b[sz : sz+int(n)])
 	used := sz + int(n)
-	arity, sz2 := binary.Uvarint(b[used:])
-	if sz2 <= 0 {
+	arity, sz2, ok := readUvarint(b[used:])
+	if !ok {
 		return Tuple{}, 0, errTruncated
 	}
 	used += sz2
-	args := make([]Value, 0, arity)
+	// Bounded preallocation; see the matching cap in DecodeValue.
+	args := make([]Value, 0, min(arity, 64))
 	for i := uint64(0); i < arity; i++ {
 		v, k, err := DecodeValue(b[used:])
 		if err != nil {
@@ -89,9 +90,23 @@ func (t Tuple) WireSize() int {
 	return n
 }
 
-// Key returns the canonical encoding as a string, suitable for use as a map
-// key inside relations.
+// Key returns the canonical encoding as a string: a process-independent,
+// content-derived identity for the tuple. Hot paths key their maps on the
+// cheaper process-local AppendArgsKey form instead.
 func (t Tuple) Key() string { return string(t.Encode(nil)) }
+
+// AppendArgsKey appends the fixed-width process-local identity key of the
+// tuple's arguments (see Value.AppendKey): nine bytes per argument, no
+// string or digest copies. Two tuples of the same predicate have equal args
+// keys exactly when they are equal, which is what per-relation entry maps
+// and index buckets key on. The predicate is deliberately omitted — the
+// containing relation fixes it. Never used on the wire.
+func (t Tuple) AppendArgsKey(dst []byte) []byte {
+	for _, a := range t.Args {
+		dst = a.AppendKey(dst)
+	}
+	return dst
+}
 
 // vidHook, when non-nil, observes every full VID computation. It exists so
 // tests can assert how often tuples are re-hashed on the evaluation hot path;
@@ -118,19 +133,6 @@ func (t Tuple) VIDBuf(buf []byte) (ID, []byte) {
 		vidHook(t)
 	}
 	buf = t.Encode(buf[:0])
-	return HashBytes(buf), buf
-}
-
-// VIDOfKey computes t's VID from its already-computed canonical encoding
-// (as produced by Encode and cached as a relation map key), skipping the
-// value-by-value re-encode. buf is scratch for the hash input. The VID hook
-// still observes the computation — it is a full hash, just over cached
-// bytes.
-func VIDOfKey(t Tuple, key string, buf []byte) (ID, []byte) {
-	if vidHook != nil {
-		vidHook(t)
-	}
-	buf = append(buf[:0], key...)
 	return HashBytes(buf), buf
 }
 

@@ -8,11 +8,11 @@ import (
 )
 
 // randomValue generates an arbitrary value of bounded depth for property
-// tests.
+// tests, covering every kind including interned provenance payloads.
 func randomValue(rng *rand.Rand, depth int) Value {
-	k := rng.Intn(7)
-	if depth <= 0 && k >= 6 {
-		k = rng.Intn(6)
+	k := rng.Intn(8)
+	if depth <= 0 && k >= 7 { // lists recurse; cap them at the depth bound
+		k = rng.Intn(7)
 	}
 	switch k {
 	case 0:
@@ -31,6 +31,10 @@ func randomValue(rng *rand.Rand, depth int) Value {
 		var id ID
 		rng.Read(id[:])
 		return IDVal(id)
+	case 6:
+		b := make([]byte, rng.Intn(16))
+		rng.Read(b)
+		return Prov(OpaquePayload(b))
 	default:
 		n := rng.Intn(4)
 		elems := make([]Value, n)

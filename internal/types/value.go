@@ -2,13 +2,24 @@
 // component: the NDlog engine, the provenance store, the network simulator
 // and the UDP deployment runtime.
 //
-// Values form a small tagged union. Every value has a deterministic
-// canonical encoding (used both on the wire and as input to SHA-1 when
-// computing provenance vertex identifiers) and a deterministic wire size, so
-// that simulated byte counts match deployed byte counts exactly.
+// Values form a small tagged union held in a compact, pointer-free struct:
+// a kind tag, an inline 64-bit payload (booleans, integers, node addresses,
+// and the leading bytes of IDs), and a 32-bit handle into the per-process
+// interning layer for heavy payloads (strings, full 20-byte IDs, lists,
+// provenance annotations — see intern.go). Because handles are canonical,
+// Value supports Go's == operator, and slices of values carry no pointers
+// for the garbage collector to trace.
+//
+// Every value has a deterministic canonical encoding (used both on the wire
+// and as input to SHA-1 when computing provenance vertex identifiers) and a
+// deterministic wire size, so that simulated byte counts match deployed
+// byte counts exactly. The encoding is specified in docs/wire-format.md; it
+// is computed from payload content and never exposes interning handles, so
+// processes with different interning histories interoperate freely.
 package types
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -51,6 +62,12 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// interned reports whether values of this kind keep their payload in the
+// interning layer (reachable through Value.h) rather than inline in Value.i.
+func (k Kind) interned() bool {
+	return k == KindStr || k == KindID || k == KindList || k == KindProv
+}
+
 // NodeID identifies a network node. On the wire it occupies four bytes,
 // mirroring an IPv4 address in the paper's deployment.
 type NodeID int32
@@ -80,13 +97,18 @@ type Payload interface {
 // Value is an immutable tagged union. Construct values with Nil, Bool, Int,
 // Str, Node, IDVal, List and Prov; inspect them with the Kind and accessor
 // methods. The zero Value is Nil.
+//
+// The struct is 16 bytes and contains no pointers: kind selects the union
+// arm, i holds inline payloads (bool as 0/1, int, node; for IDs the first
+// eight digest bytes, big-endian, as a comparison prefix), and h names the
+// interned heavy payload for string, ID, list and provenance values. The
+// interning layer deduplicates payloads, so two Values are equal exactly
+// when their structs are equal, and Value is a valid Go map key. A fence in
+// types_test.go pins unsafe.Sizeof(Value{}) ≤ 24.
 type Value struct {
-	kind Kind
 	i    int64
-	s    string
-	id   ID
-	list []Value
-	prov Payload
+	h    uint32
+	kind Kind
 }
 
 // Constructors.
@@ -106,21 +128,31 @@ func Bool(b bool) Value {
 // Int returns an integer value.
 func Int(i int64) Value { return Value{kind: KindInt, i: i} }
 
-// Str returns a string value.
-func Str(s string) Value { return Value{kind: KindStr, s: s} }
+// Str returns a string value. The string is interned: repeated construction
+// of the same string is allocation-free and yields identical handles.
+func Str(s string) Value { return Value{kind: KindStr, h: internStr(s)} }
 
 // Node returns a node-address value.
 func Node(n NodeID) Value { return Value{kind: KindNode, i: int64(n)} }
 
-// IDVal returns a 20-byte digest value.
-func IDVal(id ID) Value { return Value{kind: KindID, id: id} }
+// IDVal returns a 20-byte digest value. The digest is interned; the first
+// eight bytes ride inline as a comparison prefix.
+func IDVal(id ID) Value {
+	return Value{
+		kind: KindID,
+		i:    int64(binary.BigEndian.Uint64(id[:8])),
+		h:    internID(id),
+	}
+}
 
-// List returns a list value holding the given elements. The slice is not
-// copied; callers must not mutate it afterwards.
-func List(elems ...Value) Value { return Value{kind: KindList, list: elems} }
+// List returns a list value holding the given elements. The slice is
+// interned (by the canonical encoding of its elements) and retained; callers
+// must not mutate it afterwards.
+func List(elems ...Value) Value { return Value{kind: KindList, h: internList(elems)} }
 
-// Prov wraps a provenance payload in a value.
-func Prov(p Payload) Value { return Value{kind: KindProv, prov: p} }
+// Prov wraps a provenance payload in a value. Payloads are interned by their
+// canonical bytes; a nil payload interns like an empty one.
+func Prov(p Payload) Value { return Value{kind: KindProv, h: internPayload(p)} }
 
 // Accessors.
 
@@ -154,7 +186,7 @@ func (v Value) AsStr() string {
 	if v.kind != KindStr {
 		return ""
 	}
-	return v.s
+	return strTab.store.get(v.h).s
 }
 
 // AsID returns the digest payload (zero ID for other kinds).
@@ -162,16 +194,16 @@ func (v Value) AsID() ID {
 	if v.kind != KindID {
 		return ID{}
 	}
-	return v.id
+	return idTab.store.get(v.h).id
 }
 
-// AsList returns the list elements (nil for other kinds). Callers must not
-// mutate the returned slice.
+// AsList returns the list elements (nil for other kinds). The slice is
+// shared with every equal list value; callers must not mutate it.
 func (v Value) AsList() []Value {
 	if v.kind != KindList {
 		return nil
 	}
-	return v.list
+	return listTab.store.get(v.h).elems
 }
 
 // AsProv returns the provenance payload (nil for other kinds).
@@ -179,7 +211,7 @@ func (v Value) AsProv() Payload {
 	if v.kind != KindProv {
 		return nil
 	}
-	return v.prov
+	return provTab.store.get(v.h).p
 }
 
 // Truthy reports whether a value counts as true in a rule constraint:
@@ -193,42 +225,15 @@ func (v Value) Truthy() bool {
 	}
 }
 
-// Equal reports deep equality.
-func (v Value) Equal(o Value) bool {
-	if v.kind != o.kind {
-		return false
-	}
-	switch v.kind {
-	case KindNil:
-		return true
-	case KindBool, KindInt, KindNode:
-		return v.i == o.i
-	case KindStr:
-		return v.s == o.s
-	case KindID:
-		return v.id == o.id
-	case KindList:
-		if len(v.list) != len(o.list) {
-			return false
-		}
-		for i := range v.list {
-			if !v.list[i].Equal(o.list[i]) {
-				return false
-			}
-		}
-		return true
-	case KindProv:
-		if v.prov == nil || o.prov == nil {
-			return v.prov == o.prov
-		}
-		return string(v.prov.EncodePayload()) == string(o.prov.EncodePayload())
-	}
-	return false
-}
+// Equal reports deep equality. Because heavy payloads are interned to
+// canonical handles, this is a plain struct comparison; v == o is
+// equivalent.
+func (v Value) Equal(o Value) bool { return v == o }
 
 // Compare defines a deterministic total order across values (first by kind,
 // then by payload). It is used for stable aggregate tie-breaking and for
-// canonical output ordering.
+// canonical output ordering. The order depends only on payload content —
+// never on interning handles — so it is reproducible across processes.
 func (v Value) Compare(o Value) int {
 	if v.kind != o.kind {
 		return int(v.kind) - int(o.kind)
@@ -245,27 +250,59 @@ func (v Value) Compare(o Value) int {
 		}
 		return 0
 	case KindStr:
-		return strings.Compare(v.s, o.s)
+		if v.h == o.h {
+			return 0
+		}
+		return strings.Compare(strTab.store.get(v.h).s, strTab.store.get(o.h).s)
 	case KindID:
-		return strings.Compare(string(v.id[:]), string(o.id[:]))
+		if v.h == o.h {
+			return 0
+		}
+		// The inline prefix is the first eight digest bytes big-endian, so
+		// unsigned comparison matches lexicographic byte order.
+		switch a, b := uint64(v.i), uint64(o.i); {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		va, vb := idTab.store.get(v.h).id, idTab.store.get(o.h).id
+		return strings.Compare(string(va[8:]), string(vb[8:]))
 	case KindList:
-		for i := 0; i < len(v.list) && i < len(o.list); i++ {
-			if c := v.list[i].Compare(o.list[i]); c != 0 {
+		if v.h == o.h {
+			return 0
+		}
+		la, lb := listTab.store.get(v.h).elems, listTab.store.get(o.h).elems
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if c := la[i].Compare(lb[i]); c != 0 {
 				return c
 			}
 		}
-		return len(v.list) - len(o.list)
+		return len(la) - len(lb)
 	case KindProv:
-		var a, b string
-		if v.prov != nil {
-			a = string(v.prov.EncodePayload())
+		if v.h == o.h {
+			return 0
 		}
-		if o.prov != nil {
-			b = string(o.prov.EncodePayload())
-		}
-		return strings.Compare(a, b)
+		return strings.Compare(provTab.store.get(v.h).key, provTab.store.get(o.h).key)
 	}
 	return 0
+}
+
+// AppendKey appends a fixed-width process-local identity key for v: the kind
+// byte followed by eight payload bytes (the inline payload, or the interned
+// handle zero-extended). Key equality coincides with value equality, and
+// building a key copies no string or digest content, which is why relations
+// and aggregate groups key their maps on it. Keys are meaningless outside
+// this process and never touch the wire — use Encode for canonical bytes.
+func (v Value) AppendKey(dst []byte) []byte {
+	w := uint64(v.i)
+	if v.kind.interned() {
+		w = uint64(v.h)
+	}
+	return append(dst,
+		byte(v.kind),
+		byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+		byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 }
 
 // String renders the value in the paper's notation: nodes as letters,
@@ -282,22 +319,23 @@ func (v Value) String() string {
 	case KindInt:
 		return fmt.Sprintf("%d", v.i)
 	case KindStr:
-		return v.s
+		return v.AsStr()
 	case KindNode:
 		return NodeID(v.i).String()
 	case KindID:
-		return v.id.Short()
+		return v.AsID().Short()
 	case KindList:
-		parts := make([]string, len(v.list))
-		for i, e := range v.list {
+		elems := v.AsList()
+		parts := make([]string, len(elems))
+		for i, e := range elems {
 			parts[i] = e.String()
 		}
 		return "(" + strings.Join(parts, ",") + ")"
 	case KindProv:
-		if v.prov == nil {
-			return "prov(nil)"
+		if p := v.AsProv(); p != nil {
+			return p.String()
 		}
-		return v.prov.String()
+		return "prov(nil)"
 	}
 	return "?"
 }
