@@ -1,13 +1,17 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml); `make bench` regenerates the machine-readable
-# before/after record in BENCH_PR3.json against the checked-in pre-PR3
+# before/after record in BENCH_PR4.json against the checked-in pre-PR4
 # baseline run, and `make bench-compare` prints a benchstat-style delta of
-# a smoke run against the committed BENCH_PR2.json numbers (report-only).
+# a smoke run against the committed BENCH_PR3.json numbers (report-only).
 
 GO ?= go
-BENCHES := BenchmarkEngineFixpoint|BenchmarkQueryBFS|BenchmarkCacheInvalidation
+BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkQueryBFS|BenchmarkCacheInvalidation
+# Packages whose tests exercise concurrent code paths (worker shards, the
+# round scheduler, UDP node processes); test-race gates them under the race
+# detector and CI runs it on every push.
+RACE_PKGS := ./internal/engine/... ./internal/provenance/... ./internal/deploy/...
 
-.PHONY: all build fmt vet test doccheck check bench bench-smoke bench-compare clean
+.PHONY: all build fmt vet test test-race doccheck check bench bench-smoke bench-compare clean
 
 all: check
 
@@ -24,6 +28,14 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector gate over the concurrently-evaluated packages — mandatory
+# since the sharded runtime fires rules across worker goroutines. GOMAXPROCS
+# is pinned ≥ 4 so the gate exercises the parallel phases even on single-core
+# runners (the runtime falls back to inline execution at GOMAXPROCS=1, which
+# would make the gate vacuous).
+test-race:
+	GOMAXPROCS=4 $(GO) test -race $(RACE_PKGS)
 
 # Documentation link check: every local file referenced from the markdown
 # docs must exist, so ARCHITECTURE.md / docs/wire-format.md / README files
@@ -44,29 +56,29 @@ doccheck:
 	done; \
 	if [ $$fail -eq 0 ]; then echo "doccheck ok"; else exit 1; fi
 
-check: fmt vet build test doccheck
+check: fmt vet build test test-race doccheck
 
 # Full hot-path benchmark run: three samples of each tracked benchmark with
-# allocation stats, merged with the pre-PR3 baseline into BENCH_PR3.json.
+# allocation stats, merged with the pre-PR4 baseline into BENCH_PR4.json.
 # The simnet dispatch micro-benchmark is appended with a time-based budget
 # (per-op cost is tens of nanoseconds; 10 iterations would be noise).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=10x -count=3 . | tee bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSimnetDispatch' -benchmem -benchtime=2s . | tee -a bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline BENCH_BASELINE_PR3.txt -current bench_current.txt \
-		-out BENCH_PR3.json -print \
-		-note "before/after results for the compact value representation + interning layer (PR 3); baseline is the PR 2 code on the same hardware; regenerate with make bench"
+	$(GO) run ./cmd/benchjson -baseline BENCH_BASELINE_PR4.txt -current bench_current.txt \
+		-out BENCH_PR4.json -print \
+		-note "before/after results for the sharded parallel engine runtime (PR 4); baseline is the PR 3 code on the same hardware (single-core container — sharded configs pay partition overhead without parallel payback here); regenerate with make bench"
 
 # One-iteration smoke run used by CI to catch benchmark bit-rot cheaply.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineFixpoint' -benchtime=1x .
 
 # CI delta report: smoke-run the tracked benchmarks once and print the
-# change against the committed PR 2 record. Report-only — the `-` prefix
+# change against the committed PR 3 record. Report-only — the `-` prefix
 # keeps a regression (or a noisy runner) from failing the job.
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1x . | tee bench_smoke.txt
-	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR2.json -current bench_smoke.txt -print
+	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR3.json -current bench_smoke.txt -print
 
 clean:
 	rm -f bench_current.txt bench_smoke.txt

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -161,9 +162,44 @@ func BenchmarkEngineFixpoint(b *testing.B) {
 		}
 		var deltas int64
 		for _, h := range c.Hosts {
-			deltas += h.Engine.DeltasProcessed
+			deltas += h.Engine.DeltasProcessed()
 		}
 		b.ReportMetric(float64(deltas), "deltas/op")
+	}
+}
+
+// BenchmarkEngineFixpointSharded measures the same MINCOST fixpoint through
+// the sharded runtime: every node's state hash-partitioned across worker
+// shards, the cluster driven to quiescence by the parallel round scheduler
+// instead of the discrete-event simulator. Results are bit-identical to the
+// simulated fixpoint (see core.TestSchedulerMatchesSimnet); wall-clock gains
+// come from batched rounds (no per-message event dispatch) and, on
+// multi-core hosts, from running shards in parallel.
+func BenchmarkEngineFixpointSharded(b *testing.B) {
+	topo := topology.TransitStub(topology.DefaultTransitStub(1), rand.New(rand.NewSource(1)))
+	prog, err := engine.Compile(apps.MinCost())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := engine.NewScheduler(prog, engine.ProvReference, topo.N, shards, 0)
+				for _, l := range topo.Links {
+					s.InsertBase(l.U, apps.LinkTuple(l.U, l.V, l.Cost))
+					s.InsertBase(l.V, apps.LinkTuple(l.V, l.U, l.Cost))
+				}
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				var deltas int64
+				for n := 0; n < s.NumNodes(); n++ {
+					deltas += s.Node(n).DeltasProcessed()
+				}
+				b.ReportMetric(float64(deltas), "deltas/op")
+			}
+		})
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,6 +37,10 @@ func main() {
 	udfName := flag.String("udf", "polynomial", "query representation: polynomial, bdd, derivations, nodeset, derivability")
 	dumpProv := flag.Bool("dump-prov", false, "print the prov/ruleExec partitions after fixpoint")
 	deployMode := flag.Bool("deploy", false, "run over real UDP sockets (testbed mode) instead of the simulator")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0),
+		"engine worker shards per node (default GOMAXPROCS); with >1 shards a plain\n"+
+			"fixpoint run uses the parallel round scheduler, while -query/-dump-prov/-deploy\n"+
+			"runs keep their driver and shard each node's evaluation internally")
 	flag.Parse()
 
 	prog, err := loadProgram(*app)
@@ -52,11 +57,21 @@ func main() {
 	}
 
 	if *deployMode {
-		runDeployment(topo, prog, mode)
+		runDeployment(topo, prog, mode, *shards)
 		return
 	}
 
-	cfg := core.Config{Topo: topo, Prog: prog, Mode: mode}
+	// A plain fixpoint run (no query, no provenance dump) uses the parallel
+	// scheduler when sharding is requested: same results, no simulator in
+	// the way. Queries and dumps need the simulator's virtual clock and the
+	// query processor, so they stay on the simnet driver with per-node
+	// sharding instead.
+	if *shards > 1 && *query == "" && !*dumpProv {
+		runScheduled(topo, prog, mode, *shards)
+		return
+	}
+
+	cfg := core.Config{Topo: topo, Prog: prog, Mode: mode, Shards: *shards}
 	c, err := core.NewCluster(cfg)
 	if err != nil {
 		fatal(err)
@@ -85,8 +100,8 @@ func main() {
 		float64(c.Net.TotalBytes)/1e6, c.AvgCommMB())
 	var deltas, fired int64
 	for _, h := range c.Hosts {
-		deltas += h.Engine.DeltasProcessed
-		fired += h.Engine.RulesFired
+		deltas += h.Engine.DeltasProcessed()
+		fired += h.Engine.RulesFired()
 	}
 	fmt.Printf("engine: %d deltas processed, %d rule firings\n", deltas, fired)
 	for _, pred := range []string{"bestPathCost", "bestPath", "pathCost", "path"} {
@@ -111,10 +126,49 @@ func main() {
 	}
 }
 
+// runScheduled computes the fixpoint through the sharded parallel runtime
+// (engine.Scheduler) and prints statistics comparable to the simulator path
+// (identical tuple counts and byte totals; wall-clock time instead of
+// virtual time).
+func runScheduled(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode, shards int) {
+	compiled, err := engine.Compile(prog)
+	if err != nil {
+		fatal(err)
+	}
+	s := engine.NewScheduler(compiled, mode, topo.N, shards, 0)
+	startAt := time.Now()
+	for _, l := range topo.Links {
+		s.InsertBase(l.U, apps.LinkTuple(l.U, l.V, l.Cost))
+		s.InsertBase(l.V, apps.LinkTuple(l.V, l.U, l.Cost))
+	}
+	if err := s.Run(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sharded fixpoint: %.3fs wall clock, %d nodes x %d shards, %d scheduler rounds\n",
+		time.Since(startAt).Seconds(), topo.N, shards, s.Rounds)
+	fmt.Printf("communication: %.3f MB total, %.4f MB avg per node\n",
+		float64(s.TotalBytes)/1e6, s.AvgSentMB())
+	var deltas, fired int64
+	for i := 0; i < s.NumNodes(); i++ {
+		deltas += s.Node(i).DeltasProcessed()
+		fired += s.Node(i).RulesFired()
+	}
+	fmt.Printf("engine: %d deltas processed, %d rule firings\n", deltas, fired)
+	for _, pred := range []string{"bestPathCost", "bestPath", "pathCost", "path"} {
+		n := 0
+		for i := 0; i < s.NumNodes(); i++ {
+			n += s.Node(i).TupleCount(pred)
+		}
+		if n > 0 {
+			fmt.Printf("  %-14s %6d tuples\n", pred, n)
+		}
+	}
+}
+
 // runDeployment executes the program over real UDP sockets on loopback
 // (the paper's testbed mode) and prints byte and latency statistics.
-func runDeployment(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode) {
-	cl, err := deploy.NewCluster(deploy.Config{Topo: topo, Prog: prog, Mode: mode})
+func runDeployment(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode, shards int) {
+	cl, err := deploy.NewCluster(deploy.Config{Topo: topo, Prog: prog, Mode: mode, Shards: shards})
 	if err != nil {
 		fatal(err)
 	}

@@ -39,6 +39,13 @@ type Config struct {
 	// BandwidthBucketNs, when non-zero, attaches a time-bucketed
 	// bandwidth recorder to the network.
 	BandwidthBucketNs int64
+
+	// Shards is the number of engine worker shards per node (0 or 1 =
+	// classic serial evaluation). Sharded nodes evaluate each incoming
+	// message batch with the parallel round runtime; results match the
+	// serial engine exactly. Value-based and centralized provenance clamp
+	// to one shard (see engine.NewNodeSharded).
+	Shards int
 }
 
 // Host is one node's ExSPAN stack.
@@ -110,13 +117,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{Cfg: cfg, Sim: sim, Net: nw, Topo: cfg.Topo, Prog: prog, Alloc: alloc}
-	msgPool := engine.NewMessagePool()
+	// The engine message pool is only useful — and its Puts only ever
+	// drained — under single-shard evaluation: sharded fire phases bypass
+	// Get, so wiring the pool in would retain every delivered message
+	// forever. A nil pool degrades Put to a no-op (types.Pool contract).
+	var msgPool *engine.MessagePool
+	if cfg.Shards <= 1 || cfg.Mode == engine.ProvValue || cfg.Mode == engine.ProvCentralized {
+		msgPool = engine.NewMessagePool()
+	}
 	qryPool := provquery.NewMsgPool()
 	for i := 0; i < cfg.Topo.N; i++ {
 		id := types.NodeID(i)
-		en := engine.NewNode(id, prog, cfg.Mode, simTransport{nw}, alloc)
+		en := engine.NewNodeSharded(id, prog, cfg.Mode, simTransport{nw}, alloc, cfg.Shards)
 		en.Central = cfg.Central
-		en.Msgs = msgPool
+		en.Msgs = msgPool // nil for sharded clusters (see above)
 		qp := provquery.NewProcessor(id, en.Store, udf, func(to types.NodeID, m *provquery.Msg) {
 			nw.Send(id, to, m, m.WireSize())
 		})
@@ -212,11 +226,7 @@ type TupleRef struct {
 func (c *Cluster) TuplesOf(pred string) []TupleRef {
 	var out []TupleRef
 	for i, h := range c.Hosts {
-		rel := h.Engine.Table(pred)
-		if rel == nil {
-			continue
-		}
-		for _, t := range rel.Tuples() {
+		for _, t := range h.Engine.Tuples(pred) {
 			out = append(out, TupleRef{Tuple: t, VID: t.VID(), Loc: types.NodeID(i)})
 		}
 	}
@@ -229,11 +239,7 @@ func (c *Cluster) FindTuple(t types.Tuple) (TupleRef, bool) {
 	if loc < 0 || int(loc) >= len(c.Hosts) {
 		return TupleRef{}, false
 	}
-	rel := c.Hosts[loc].Engine.Table(t.Pred)
-	if rel == nil {
-		return TupleRef{}, false
-	}
-	for _, cand := range rel.Tuples() {
+	for _, cand := range c.Hosts[loc].Engine.Tuples(t.Pred) {
 		if cand.Equal(t) {
 			return TupleRef{Tuple: t, VID: t.VID(), Loc: loc}, true
 		}

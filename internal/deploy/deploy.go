@@ -39,6 +39,12 @@ type Config struct {
 	Central types.NodeID
 	UDF     provquery.UDF
 	CacheOn bool
+
+	// Shards is the number of engine worker shards per node process (0 or
+	// 1 = classic serial evaluation). Each UDP datagram batch is then
+	// evaluated by the parallel round runtime; fixpoint results match the
+	// serial engine exactly.
+	Shards int
 }
 
 // Cluster is a set of ExSPAN node processes communicating over UDP.
@@ -51,6 +57,12 @@ type Cluster struct {
 
 	sent      atomic.Int64 // work items issued (datagrams + local commands)
 	processed atomic.Int64 // work items fully handled
+
+	// quiet receives a (coalesced) signal whenever the processed counter
+	// catches up with sent — the deployment's analogue of the simulator's
+	// empty event queue. WaitFixpoint blocks on it instead of sleep-polling,
+	// so convergence detection is driven by work accounting, not timers.
+	quiet chan struct{}
 }
 
 // NodeProc is one deployed node: an engine + query processor served by a
@@ -100,7 +112,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := &Cluster{Cfg: cfg, Prog: prog, start: time.Now()}
+	cl := &Cluster{Cfg: cfg, Prog: prog, start: time.Now(), quiet: make(chan struct{}, 1)}
 	alloc := algebra.NewVarAlloc()
 	udf := cfg.UDF
 	if udf == nil {
@@ -124,8 +136,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			engPool:  engine.NewMessagePool(),
 			qryPool:  provquery.NewMsgPool(),
 		}
-		en := engine.NewNode(np.ID, prog, cfg.Mode, udpTransport{np}, alloc)
+		en := engine.NewNodeSharded(np.ID, prog, cfg.Mode, udpTransport{np}, alloc, cfg.Shards)
 		en.Central = cfg.Central
+		if en.NumShards() > 1 {
+			// Sharded fire phases never draw from the unsynchronized pool,
+			// so keeping it wired would only accumulate every message ever
+			// Put back by the transport. A nil pool degrades Get/Put to
+			// plain allocation / no-op (types.Pool contract).
+			np.engPool = nil
+		}
 		en.Msgs = np.engPool
 		qp := provquery.NewProcessor(np.ID, en.Store, udf, func(to types.NodeID, m *provquery.Msg) {
 			np.sendDatagram(to, tagQuery, m.Encode(nil))
@@ -162,10 +181,20 @@ func (c *Cluster) Stop() {
 	}
 }
 
+// insertLinkBatch is how many links InsertLinks injects between quiescence
+// waits. Flooding every link at once used to race the whole boot cascade
+// against the kernel's UDP buffers; under -race slowdowns the receive loops
+// fell behind, datagrams were silently dropped, and the fixpoint stalled —
+// the documented flake of TestDeployRingPathVector. Draining between small
+// batches bounds the in-flight datagram population instead of relying on
+// wall-clock luck.
+const insertLinkBatch = 4
+
 // InsertLinks injects the topology's symmetric link tuples at their owning
-// nodes.
+// nodes, pacing injection by cluster quiescence (never by wall-clock
+// sleeps).
 func (c *Cluster) InsertLinks() {
-	for _, l := range c.Cfg.Topo.Links {
+	for i, l := range c.Cfg.Topo.Links {
 		u, v, cost := l.U, l.V, l.Cost
 		c.Nodes[u].Do(func() {
 			c.Nodes[u].Engine.InsertBase(types.NewTuple("link", types.Node(u), types.Node(v), types.Int(cost)))
@@ -173,6 +202,9 @@ func (c *Cluster) InsertLinks() {
 		c.Nodes[v].Do(func() {
 			c.Nodes[v].Engine.InsertBase(types.NewTuple("link", types.Node(v), types.Node(u), types.Int(cost)))
 		})
+		if i%insertLinkBatch == insertLinkBatch-1 {
+			c.waitQuiet(10 * time.Second)
+		}
 	}
 }
 
@@ -205,7 +237,7 @@ func (np *NodeProc) sendDatagram(to types.NodeID, tag byte, payload []byte) {
 	if _, err := np.conn.WriteToUDP(buf, np.cl.addrs[to]); err != nil {
 		// A send that never reaches the peer would stall quiescence;
 		// account it as processed.
-		np.cl.processed.Add(1)
+		np.cl.workDone()
 	}
 }
 
@@ -217,7 +249,7 @@ func (np *NodeProc) recvLoop() {
 			return
 		}
 		if n < 5 {
-			np.cl.processed.Add(1)
+			np.cl.workDone()
 			continue
 		}
 		tag := buf[0]
@@ -230,19 +262,19 @@ func (np *NodeProc) recvLoop() {
 		case tagEngine:
 			m, err := engine.DecodeMessage(payload)
 			if err != nil {
-				np.cl.processed.Add(1)
+				np.cl.workDone()
 				continue
 			}
 			w.engMsg = m
 		case tagQuery:
 			m, err := provquery.DecodeMsg(payload)
 			if err != nil {
-				np.cl.processed.Add(1)
+				np.cl.workDone()
 				continue
 			}
 			w.qryMsg = m
 		default:
-			np.cl.processed.Add(1)
+			np.cl.workDone()
 			continue
 		}
 		select {
@@ -267,35 +299,61 @@ func (np *NodeProc) workLoop() {
 				np.Query.Handle(w.from, w.qryMsg)
 				np.qryPool.Put(w.qryMsg)
 			}
-			np.cl.processed.Add(1)
+			np.cl.workDone()
 		case <-np.done:
 			return
 		}
 	}
 }
 
-// WaitFixpoint blocks until the cluster is quiescent (every issued work
-// item processed, stable across several polls) or the timeout elapses; it
-// returns the elapsed wall-clock time since cluster start and whether a
-// fixpoint was reached.
-func (c *Cluster) WaitFixpoint(timeout time.Duration) (time.Duration, bool) {
-	deadline := time.Now().Add(timeout)
-	stable := 0
-	var last int64 = -1
-	for time.Now().Before(deadline) {
-		s, p := c.sent.Load(), c.processed.Load()
-		if s == p && s == last {
-			stable++
-			if stable >= 3 {
-				return time.Since(c.start), true
-			}
-		} else {
-			stable = 0
+// workDone retires one work item and pokes WaitFixpoint when the cluster
+// may have gone quiescent. Reading sent after bumping processed is safe:
+// any still-running handler keeps its own item unretired, so equality is
+// only observable once every issued item (and its sends) is accounted.
+func (c *Cluster) workDone() {
+	if c.processed.Add(1) == c.sent.Load() {
+		select {
+		case c.quiet <- struct{}{}:
+		default:
 		}
-		last = s
-		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// WaitFixpoint blocks until the cluster is quiescent (every issued work
+// item fully handled) or the timeout elapses; it returns the elapsed
+// wall-clock time since cluster start and whether a fixpoint was reached.
+// Quiescence is detected from the work accounting itself — workers signal
+// when processed catches up with sent — so a loaded or race-instrumented
+// run converges exactly as fast as it actually processes work, with no
+// sleep-poll granularity in the way. The timeout remains as a backstop for
+// genuine datagram loss.
+func (c *Cluster) WaitFixpoint(timeout time.Duration) (time.Duration, bool) {
+	if c.waitQuiet(timeout) {
+		return time.Since(c.start), true
 	}
 	return time.Since(c.start), false
+}
+
+// waitQuiet blocks until processed == sent or the budget elapses. The
+// fallback ticker re-checks the counters even without a signal, covering
+// the benign race where equality is reached just before a waiter arrives.
+func (c *Cluster) waitQuiet(budget time.Duration) bool {
+	deadline := time.NewTimer(budget)
+	defer deadline.Stop()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s := c.sent.Load(); s == c.processed.Load() && s == c.sent.Load() {
+			return true
+		}
+		select {
+		case <-c.quiet:
+		case <-tick.C:
+		case <-deadline.C:
+			s := c.sent.Load()
+			return s == c.processed.Load() && s == c.sent.Load()
+		}
+	}
 }
 
 // Err reports the first engine error across nodes.
@@ -345,9 +403,9 @@ func (c *Cluster) Snapshot(pred string) []types.Tuple {
 		wg.Add(1)
 		np.Do(func() {
 			defer wg.Done()
-			if rel := np.Engine.Table(pred); rel != nil {
+			if ts := np.Engine.Tuples(pred); len(ts) > 0 {
 				mu.Lock()
-				out = append(out, rel.Tuples()...)
+				out = append(out, ts...)
 				mu.Unlock()
 			}
 		})

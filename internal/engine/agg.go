@@ -1,10 +1,191 @@
 package engine
 
 import (
+	"fmt"
 	"sort"
 
+	"repro/internal/bdd"
 	"repro/internal/types"
 )
+
+// fireAgg routes a delta of an aggregate rule's body predicate through the
+// group state — the serial (single-shard) path, where the group lives on
+// this shard and updates apply inline. Under rounds the same body evaluation
+// happens in fireAggRound, which ships the update to the group's owner shard
+// instead (aggregate groups are partitioned by group-key hash, so one shard
+// owns each group's whole input multiset).
+func (sh *shard) fireAgg(rule *CompiledRule, t types.Tuple, sign int8, payload bdd.Ref) {
+	n := sh.n
+	env, ok := sh.evalAggBody(rule, t)
+	if !ok {
+		return
+	}
+	spec := rule.agg
+	groupVals := sh.groupBuf[:len(spec.groupCode)]
+	for i, code := range spec.groupCode {
+		v, err := code(env)
+		if err != nil {
+			sh.fail(fmt.Errorf("rule %s group: %w", rule.Label, err))
+			return
+		}
+		groupVals[i] = v
+	}
+	groups := sh.aggByRule[rule.idx]
+	if groups == nil {
+		groups = map[string]*aggGroup{}
+		sh.aggByRule[rule.idx] = groups
+	}
+	sh.keyBuf = appendValuesKey(sh.keyBuf[:0], groupVals)
+	g := groups[string(sh.keyBuf)]
+	if g == nil {
+		g = sh.allocAggGroup()
+		groups[string(sh.keyBuf)] = g
+	}
+
+	if sign == Update {
+		// Value-mode payload update: if the updated input is the current
+		// winner, the head's payload follows it.
+		if n.Mode == ProvValue && g.curWinner != nil && g.curWinner.input.Equal(t) && g.hasOut {
+			out := g.curOut
+			out.Pred = rule.HeadPred
+			sh.vidBuf[0], sh.hashBuf = t.VIDBuf(sh.hashBuf)
+			var rid types.ID
+			rid, sh.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, sh.vidBuf[:1], sh.ridBuf)
+			sh.route(out, n.ID, Update, rid, payload)
+		}
+		return
+	}
+
+	sortVal, carried := sh.evalAggVals(rule, env)
+	for _, em := range g.update(sh, spec, groupVals, sortVal, carried, t, sign) {
+		out := em.tuple
+		out.Pred = rule.HeadPred
+		sh.emitAggChange(rule, out, em, t)
+	}
+}
+
+// evalAggBody binds the body tuple into the rule environment and runs the
+// plan's assignments and conditions; ok is false when binding or a condition
+// fails (or an expression errored).
+func (sh *shard) evalAggBody(rule *CompiledRule, t types.Tuple) ([]types.Value, bool) {
+	pl := rule.plans[0]
+	env := sh.envBuf[:rule.numVars]
+	if !bindTuple(pl.deltaBinds, t, env) {
+		return nil, false
+	}
+	// Aggregate bodies may carry assignments/conditions.
+	for i := range pl.steps {
+		st := &pl.steps[i]
+		switch st.kind {
+		case stepAssign:
+			v, err := st.expr(env)
+			if err != nil {
+				sh.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
+				return nil, false
+			}
+			env[st.assignSlot] = v
+		case stepCond:
+			v, err := st.expr(env)
+			if err != nil {
+				sh.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
+				return nil, false
+			}
+			if !v.Truthy() {
+				return nil, false
+			}
+		}
+	}
+	return env, true
+}
+
+// evalAggVals extracts the aggregate's sort value and carried values from
+// the bound environment into shard scratch (carryBuf). Callers must copy the
+// carried slice if they retain it.
+func (sh *shard) evalAggVals(rule *CompiledRule, env []types.Value) (types.Value, []types.Value) {
+	spec := rule.agg
+	var sortVal types.Value
+	vals := sh.carryBuf[:0]
+	switch spec.Fn {
+	case "MIN", "MAX":
+		sortVal = env[spec.sortSlot]
+		for _, s := range spec.carried {
+			vals = append(vals, env[s])
+		}
+	case "COUNT":
+		sortVal = types.Int(0)
+	case "AGGLIST":
+		for _, s := range spec.listSlots {
+			vals = append(vals, env[s])
+		}
+	}
+	sh.carryBuf = vals[:0]
+	carried := vals
+	if spec.Fn == "AGGLIST" {
+		if len(vals) > 0 {
+			sortVal = vals[0]
+			carried = vals[1:]
+		} else {
+			sortVal = types.Int(0)
+			carried = nil
+		}
+	}
+	return sortVal, carried
+}
+
+// emitAggChange applies provenance bookkeeping for an aggregate output
+// change and routes it. Aggregate heads are local by validation.
+func (sh *shard) emitAggChange(rule *CompiledRule, out types.Tuple, em aggEmit, cause types.Tuple) {
+	n := sh.n
+	sh.rulesFired++
+	var rid types.ID
+	var payload bdd.Ref
+	if em.hasWin {
+		// The winning input is stored in the body relation; reuse its
+		// cached VID instead of re-hashing the tuple. Under rounds the
+		// winner may live on a sibling shard that is concurrently applying
+		// its own batch, so only a self-owned entry is consulted — the
+		// fallback recomputes the same content-derived RID either way.
+		var winEnt *entry
+		if rel := sh.aggBodyRel[rule.idx]; rel != nil {
+			if !n.rounds() || n.ownerShard(em.winner) == sh {
+				winEnt = rel.get(em.winner)
+			}
+		}
+		var winVID types.ID
+		var ridh types.IDHandle
+		if winEnt != nil {
+			winVID, sh.hashBuf = winEnt.VIDBuf(sh.hashBuf)
+			sh.vidBuf[0] = winVID
+			// Aggregate RIDs hash a single stored input; memoize them like
+			// join RIDs (entBuf is idle here — fireAgg never runs inside
+			// execPlan, so borrowing slot 0 cannot clobber a live plan).
+			sh.entBuf[0] = winEnt
+			rid, ridh = sh.ruleExecID(rule, sh.entBuf[:1], sh.vidBuf[:1])
+		} else {
+			winVID, sh.hashBuf = em.winner.VIDBuf(sh.hashBuf)
+			sh.vidBuf[0] = winVID
+			rid, sh.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, sh.vidBuf[:1], sh.ridBuf)
+		}
+		switch n.Mode {
+		case ProvReference:
+			sh.ruleExecRow(ridh, rid, rule.Label, sh.vidBuf[:1], em.sign)
+		case ProvCentralized:
+			var headVID types.ID
+			headVID, sh.hashBuf = out.VIDBuf(sh.hashBuf)
+			n.sendRuleExecRow(rid, rule.Label, sh.vidBuf[:1], em.sign)
+			n.sendProvRow(n.ID, headVID, rid, n.ID, em.sign)
+		case ProvValue:
+			payload = bdd.True
+			if winEnt != nil {
+				payload = winEnt.payload
+			}
+		}
+	}
+	// COUNT/AGGLIST outputs carry no MIN/MAX-style provenance child (the
+	// paper restricts aggregate provenance to MIN and MAX); they enter the
+	// graph as base-like vertices via the null RID.
+	sh.route(out, n.ID, em.sign, rid, payload)
+}
 
 // aggEntry is one element of an aggregate group's input multiset.
 type aggEntry struct {
@@ -64,11 +245,11 @@ type aggEmit struct {
 // groupVals are the evaluated group-by head arguments; spec drives the
 // aggregate function; n supplies the arenas retained data is carved from.
 // carried may be caller scratch: it is copied if the entry must retain it.
-func (g *aggGroup) update(n *Node, spec *AggSpec, groupVals []types.Value,
+func (g *aggGroup) update(sh *shard, spec *AggSpec, groupVals []types.Value,
 	sortVal types.Value, carried []types.Value, input types.Tuple, sign int8) []aggEmit {
 
-	n.aggKeyBuf = appendAggEntryKey(n.aggKeyBuf[:0], sortVal, carried)
-	key := n.aggKeyBuf
+	sh.aggKeyBuf = appendAggEntryKey(sh.aggKeyBuf[:0], sortVal, carried)
+	key := sh.aggKeyBuf
 	ordered := spec.Fn == "MIN" || spec.Fn == "MAX"
 	switch sign {
 	case Insert:
@@ -81,10 +262,10 @@ func (g *aggGroup) update(n *Node, spec *AggSpec, groupVals []types.Value,
 				e.input, e.sortVal, e.count = input, sortVal, 0
 				e.carried = append(e.carried[:0], carried...)
 			} else {
-				e = n.allocAggEntry()
+				e = sh.allocAggEntry()
 				e.input, e.sortVal = input, sortVal
 				if len(carried) > 0 {
-					e.carried = n.allocArgs(len(carried))
+					e.carried = sh.allocArgs(len(carried))
 					copy(e.carried, carried)
 				}
 			}
@@ -122,7 +303,7 @@ func (g *aggGroup) update(n *Node, spec *AggSpec, groupVals []types.Value,
 	default:
 		return nil
 	}
-	return g.refresh(n, spec, groupVals)
+	return g.refresh(sh, spec, groupVals)
 }
 
 // beats reports whether a wins over b under spec's ordering (including the
@@ -141,7 +322,7 @@ func beats(spec *AggSpec, a, b *aggEntry) bool {
 // valid until the next refresh. The steady-state path — an input delta that
 // does not change the output — allocates nothing, and a changed output
 // carves its retained argument slice from the node's arena.
-func (g *aggGroup) refresh(n *Node, spec *AggSpec, groupVals []types.Value) []aggEmit {
+func (g *aggGroup) refresh(sh *shard, spec *AggSpec, groupVals []types.Value) []aggEmit {
 	newArgs, newWinner, ok := g.compute(spec, groupVals)
 	emits := g.emitBuf[:0]
 	if g.hasOut && !(ok && argsEqual(g.curOut.Args, newArgs)) {
@@ -156,7 +337,7 @@ func (g *aggGroup) refresh(n *Node, spec *AggSpec, groupVals []types.Value) []ag
 		// Materialize the candidate output: it escapes into the group
 		// state and the emitted delta, so its args leave the scratch
 		// buffer for the arena.
-		retained := n.allocArgs(len(newArgs))
+		retained := sh.allocArgs(len(newArgs))
 		copy(retained, newArgs)
 		out := types.Tuple{Args: retained}
 		em := aggEmit{tuple: out, sign: Insert}

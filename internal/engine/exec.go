@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/types"
+)
+
+// This file is the EXECUTION half of the worker layer: evaluating a rule's
+// delta plan for one triggering tuple and emitting head derivations. All
+// intermediate state (environment, matched tuples, payloads, lookup keys)
+// lives in per-shard scratch arenas — one rule firing performs no slice
+// allocation of its own, which the hotpath_test.go fences pin.
+//
+// Two probing disciplines share this code:
+//
+//   - Serial (single shard): indexes contain exactly the visible tuples and
+//     a probe admits every candidate — the classic pipelined semi-naïve
+//     (PSN) evaluation, bit-identical to the pre-sharding engine.
+//   - Rounds (sharded): the fire phase runs against frozen state that
+//     includes the whole round's batch. To fire each joint derivation
+//     exactly once, a delta at body position p joins atoms q < p against
+//     NEW state (end of round) and atoms q > p against OLD state (start of
+//     round) — the standard batched semi-naïve decomposition
+//     ΔH = Σ_p  A₁ⁿᵉʷ ⋈ … ⋈ A₍p₋₁₎ⁿᵉʷ ⋈ ΔA_p ⋈ A₍p₊₁₎ᵒˡᵈ ⋈ … ⋈ A_kᵒˡᵈ,
+//     which telescopes to the exact net change whatever the batch order.
+//     Event deltas (never materialized, so never probed) always see NEW
+//     state: an event observes the batch it arrived with.
+
+// firePlan evaluates the delta plan of (rule, pos) for tuple t and emits
+// head derivations.
+func (sh *shard) firePlan(rule *CompiledRule, pos int, t types.Tuple, sign int8,
+	deltaEntry *entry, deltaPayload bdd.Ref) {
+
+	pl := rule.plans[pos]
+	env := sh.envBuf[:rule.numVars]
+	if !bindTuple(pl.deltaBinds, t, env) {
+		return
+	}
+	matched := sh.matchedBuf[:len(rule.atoms)]
+	ments := sh.entBuf[:len(rule.atoms)]
+	payloads := sh.payloadBuf[:len(rule.atoms)]
+	for i := range ments {
+		ments[i] = nil
+	}
+	matched[pos] = t
+	ments[pos] = deltaEntry
+	payloads[pos] = deltaPayload
+	sh.fireAtomPos = pos
+	sh.fireIsEvent = deltaEntry == nil
+	sh.execPlan(rule, pl, 0, sign, env, matched, ments, payloads)
+}
+
+// execPlan runs plan steps from step onward. It is a plain recursive method
+// rather than a closure so the recursion allocates nothing.
+func (sh *shard) execPlan(rule *CompiledRule, pl *plan, step int, sign int8,
+	env []types.Value, matched []types.Tuple, ments []*entry, payloads []bdd.Ref) {
+
+	if sh.err != nil {
+		return
+	}
+	if step == len(pl.steps) {
+		sh.emitDerivation(rule, env, matched, ments, payloads, sign)
+		return
+	}
+	st := &pl.steps[step]
+	switch st.kind {
+	case stepAssign:
+		v, err := st.expr(env)
+		if err != nil {
+			sh.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
+			return
+		}
+		env[st.assignSlot] = v
+		sh.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
+	case stepCond:
+		v, err := st.expr(env)
+		if err != nil {
+			sh.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
+			return
+		}
+		if v.Truthy() {
+			sh.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
+		}
+	case stepJoin:
+		if sh.n.rounds() {
+			sh.execJoinRound(rule, pl, st, step, sign, env, matched, ments, payloads)
+			return
+		}
+		// Probe the index handle bound at plan-bind time: no index-ID
+		// formatting, and the lookup key is built in a reusable buffer
+		// (the map access on []byte bytes is allocation-free). A nil
+		// handle means the joined atom is an event, which never
+		// materializes.
+		idx := sh.joinIdx[st.joinID]
+		if idx == nil {
+			return
+		}
+		sh.keyBuf = st.appendLookupKey(sh.keyBuf[:0], env)
+		for _, cand := range idx.lookup(sh.keyBuf) {
+			if !bindTuple(st.binds, cand.tuple, env) {
+				continue
+			}
+			matched[st.atom] = cand.tuple
+			ments[st.atom] = cand
+			payloads[st.atom] = cand.payload
+			sh.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
+		}
+	}
+}
+
+// execJoinRound is the stepJoin case under the sharded round discipline: the
+// probed relation is partitioned across every shard of the node, so the key
+// is looked up in each shard's index handle (in shard order, keeping
+// candidate enumeration deterministic), and candidates are admitted against
+// NEW or OLD visibility depending on the probed atom's position relative to
+// the firing delta (see the file comment).
+func (sh *shard) execJoinRound(rule *CompiledRule, pl *plan, st *planStep, step int, sign int8,
+	env []types.Value, matched []types.Tuple, ments []*entry, payloads []bdd.Ref) {
+
+	admitNew := st.atom < sh.fireAtomPos || sh.fireIsEvent
+	curRound := sh.n.curRound
+	// Unlike the serial path (one lookup per step), the key is consulted
+	// once per peer shard, so it lives in a per-step buffer the deeper
+	// recursion cannot clobber.
+	key := st.appendLookupKey(sh.rs.keyBufs[step][:0], env)
+	sh.rs.keyBufs[step] = key
+	for _, peer := range sh.n.shards {
+		idx := peer.joinIdx[st.joinID]
+		if idx == nil {
+			return // event atom: no shard materializes it
+		}
+		for _, cand := range idx.lookup(key) {
+			vis := cand.visible
+			if !admitNew && cand.touchRound == curRound {
+				vis = cand.startVis
+			}
+			if !vis {
+				continue
+			}
+			if !bindTuple(st.binds, cand.tuple, env) {
+				continue
+			}
+			matched[st.atom] = cand.tuple
+			ments[st.atom] = cand
+			payloads[st.atom] = cand.payload
+			sh.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
+		}
+	}
+}
+
+// emitDerivation computes the head tuple for one complete join result and
+// routes the delta (locally or over the transport), maintaining provenance
+// per the configured mode. Input VIDs come from the matched entries' caches;
+// only tuples never stored on this node (event inputs) are hashed here.
+func (sh *shard) emitDerivation(rule *CompiledRule, env []types.Value,
+	matched []types.Tuple, ments []*entry, payloads []bdd.Ref, sign int8) {
+
+	n := sh.n
+	sh.rulesFired++
+	args := sh.allocArgs(len(rule.headCode))
+	for i, code := range rule.headCode {
+		v, err := code(env)
+		if err != nil {
+			sh.fail(fmt.Errorf("rule %s head: %w", rule.Label, err))
+			return
+		}
+		args[i] = v
+	}
+	head := types.Tuple{Pred: rule.HeadPred, Args: args}
+	dst := args[rule.HeadLocPos].AsNode()
+	if dst < 0 {
+		sh.fail(fmt.Errorf("rule %s: head location is not a node", rule.Label))
+		return
+	}
+
+	inputVIDs := sh.vidBuf[:len(matched)]
+	cacheable := true
+	for i := range matched {
+		if ments[i] != nil {
+			inputVIDs[i], sh.hashBuf = ments[i].VIDBuf(sh.hashBuf)
+		} else {
+			// Event input: transient, no entry to cache on, and usually a
+			// one-off — keep it out of the RID memo and intern table.
+			cacheable = false
+			inputVIDs[i], sh.hashBuf = matched[i].VIDBuf(sh.hashBuf)
+		}
+	}
+	var rid types.ID
+	var ridh types.IDHandle
+	if cacheable {
+		rid, ridh = sh.ruleExecID(rule, ments, inputVIDs)
+	} else {
+		rid, sh.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, inputVIDs, sh.ridBuf)
+	}
+
+	if sign != Update {
+		switch n.Mode {
+		case ProvReference:
+			// Reverse (parent) edges are installed by the query processor
+			// when it caches a traversal (§6.1), so a derivation records
+			// only its ruleExec row — no head hashing, no per-input edge
+			// maintenance on this path.
+			sh.ruleExecRow(ridh, rid, rule.Label, inputVIDs, sign)
+		case ProvCentralized:
+			// The deriving node knows the whole derivation: it relays both
+			// the ruleExec row and the head's prov row to the server.
+			var headVID types.ID
+			headVID, sh.hashBuf = head.VIDBuf(sh.hashBuf)
+			n.sendRuleExecRow(rid, rule.Label, inputVIDs, sign)
+			n.sendProvRow(dst, headVID, rid, n.ID, sign)
+		}
+	}
+
+	var payload bdd.Ref
+	if n.Mode == ProvValue {
+		payload = bdd.True
+		for _, p := range payloads {
+			payload = n.Mgr.And(payload, p)
+		}
+	}
+	sh.route(head, dst, sign, rid, payload)
+}
+
+// ruleExecRow applies (or, under rounds, defers) one ruleExec-partition row
+// change. In serial mode the row goes straight to this shard's partition. In
+// round mode inserts and deletes of the same RID may fire on different
+// shards (whichever shard owned the triggering delta), so the ops are
+// buffered and replayed at the merge barrier into the RID's home partition,
+// keeping each add/del pair in one map.
+func (sh *shard) ruleExecRow(ridh types.IDHandle, rid types.ID, label string, inputVIDs []types.ID, sign int8) {
+	if sh.n.rounds() {
+		sh.deferRuleExecRow(ridh, rid, label, inputVIDs, sign)
+		return
+	}
+	switch {
+	case sign == Insert && ridh != 0:
+		sh.store.AddRuleExecH(ridh, rid, label, inputVIDs)
+	case sign == Insert:
+		sh.store.AddRuleExec(rid, label, inputVIDs)
+	case ridh != 0:
+		sh.store.DelRuleExecH(ridh)
+	default:
+		sh.store.DelRuleExec(rid)
+	}
+}
+
+// ridCacheVal is one memoized rule-execution identifier: the digest plus
+// its interned handle (which keys the ruleExec store partition).
+type ridCacheVal struct {
+	id types.ID
+	h  types.IDHandle
+}
+
+// ruleExecID returns the RID for a derivation whose inputs are all stored
+// entries, computing the SHA-1 once per distinct (rule, inputs) combination
+// and replaying it from the memo afterwards. The memo key is the rule index
+// followed by the inputs' interned VID handles — equal handles mean equal
+// VIDs, and the node's own ID (part of the hash) is constant per node.
+func (sh *shard) ruleExecID(rule *CompiledRule, ments []*entry, inputVIDs []types.ID) (types.ID, types.IDHandle) {
+	k := sh.ridKey[:0]
+	k = append(k, byte(rule.idx), byte(rule.idx>>8), byte(rule.idx>>16), byte(rule.idx>>24))
+	for _, e := range ments {
+		h := e.vidHandle()
+		k = append(k, byte(h), byte(h>>8), byte(h>>16), byte(h>>24))
+	}
+	sh.ridKey = k
+	if c, ok := sh.ridCache[string(k)]; ok {
+		return c.id, c.h
+	}
+	var rid types.ID
+	rid, sh.ridBuf = types.RuleExecIDBuf(rule.Label, sh.n.ID, inputVIDs, sh.ridBuf)
+	c := ridCacheVal{id: rid, h: types.InternID(rid)}
+	sh.ridCache[string(k)] = c
+	return c.id, c.h
+}
+
+// route delivers a derived delta to its destination node: enqueued locally
+// when the head lives here, shipped through the transport otherwise. Under
+// rounds both paths are buffered on the firing shard and handed over at the
+// merge barrier in shard-index order.
+func (sh *shard) route(head types.Tuple, dst types.NodeID, sign int8, rid types.ID, payload bdd.Ref) {
+	n := sh.n
+	if dst == n.ID {
+		d := localDelta{tuple: head, sign: sign, rid: rid, rloc: n.ID, payload: payload}
+		if n.rounds() {
+			sh.rs.outLocal = append(sh.rs.outLocal, d)
+		} else {
+			sh.enqueue(d)
+		}
+		return
+	}
+	m := n.newMessage()
+	m.Tuple, m.Delta = head, sign
+	switch n.Mode {
+	case ProvReference:
+		m.HasRef, m.RID, m.RLoc = true, rid, n.ID
+	case ProvValue:
+		// The derivation key still travels so the receiver can maintain
+		// its per-derivation payloads; the dominant cost is the payload.
+		m.HasRef, m.RID, m.RLoc = true, rid, n.ID
+		m.Payload = n.Mgr.Encode(payload, nil)
+	}
+	if n.rounds() {
+		sh.rs.outMsgs = append(sh.rs.outMsgs, outMsg{to: dst, m: m})
+		return
+	}
+	n.Transport.Send(n.ID, dst, m)
+}

@@ -148,12 +148,12 @@ func TestSteadyStateFiringAllocs(t *testing.T) {
 	for i := 0; i < 16; i++ { // warm queue, arena and key buffers
 		n.InjectEvent(ev)
 	}
-	fired := n.RulesFired
+	fired := n.RulesFired()
 	allocs := testing.AllocsPerRun(300, func() {
 		n.InjectEvent(ev)
 	})
 	tn.checkErr(t)
-	if n.RulesFired == fired {
+	if n.RulesFired() == fired {
 		t.Fatal("rule did not fire")
 	}
 	if allocs > 1 {

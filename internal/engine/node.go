@@ -43,18 +43,11 @@ func (m ProvMode) String() string {
 	return "?"
 }
 
-// localDelta is one unit of PSN work in a node's FIFO queue.
-type localDelta struct {
-	tuple   types.Tuple
-	sign    int8
-	rid     types.ID
-	rloc    types.NodeID
-	isBase  bool
-	payload bdd.Ref // value mode: decoded provenance of this derivation
-}
-
 // Node is one ExSPAN engine instance: the PSN evaluator plus provenance
-// bookkeeping for a single network node.
+// bookkeeping for a single network node. Evaluation state lives in one or
+// more worker shards (shard.go); with a single shard the node runs the
+// classic inline PSN drain, with several it runs batched parallel rounds
+// (rounds.go) whose fixpoint state matches the single-shard run exactly.
 type Node struct {
 	ID        types.NodeID
 	Prog      *Program
@@ -64,11 +57,12 @@ type Node struct {
 
 	// Msgs, when set, is the free list outgoing messages are drawn from;
 	// the transport releases them after delivery (see Transport). Nil keeps
-	// plain allocation (tests with transports that retain messages).
+	// plain allocation (tests with transports that retain messages). The
+	// pool is single-threaded, so sharded fire phases bypass it.
 	Msgs *MessagePool
 
-	// Store holds this node's partition of the provenance graph
-	// (reference and centralized modes).
+	// Store holds this node's partitions of the provenance graph
+	// (reference and centralized modes) behind the single-writer facade.
 	Store *provenance.Store
 
 	// Mgr/Alloc support value-based provenance payloads. Alloc must be
@@ -77,77 +71,40 @@ type Node struct {
 	Mgr   *bdd.Manager
 	Alloc *algebra.VarAlloc
 
-	tables   map[string]*Relation
-	queue    []localDelta
-	qhead    int // drain ring head: queue[qhead:] is pending work
-	draining bool
-
-	// Compiled access paths: each stepJoin's index handle, resolved once
-	// at plan-bind time (NewNode) and indexed by joinID, so a join probe
-	// never re-derives the index from its position list.
-	joinIdx []*index
-	// tablesByID mirrors tables for the program's stored predicates,
-	// indexed by PredInfo.tableID (one map lookup per delta instead of
-	// three). aggByRule and aggBodyRel key aggregate state and the
-	// aggregate body relation by CompiledRule.idx.
-	tablesByID []*Relation
-	aggByRule  []map[string]*aggGroup
-	aggBodyRel []*Relation
-
-	// Per-node scratch arenas, sized at program-compile time and reused
-	// across rule firings. Safe because firing never re-enters the
-	// evaluator: derived deltas are enqueued and processed by drain.
-	envBuf     []types.Value
-	matchedBuf []types.Tuple
-	entBuf     []*entry
-	payloadBuf []bdd.Ref
-	vidBuf     []types.ID
-	groupBuf   []types.Value
-	carryBuf   []types.Value
-	keyBuf     []byte
-	ridBuf     []byte
-	hashBuf    []byte
-	argArena   []types.Value // chunked backing store for emitted head args
-
-	// ridCache memoizes rule-execution identifiers. An RID is the SHA-1 of
-	// (rule, this node, exact input VIDs), so it is fully determined by the
-	// rule index and the inputs' interned VID handles — a 4+4k-byte key.
-	// Under churn the same derivations fire repeatedly (insert, delete,
-	// re-insert), and the memo turns every repeat into a map hit instead of
-	// a SHA-1. Only derivations whose inputs are all stored tuples are
-	// cached: event tuples are transient and usually unique, so caching
-	// them would grow the memo (and the intern table) without ever hitting.
-	// The memo is monotone per node, bounded by the distinct derivations
-	// the workload produces — the same order as the ruleExec partition.
-	ridCache map[string]ridCacheVal
-	ridKey   []byte
-
-	// Chunked arenas for aggregate state: group and entry structs plus the
-	// entry-key scratch. Aggregates allocate one group per (rule, group-by)
-	// combination and one entry per distinct input row; boxing each struct
-	// individually was a leading allocation class in fixpoint profiles.
-	aggKeyBuf     []byte
-	aggEntryArena []aggEntry
-	aggGroupArena []aggGroup
-
 	// Err records the first internal evaluation error (malformed program
 	// data); the node stops deriving after an error.
 	Err error
 
-	// Counters.
-	DeltasProcessed int64
-	RulesFired      int64
+	shards   []*shard
+	draining bool
+
+	// Round-runtime state (rounds.go). curRound is the node's monotone
+	// round counter; inRounds is true while a batched round executes
+	// (either self-driven or under a Scheduler).
+	curRound uint32
+	inRounds bool
 }
 
-// NewNode creates an engine node for the given compiled program.
+// NewNode creates a single-shard engine node for the given compiled program
+// — the classic serial PSN evaluator.
 func NewNode(id types.NodeID, prog *Program, mode ProvMode, tr Transport, alloc *algebra.VarAlloc) *Node {
+	return NewNodeSharded(id, prog, mode, tr, alloc, 1)
+}
+
+// NewNodeSharded creates an engine node whose state is hash-partitioned
+// across the given number of worker shards. Value-based and centralized
+// provenance share mutable cluster-wide structures (the BDD manager, the
+// relayed meta-rows), so those modes clamp to one shard.
+func NewNodeSharded(id types.NodeID, prog *Program, mode ProvMode, tr Transport, alloc *algebra.VarAlloc, shards int) *Node {
+	if shards < 1 || mode == ProvValue || mode == ProvCentralized {
+		shards = 1
+	}
 	n := &Node{
 		ID:        id,
 		Prog:      prog,
 		Mode:      mode,
 		Transport: tr,
-		Store:     provenance.NewStore(id),
-		tables:    make(map[string]*Relation),
+		Store:     provenance.NewStoreSharded(id, shards),
 		Alloc:     alloc,
 	}
 	if mode == ProvValue {
@@ -156,59 +113,89 @@ func NewNode(id types.NodeID, prog *Program, mode ProvMode, tr Transport, alloc 
 			n.Alloc = algebra.NewVarAlloc()
 		}
 	}
-	// Pre-create relations, the indexes every join plan needs, and the
-	// per-join compiled handles. Joins against event atoms keep a nil
-	// handle: events never materialize, so such probes match nothing.
-	n.tablesByID = make([]*Relation, prog.numTables)
-	for _, info := range prog.Preds() {
-		if !info.Event {
-			rel := NewRelation(info.Name)
-			n.tables[info.Name] = rel
-			n.tablesByID[info.tableID] = rel
-		}
+	n.shards = make([]*shard, shards)
+	for i := range n.shards {
+		n.shards[i] = newShard(n, i, n.Store.Part(i))
 	}
-	n.joinIdx = make([]*index, prog.numJoins)
-	n.aggByRule = make([]map[string]*aggGroup, len(prog.Rules))
-	n.aggBodyRel = make([]*Relation, len(prog.Rules))
-	for _, r := range prog.Rules {
-		for _, pl := range r.plans {
-			for i := range pl.steps {
-				st := &pl.steps[i]
-				if st.kind != stepJoin {
-					continue
-				}
-				a := r.atoms[st.atom]
-				if !a.event {
-					n.joinIdx[st.joinID] = n.table(a.pred).EnsureIndex(st.indexPos)
-				}
-			}
-		}
-		if r.agg != nil && !r.atoms[0].event {
-			n.aggBodyRel[r.idx] = n.table(r.atoms[0].pred)
-		}
+	if shards > 1 {
+		n.initRounds()
 	}
-	n.ridCache = make(map[string]ridCacheVal)
-	n.envBuf = make([]types.Value, prog.maxVars)
-	n.matchedBuf = make([]types.Tuple, prog.maxAtoms)
-	n.entBuf = make([]*entry, prog.maxAtoms)
-	n.payloadBuf = make([]bdd.Ref, prog.maxAtoms)
-	n.vidBuf = make([]types.ID, prog.maxAtoms)
-	n.groupBuf = make([]types.Value, prog.maxGroup)
-	n.carryBuf = make([]types.Value, 0, prog.maxVars)
 	return n
 }
 
-func (n *Node) table(pred string) *Relation {
-	t := n.tables[pred]
-	if t == nil {
-		t = NewRelation(pred)
-		n.tables[pred] = t
+// NumShards reports the node's worker shard count.
+func (n *Node) NumShards() int { return len(n.shards) }
+
+// rounds reports whether the node evaluates in batched round mode.
+func (n *Node) rounds() bool { return len(n.shards) > 1 }
+
+// ownerShard returns the worker shard owning a tuple: a content-derived
+// hash, so the assignment is reproducible across processes.
+func (n *Node) ownerShard(t types.Tuple) *shard {
+	if len(n.shards) == 1 {
+		return n.shards[0]
 	}
-	return t
+	return n.shards[t.ContentHash()%uint64(len(n.shards))]
 }
 
-// Table exposes a relation for inspection (nil when absent).
-func (n *Node) Table(pred string) *Relation { return n.tables[pred] }
+// Table exposes a single-shard node's relation for inspection (nil when
+// absent). Sharded nodes partition each relation across shards — use Tuples
+// and TupleCount, which merge across partitions.
+func (n *Node) Table(pred string) *Relation {
+	if len(n.shards) > 1 {
+		return nil
+	}
+	return n.shards[0].tables[pred]
+}
+
+// Tuples returns the visible tuples of a predicate across all shards,
+// sorted canonically.
+func (n *Node) Tuples(pred string) []types.Tuple {
+	if len(n.shards) == 1 {
+		if rel := n.shards[0].tables[pred]; rel != nil {
+			return rel.Tuples()
+		}
+		return nil
+	}
+	var out []types.Tuple
+	for _, sh := range n.shards {
+		if rel := sh.tables[pred]; rel != nil {
+			out = append(out, rel.Tuples()...)
+		}
+	}
+	types.SortTuples(out)
+	return out
+}
+
+// TupleCount reports the number of visible tuples of a predicate across all
+// shards in O(shards).
+func (n *Node) TupleCount(pred string) int {
+	c := 0
+	for _, sh := range n.shards {
+		if rel := sh.tables[pred]; rel != nil {
+			c += rel.Len()
+		}
+	}
+	return c
+}
+
+// DeltasProcessed reports the number of deltas the node has applied.
+func (n *Node) DeltasProcessed() int64 {
+	var c int64
+	for _, sh := range n.shards {
+		c += sh.deltasProcessed
+	}
+	return c
+}
+
+// RulesFired reports the number of rule firings the node has executed.
+func (n *Node) RulesFired() int64 {
+	var c int64
+	for _, sh := range n.shards {
+		c += sh.rulesFired
+	}
+	return c
+}
 
 // PayloadOf returns the value-mode provenance payload of a visible tuple —
 // the "immediately available" provenance that lets a node accept or reject
@@ -219,7 +206,7 @@ func (n *Node) PayloadOf(t types.Tuple) (bdd.Ref, bool) {
 	if n.Mode != ProvValue {
 		return bdd.False, false
 	}
-	rel := n.tables[t.Pred]
+	rel := n.shards[0].tables[t.Pred] // ProvValue nodes are single-shard
 	if rel == nil {
 		return bdd.False, false
 	}
@@ -233,14 +220,12 @@ func (n *Node) PayloadOf(t types.Tuple) (bdd.Ref, bool) {
 // InsertBase injects a base (EDB) tuple at this node and runs to local
 // quiescence.
 func (n *Node) InsertBase(t types.Tuple) {
-	n.enqueue(localDelta{tuple: t, sign: Insert, rloc: n.ID, isBase: true})
-	n.drain()
+	n.ingest(localDelta{tuple: t, sign: Insert, rloc: n.ID, isBase: true})
 }
 
 // DeleteBase retracts a base tuple.
 func (n *Node) DeleteBase(t types.Tuple) {
-	n.enqueue(localDelta{tuple: t, sign: Delete, rloc: n.ID, isBase: true})
-	n.drain()
+	n.ingest(localDelta{tuple: t, sign: Delete, rloc: n.ID, isBase: true})
 }
 
 // InjectEvent fires an event tuple at this node (e.g. a PACKETFORWARD
@@ -250,12 +235,29 @@ func (n *Node) InjectEvent(t types.Tuple) {
 	if n.Mode == ProvValue {
 		d.payload = bdd.True
 	}
-	n.enqueue(d)
-	n.drain()
+	n.ingest(d)
 }
 
 // HandleMessage applies a tuple delta received from another node.
 func (n *Node) HandleMessage(from types.NodeID, m *Message) {
+	d, ok := n.messageDelta(from, m)
+	if !ok {
+		return
+	}
+	n.ingest(d)
+}
+
+// depositMessage routes a received delta to its owner shard without
+// draining — the Scheduler drives evaluation itself.
+func (n *Node) depositMessage(from types.NodeID, m *Message) {
+	d, ok := n.messageDelta(from, m)
+	if !ok {
+		return
+	}
+	n.deposit(d)
+}
+
+func (n *Node) messageDelta(from types.NodeID, m *Message) (localDelta, bool) {
 	d := localDelta{tuple: m.Tuple, sign: m.Delta}
 	if m.HasRef {
 		d.rid, d.rloc = m.RID, m.RLoc
@@ -265,16 +267,30 @@ func (n *Node) HandleMessage(from types.NodeID, m *Message) {
 			ref, _, err := n.Mgr.Decode(m.Payload)
 			if err != nil {
 				n.fail(fmt.Errorf("node %s: bad payload from %s: %w", n.ID, from, err))
-				return
+				return localDelta{}, false
 			}
 			d.payload = ref
 		} else {
 			d.payload = bdd.True
 		}
 	}
-	n.enqueue(d)
-	n.drain()
+	return d, true
 }
+
+// ingest deposits one delta and runs the node to local quiescence.
+func (n *Node) ingest(d localDelta) {
+	if len(n.shards) == 1 {
+		n.shards[0].enqueue(d)
+		n.drain()
+		return
+	}
+	n.ownerShard(d.tuple).enqueue(d)
+	n.runRounds()
+}
+
+// deposit routes a delta to its owner shard without draining — the
+// Scheduler drives sharded execution itself.
+func (n *Node) deposit(d localDelta) { n.ownerShard(d.tuple).enqueue(d) }
 
 func (n *Node) fail(err error) {
 	if n.Err == nil {
@@ -282,654 +298,57 @@ func (n *Node) fail(err error) {
 	}
 }
 
-func (n *Node) enqueue(d localDelta) { n.queue = append(n.queue, d) }
+// syncErr propagates the first shard error (in shard order) to Err.
+func (n *Node) syncErr() {
+	if n.Err != nil {
+		return
+	}
+	for _, sh := range n.shards {
+		if sh.err != nil {
+			n.Err = sh.err
+			return
+		}
+	}
+}
 
-// drain processes queued deltas FIFO until quiescent (the PSN pipeline).
-// The queue is a head-index ring over one slice: popping advances qhead
-// instead of re-slicing, and the slice capacity is reused across bursts
-// rather than re-allocated per enqueue wave.
+// drain processes queued deltas FIFO until quiescent — the serial PSN
+// pipeline of a single-shard node.
 func (n *Node) drain() {
 	if n.draining {
 		return
 	}
 	n.draining = true
 	defer func() { n.draining = false }()
-	for n.qhead < len(n.queue) && n.Err == nil {
-		// Compact once the consumed prefix dominates so a long-lived burst
-		// cannot grow the slice without bound.
-		if n.qhead >= 1024 && 2*n.qhead >= len(n.queue) {
-			m := copy(n.queue, n.queue[n.qhead:])
-			tail := n.queue[m:]
-			for i := range tail {
-				tail[i] = localDelta{}
-			}
-			n.queue = n.queue[:m]
-			n.qhead = 0
-		}
-		d := n.queue[n.qhead]
-		n.queue[n.qhead] = localDelta{} // release tuple/payload references
-		n.qhead++
-		if n.qhead == len(n.queue) {
-			n.queue = n.queue[:0]
-			n.qhead = 0
-		}
-		n.process(d)
+	sh := n.shards[0]
+	for sh.qhead < len(sh.queue) && sh.err == nil && n.Err == nil {
+		sh.process(sh.popDelta(), false)
 	}
-	if n.qhead == len(n.queue) {
-		n.queue = n.queue[:0]
-		n.qhead = 0
+	if sh.qhead == len(sh.queue) {
+		sh.queue = sh.queue[:0]
+		sh.qhead = 0
 	}
+	n.syncErr()
 }
 
-func (n *Node) process(d localDelta) {
-	n.DeltasProcessed++
-	info := n.Prog.Pred(d.tuple.Pred)
-	// One predicate lookup serves event-ness, triggered occurrences and the
-	// relation: the PredInfo carries them all from compile time.
-	var occs []occurrence
-	if info != nil {
-		occs = info.occs
+// newMessage draws an outgoing message from the pool when the evaluation is
+// single-threaded (nil pool: plain allocation). Sharded fire phases run in
+// parallel, so they bypass the pool.
+func (n *Node) newMessage() *Message {
+	if n.rounds() {
+		return new(Message)
 	}
-	isEvent := info != nil && info.Event || info == nil && ndlogIsEvent(d.tuple.Pred)
-	if isEvent {
-		// Events are transient: fire rules, never materialize. Both
-		// insertion and deletion deltas flow through events — the
-		// rewritten provenance-maintenance programs rely on deletion
-		// deltas cascading through their eHTemp/eH events ("rule r20
-		// compiles into a series of insertion and deletion delta rules").
-		// Event provenance rows are recorded symmetrically so data-plane
-		// activity (e.g. packet forwarding) can be traced.
-		if d.sign == Update {
-			return
-		}
-		if n.Mode == ProvReference {
-			// Events have no entry to cache on; hash once per delta.
-			var vid types.ID
-			vid, n.hashBuf = d.tuple.VIDBuf(n.hashBuf)
-			if d.sign == Insert {
-				n.Store.RegisterTupleVID(vid, d.tuple)
-				n.Store.AddProv(vid, d.rid, d.rloc)
-			} else {
-				n.Store.DelProv(vid, d.rid, d.rloc)
-			}
-		}
-		// Centralized: base events are reported by their injector; derived
-		// events were already reported by the deriving node.
-		if n.Mode == ProvCentralized && d.isBase {
-			var vid types.ID
-			vid, n.hashBuf = d.tuple.VIDBuf(n.hashBuf)
-			n.sendProvRow(n.ID, vid, types.ZeroID, n.ID, d.sign)
-		}
-		n.fireAll(occs, d.tuple, d.sign, nil, d.payload)
-		return
-	}
-
-	// The provenance meta-relations themselves (rows relayed to a
-	// centralized server, or produced by a rewrite-generated program) are
-	// stored without further provenance bookkeeping.
-	meta := d.tuple.Pred == "prov" || d.tuple.Pred == "ruleExec"
-
-	var rel *Relation
-	if info != nil && info.tableID >= 0 {
-		rel = n.tablesByID[info.tableID]
-	} else {
-		rel = n.table(d.tuple.Pred)
-	}
-	switch d.sign {
-	case Insert:
-		e := rel.getOrCreate(d.tuple)
-		dv := e.findDeriv(d.rid)
-		if dv == nil {
-			dv = e.addDeriv(d.rid, d.rloc)
-		}
-		dv.count++
-		// The entry caches the canonical VID and its interned handle, so
-		// each stored tuple is hashed at most once per lifetime regardless
-		// of how many deltas and provenance branches touch it, and store
-		// partitions are addressed by the 4-byte handle.
-		if n.Mode == ProvReference && !meta {
-			_, n.hashBuf = e.VIDBuf(n.hashBuf)
-			if !e.stored {
-				// The store drops the VID→tuple row when the last prov
-				// entry goes (at which point this entry is deleted too),
-				// so one registration per entry lifetime suffices.
-				n.Store.RegisterTupleVIDH(e.vidHandle(), d.tuple)
-				e.stored = true
-			}
-			n.Store.AddProvH(e.vidHandle(), d.rid, d.rloc)
-		}
-		// Centralized: the deriving node reports derived rows; the owner
-		// reports base rows.
-		if n.Mode == ProvCentralized && !meta && d.isBase {
-			var vid types.ID
-			vid, n.hashBuf = e.VIDBuf(n.hashBuf)
-			n.sendProvRow(n.ID, vid, types.ZeroID, n.ID, Insert)
-		}
-		payloadChanged := false
-		if n.Mode == ProvValue {
-			if d.isBase {
-				var vid types.ID
-				vid, n.hashBuf = e.VIDBuf(n.hashBuf)
-				dv.payload = n.Mgr.Var(n.Alloc.VarOf(algebra.Base{
-					VID: vid, Label: d.tuple.String(), Node: n.ID,
-				}))
-			} else {
-				dv.payload = d.payload
-			}
-			payloadChanged = n.recomputePayload(e)
-		}
-		if !e.visible {
-			rel.setVisible(e, true)
-			n.fireAll(occs, d.tuple, Insert, e, e.payload)
-		} else if payloadChanged {
-			n.fireAll(occs, d.tuple, Update, e, e.payload)
-		}
-
-	case Delete:
-		e := rel.get(d.tuple)
-		if e == nil {
-			return
-		}
-		dv := e.findDeriv(d.rid)
-		if dv == nil {
-			return
-		}
-		dv.count--
-		if dv.count <= 0 {
-			e.delDeriv(d.rid)
-		}
-		if n.Mode == ProvReference && !meta {
-			_, n.hashBuf = e.VIDBuf(n.hashBuf)
-			n.Store.DelProvH(e.vidHandle(), d.rid, d.rloc)
-		}
-		if n.Mode == ProvCentralized && !meta && d.isBase {
-			var vid types.ID
-			vid, n.hashBuf = e.VIDBuf(n.hashBuf)
-			n.sendProvRow(n.ID, vid, types.ZeroID, n.ID, Delete)
-		}
-		if len(e.derivs) == 0 {
-			rel.setVisible(e, false)
-			n.fireAll(occs, d.tuple, Delete, e, e.payload)
-		} else if n.Mode == ProvValue && n.recomputePayload(e) {
-			n.fireAll(occs, d.tuple, Update, e, e.payload)
-		}
-
-	case Update:
-		if n.Mode != ProvValue {
-			return
-		}
-		e := rel.get(d.tuple)
-		if e == nil || !e.visible {
-			return
-		}
-		dv := e.findDeriv(d.rid)
-		if dv == nil {
-			return
-		}
-		dv.payload = d.payload
-		if n.recomputePayload(e) {
-			n.fireAll(occs, d.tuple, Update, e, e.payload)
-		}
-	}
-}
-
-func ndlogIsEvent(pred string) bool {
-	return len(pred) >= 2 && pred[0] == 'e' && pred[1] >= 'A' && pred[1] <= 'Z'
-}
-
-// recomputePayload refreshes the entry's combined (OR) payload; it reports
-// whether the payload changed.
-func (n *Node) recomputePayload(e *entry) bool {
-	comb := bdd.False
-	for i := range e.derivs {
-		comb = n.Mgr.Or(comb, e.derivs[i].payload)
-	}
-	if comb == e.payload {
-		return false
-	}
-	e.payload = comb
-	return true
-}
-
-// fireAll runs every rule occurrence triggered by a delta of this
-// predicate. deltaEntry may be nil (events); payload is the tuple's current
-// provenance payload in value mode.
-func (n *Node) fireAll(occs []occurrence, t types.Tuple, sign int8, deltaEntry *entry, payload bdd.Ref) {
-	for _, occ := range occs {
-		if occ.rule.agg != nil {
-			n.fireAgg(occ.rule, t, sign, payload)
-		} else {
-			n.firePlan(occ.rule, occ.pos, t, sign, deltaEntry, payload)
-		}
-	}
-}
-
-// firePlan evaluates the delta plan of (rule, pos) for tuple t and emits
-// head derivations. All intermediate state (environment, matched tuples,
-// payloads) lives in per-node scratch arenas: one rule firing performs no
-// slice allocation of its own.
-func (n *Node) firePlan(rule *CompiledRule, pos int, t types.Tuple, sign int8,
-	deltaEntry *entry, deltaPayload bdd.Ref) {
-
-	pl := rule.plans[pos]
-	env := n.envBuf[:rule.numVars]
-	if !bindTuple(pl.deltaBinds, t, env) {
-		return
-	}
-	matched := n.matchedBuf[:len(rule.atoms)]
-	ments := n.entBuf[:len(rule.atoms)]
-	payloads := n.payloadBuf[:len(rule.atoms)]
-	for i := range ments {
-		ments[i] = nil
-	}
-	matched[pos] = t
-	ments[pos] = deltaEntry
-	payloads[pos] = deltaPayload
-	n.execPlan(rule, pl, 0, sign, env, matched, ments, payloads)
-}
-
-// execPlan runs plan steps from step onward. It is a plain recursive method
-// rather than a closure so the recursion allocates nothing.
-func (n *Node) execPlan(rule *CompiledRule, pl *plan, step int, sign int8,
-	env []types.Value, matched []types.Tuple, ments []*entry, payloads []bdd.Ref) {
-
-	if n.Err != nil {
-		return
-	}
-	if step == len(pl.steps) {
-		n.emitDerivation(rule, env, matched, ments, payloads, sign)
-		return
-	}
-	st := &pl.steps[step]
-	switch st.kind {
-	case stepAssign:
-		v, err := st.expr(env)
-		if err != nil {
-			n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
-			return
-		}
-		env[st.assignSlot] = v
-		n.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
-	case stepCond:
-		v, err := st.expr(env)
-		if err != nil {
-			n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
-			return
-		}
-		if v.Truthy() {
-			n.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
-		}
-	case stepJoin:
-		// Probe the index handle bound at plan-bind time: no index-ID
-		// formatting, and the lookup key is built in a reusable buffer
-		// (the map access on []byte bytes is allocation-free). A nil
-		// handle means the joined atom is an event, which never
-		// materializes.
-		idx := n.joinIdx[st.joinID]
-		if idx == nil {
-			return
-		}
-		n.keyBuf = st.appendLookupKey(n.keyBuf[:0], env)
-		for _, cand := range idx.lookup(n.keyBuf) {
-			if !bindTuple(st.binds, cand.tuple, env) {
-				continue
-			}
-			matched[st.atom] = cand.tuple
-			ments[st.atom] = cand
-			payloads[st.atom] = cand.payload
-			n.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
-		}
-	}
-}
-
-// argArenaChunk sizes the chunked backing store for emitted head arguments.
-// Emitted tuples escape into relations and messages, so their args cannot
-// live in reusable scratch; carving them from a chunk amortizes the per-
-// emission allocation to ~1/chunk.
-const argArenaChunk = 512
-
-func (n *Node) allocArgs(k int) []types.Value {
-	if k == 0 {
-		return nil
-	}
-	if len(n.argArena)+k > cap(n.argArena) {
-		size := argArenaChunk
-		if k > size {
-			size = k
-		}
-		n.argArena = make([]types.Value, 0, size)
-	}
-	off := len(n.argArena)
-	n.argArena = n.argArena[:off+k]
-	return n.argArena[off : off+k : off+k]
-}
-
-// aggArenaChunk sizes the chunked arenas for aggregate group and entry
-// structs.
-const aggArenaChunk = 128
-
-// allocAggEntry carves a zeroed aggregate entry from the chunked arena.
-func (n *Node) allocAggEntry() *aggEntry {
-	if len(n.aggEntryArena) == cap(n.aggEntryArena) {
-		n.aggEntryArena = make([]aggEntry, 0, aggArenaChunk)
-	}
-	n.aggEntryArena = n.aggEntryArena[:len(n.aggEntryArena)+1]
-	return &n.aggEntryArena[len(n.aggEntryArena)-1]
-}
-
-// allocAggGroup carves a fresh aggregate group (with its entry map ready)
-// from the chunked arena.
-func (n *Node) allocAggGroup() *aggGroup {
-	if len(n.aggGroupArena) == cap(n.aggGroupArena) {
-		n.aggGroupArena = make([]aggGroup, 0, aggArenaChunk)
-	}
-	n.aggGroupArena = n.aggGroupArena[:len(n.aggGroupArena)+1]
-	g := &n.aggGroupArena[len(n.aggGroupArena)-1]
-	g.entries = make(map[string]*aggEntry)
-	return g
-}
-
-// emitDerivation computes the head tuple for one complete join result and
-// routes the delta (locally or over the transport), maintaining provenance
-// per the configured mode. Input VIDs come from the matched entries' caches;
-// only tuples never stored on this node (event inputs) are hashed here.
-func (n *Node) emitDerivation(rule *CompiledRule, env []types.Value,
-	matched []types.Tuple, ments []*entry, payloads []bdd.Ref, sign int8) {
-
-	n.RulesFired++
-	args := n.allocArgs(len(rule.headCode))
-	for i, code := range rule.headCode {
-		v, err := code(env)
-		if err != nil {
-			n.fail(fmt.Errorf("rule %s head: %w", rule.Label, err))
-			return
-		}
-		args[i] = v
-	}
-	head := types.Tuple{Pred: rule.HeadPred, Args: args}
-	dst := args[rule.HeadLocPos].AsNode()
-	if dst < 0 {
-		n.fail(fmt.Errorf("rule %s: head location is not a node", rule.Label))
-		return
-	}
-
-	inputVIDs := n.vidBuf[:len(matched)]
-	cacheable := true
-	for i := range matched {
-		if ments[i] != nil {
-			inputVIDs[i], n.hashBuf = ments[i].VIDBuf(n.hashBuf)
-		} else {
-			// Event input: transient, no entry to cache on, and usually a
-			// one-off — keep it out of the RID memo and intern table.
-			cacheable = false
-			inputVIDs[i], n.hashBuf = matched[i].VIDBuf(n.hashBuf)
-		}
-	}
-	var rid types.ID
-	var ridh types.IDHandle
-	if cacheable {
-		rid, ridh = n.ruleExecID(rule, ments, inputVIDs)
-	} else {
-		rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, inputVIDs, n.ridBuf)
-	}
-
-	if sign != Update {
-		switch n.Mode {
-		case ProvReference:
-			// Reverse (parent) edges are installed by the query processor
-			// when it caches a traversal (§6.1), so a derivation records
-			// only its ruleExec row — no head hashing, no per-input edge
-			// maintenance on this path.
-			switch {
-			case sign == Insert && ridh != 0:
-				n.Store.AddRuleExecH(ridh, rid, rule.Label, inputVIDs)
-			case sign == Insert:
-				n.Store.AddRuleExec(rid, rule.Label, inputVIDs)
-			case ridh != 0:
-				n.Store.DelRuleExecH(ridh)
-			default:
-				n.Store.DelRuleExec(rid)
-			}
-		case ProvCentralized:
-			// The deriving node knows the whole derivation: it relays both
-			// the ruleExec row and the head's prov row to the server.
-			var headVID types.ID
-			headVID, n.hashBuf = head.VIDBuf(n.hashBuf)
-			n.sendRuleExecRow(rid, rule.Label, inputVIDs, sign)
-			n.sendProvRow(dst, headVID, rid, n.ID, sign)
-		}
-	}
-
-	var payload bdd.Ref
-	if n.Mode == ProvValue {
-		payload = bdd.True
-		for _, p := range payloads {
-			payload = n.Mgr.And(payload, p)
-		}
-	}
-	n.route(head, dst, sign, rid, payload)
-}
-
-// ridCacheVal is one memoized rule-execution identifier: the digest plus
-// its interned handle (which keys the ruleExec store partition).
-type ridCacheVal struct {
-	id types.ID
-	h  types.IDHandle
-}
-
-// ruleExecID returns the RID for a derivation whose inputs are all stored
-// entries, computing the SHA-1 once per distinct (rule, inputs) combination
-// and replaying it from the memo afterwards. The memo key is the rule index
-// followed by the inputs' interned VID handles — equal handles mean equal
-// VIDs, and the node's own ID (part of the hash) is constant per node.
-func (n *Node) ruleExecID(rule *CompiledRule, ments []*entry, inputVIDs []types.ID) (types.ID, types.IDHandle) {
-	k := n.ridKey[:0]
-	k = append(k, byte(rule.idx), byte(rule.idx>>8), byte(rule.idx>>16), byte(rule.idx>>24))
-	for _, e := range ments {
-		h := e.vidHandle()
-		k = append(k, byte(h), byte(h>>8), byte(h>>16), byte(h>>24))
-	}
-	n.ridKey = k
-	if c, ok := n.ridCache[string(k)]; ok {
-		return c.id, c.h
-	}
-	var rid types.ID
-	rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, inputVIDs, n.ridBuf)
-	c := ridCacheVal{id: rid, h: types.InternID(rid)}
-	n.ridCache[string(k)] = c
-	return c.id, c.h
-}
-
-// route delivers a derived delta to its destination node.
-func (n *Node) route(head types.Tuple, dst types.NodeID, sign int8, rid types.ID, payload bdd.Ref) {
-	if dst == n.ID {
-		n.enqueue(localDelta{tuple: head, sign: sign, rid: rid, rloc: n.ID, payload: payload})
-		return
-	}
-	m := n.newMessage()
-	m.Tuple, m.Delta = head, sign
-	switch n.Mode {
-	case ProvReference:
-		m.HasRef, m.RID, m.RLoc = true, rid, n.ID
-	case ProvValue:
-		// The derivation key still travels so the receiver can maintain
-		// its per-derivation payloads; the dominant cost is the payload.
-		m.HasRef, m.RID, m.RLoc = true, rid, n.ID
-		m.Payload = n.Mgr.Encode(payload, nil)
-	}
-	n.Transport.Send(n.ID, dst, m)
-}
-
-// newMessage draws an outgoing message from the pool (nil pool: plain
-// allocation).
-func (n *Node) newMessage() *Message { return n.Msgs.Get() }
-
-// fireAgg routes a delta of an aggregate rule's body predicate through the
-// group state.
-func (n *Node) fireAgg(rule *CompiledRule, t types.Tuple, sign int8, payload bdd.Ref) {
-	pl := rule.plans[0]
-	env := n.envBuf[:rule.numVars]
-	if !bindTuple(pl.deltaBinds, t, env) {
-		return
-	}
-	// Aggregate bodies may carry assignments/conditions.
-	for i := range pl.steps {
-		st := &pl.steps[i]
-		switch st.kind {
-		case stepAssign:
-			v, err := st.expr(env)
-			if err != nil {
-				n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
-				return
-			}
-			env[st.assignSlot] = v
-		case stepCond:
-			v, err := st.expr(env)
-			if err != nil {
-				n.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
-				return
-			}
-			if !v.Truthy() {
-				return
-			}
-		}
-	}
-	spec := rule.agg
-	groupVals := n.groupBuf[:len(spec.groupCode)]
-	for i, code := range spec.groupCode {
-		v, err := code(env)
-		if err != nil {
-			n.fail(fmt.Errorf("rule %s group: %w", rule.Label, err))
-			return
-		}
-		groupVals[i] = v
-	}
-	groups := n.aggByRule[rule.idx]
-	if groups == nil {
-		groups = map[string]*aggGroup{}
-		n.aggByRule[rule.idx] = groups
-	}
-	n.keyBuf = appendValuesKey(n.keyBuf[:0], groupVals)
-	g := groups[string(n.keyBuf)]
-	if g == nil {
-		g = n.allocAggGroup()
-		groups[string(n.keyBuf)] = g
-	}
-
-	if sign == Update {
-		// Value-mode payload update: if the updated input is the current
-		// winner, the head's payload follows it.
-		if n.Mode == ProvValue && g.curWinner != nil && g.curWinner.input.Equal(t) && g.hasOut {
-			out := g.curOut
-			out.Pred = rule.HeadPred
-			n.vidBuf[0], n.hashBuf = t.VIDBuf(n.hashBuf)
-			var rid types.ID
-			rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, n.vidBuf[:1], n.ridBuf)
-			n.route(out, n.ID, Update, rid, payload)
-		}
-		return
-	}
-
-	// vals is per-node scratch; update copies it if it must retain it.
-	var sortVal types.Value
-	vals := n.carryBuf[:0]
-	switch spec.Fn {
-	case "MIN", "MAX":
-		sortVal = env[spec.sortSlot]
-		for _, s := range spec.carried {
-			vals = append(vals, env[s])
-		}
-	case "COUNT":
-		sortVal = types.Int(0)
-	case "AGGLIST":
-		for _, s := range spec.listSlots {
-			vals = append(vals, env[s])
-		}
-	}
-	n.carryBuf = vals[:0]
-	carried := vals
-	if spec.Fn == "AGGLIST" {
-		if len(vals) > 0 {
-			sortVal = vals[0]
-			carried = vals[1:]
-		} else {
-			sortVal = types.Int(0)
-			carried = nil
-		}
-	}
-
-	for _, em := range g.update(n, spec, groupVals, sortVal, carried, t, sign) {
-		out := em.tuple
-		out.Pred = rule.HeadPred
-		n.emitAggChange(rule, out, em, t)
-	}
-}
-
-// emitAggChange applies provenance bookkeeping for an aggregate output
-// change and routes it. Aggregate heads are local by validation.
-func (n *Node) emitAggChange(rule *CompiledRule, out types.Tuple, em aggEmit, cause types.Tuple) {
-	n.RulesFired++
-	var rid types.ID
-	var payload bdd.Ref
-	if em.hasWin {
-		// The winning input is stored in the body relation; reuse its
-		// cached VID instead of re-hashing the tuple.
-		var winEnt *entry
-		if rel := n.aggBodyRel[rule.idx]; rel != nil {
-			winEnt = rel.get(em.winner)
-		}
-		var winVID types.ID
-		var ridh types.IDHandle
-		if winEnt != nil {
-			winVID, n.hashBuf = winEnt.VIDBuf(n.hashBuf)
-			n.vidBuf[0] = winVID
-			// Aggregate RIDs hash a single stored input; memoize them like
-			// join RIDs (entBuf is idle here — fireAgg never runs inside
-			// execPlan, so borrowing slot 0 cannot clobber a live plan).
-			n.entBuf[0] = winEnt
-			rid, ridh = n.ruleExecID(rule, n.entBuf[:1], n.vidBuf[:1])
-		} else {
-			winVID, n.hashBuf = em.winner.VIDBuf(n.hashBuf)
-			n.vidBuf[0] = winVID
-			rid, n.ridBuf = types.RuleExecIDBuf(rule.Label, n.ID, n.vidBuf[:1], n.ridBuf)
-		}
-		switch n.Mode {
-		case ProvReference:
-			switch {
-			case em.sign == Insert && ridh != 0:
-				n.Store.AddRuleExecH(ridh, rid, rule.Label, n.vidBuf[:1])
-			case em.sign == Insert:
-				n.Store.AddRuleExec(rid, rule.Label, n.vidBuf[:1])
-			case ridh != 0:
-				n.Store.DelRuleExecH(ridh)
-			default:
-				n.Store.DelRuleExec(rid)
-			}
-		case ProvCentralized:
-			var headVID types.ID
-			headVID, n.hashBuf = out.VIDBuf(n.hashBuf)
-			n.sendRuleExecRow(rid, rule.Label, n.vidBuf[:1], em.sign)
-			n.sendProvRow(n.ID, headVID, rid, n.ID, em.sign)
-		case ProvValue:
-			payload = bdd.True
-			if winEnt != nil {
-				payload = winEnt.payload
-			}
-		}
-	}
-	// COUNT/AGGLIST outputs carry no MIN/MAX-style provenance child (the
-	// paper restricts aggregate provenance to MIN and MAX); they enter the
-	// graph as base-like vertices via the null RID.
-	n.route(out, n.ID, em.sign, rid, payload)
+	return n.Msgs.Get()
 }
 
 // Centralized-mode helpers: provenance rows travel to the server as plain
 // prov/ruleExec tuples, whose byte sizes are charged like any message.
+// Centralized nodes are single-shard, so enqueueing on shard 0 is the
+// serial-mode local delivery.
 
 func (n *Node) sendProvRow(loc types.NodeID, vid, rid types.ID, rloc types.NodeID, sign int8) {
 	row := types.NewTuple("prov", types.Node(loc), types.IDVal(vid), types.IDVal(rid), types.Node(rloc))
 	if n.Central == n.ID {
-		n.enqueue(localDelta{tuple: row, sign: sign, rloc: n.ID})
+		n.shards[0].enqueue(localDelta{tuple: row, sign: sign, rloc: n.ID})
 		return
 	}
 	m := n.newMessage()
@@ -944,7 +363,7 @@ func (n *Node) sendRuleExecRow(rid types.ID, rule string, inputs []types.ID, sig
 	}
 	row := types.NewTuple("ruleExec", types.Node(n.ID), types.IDVal(rid), types.Str(rule), types.List(vids...))
 	if n.Central == n.ID {
-		n.enqueue(localDelta{tuple: row, sign: sign, rloc: n.ID})
+		n.shards[0].enqueue(localDelta{tuple: row, sign: sign, rloc: n.ID})
 		return
 	}
 	m := n.newMessage()

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/ndlog"
-	"repro/internal/types"
 )
 
 // Program is a compiled NDlog program shared (immutably) by every node.
@@ -74,60 +73,6 @@ type atomSpec struct {
 	arity int
 	event bool
 	args  []ndlog.Expr
-}
-
-// bindKind describes how one atom argument is treated during matching.
-type bindKind uint8
-
-const (
-	bindNew   bindKind = iota // first occurrence: bind the slot
-	bindCheck                 // already bound: compare
-	bindConst                 // constant: compare
-)
-
-type bindSpec struct {
-	kind bindKind
-	slot int
-	val  types.Value
-}
-
-type stepKind uint8
-
-const (
-	stepJoin stepKind = iota
-	stepAssign
-	stepCond
-)
-
-// keyPart contributes one value to a join-lookup key: either a constant or
-// a bound slot.
-type keyPart struct {
-	isConst bool
-	val     types.Value
-	slot    int
-}
-
-type planStep struct {
-	kind stepKind
-
-	// stepJoin
-	atom     int
-	indexPos []int
-	keyParts []keyPart
-	binds    []bindSpec
-	joinID   int // program-wide join-step id; nodes bind it to an index handle
-
-	// stepAssign / stepCond
-	assignSlot int
-	expr       exprCode
-}
-
-// plan is a delta-evaluation strategy for one body atom position: bind the
-// delta tuple, join the remaining atoms in a greedy bound-first order, and
-// interleave assignments and conditions as soon as their inputs are bound.
-type plan struct {
-	deltaBinds []bindSpec
-	steps      []planStep
 }
 
 // Compile validates and compiles an NDlog program.
@@ -371,216 +316,4 @@ func compileRule(r *ndlog.Rule, label string) (*CompiledRule, error) {
 		cr.plans = append(cr.plans, pl)
 	}
 	return cr, nil
-}
-
-// buildPlan constructs the delta plan for position k.
-func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k int) (*plan, error) {
-
-	bound := map[int]bool{}
-	pl := &plan{}
-
-	// computeBinds derives bind specs for an atom given current bound set,
-	// updating bound.
-	computeBinds := func(a *ndlog.Atom) ([]bindSpec, error) {
-		var binds []bindSpec
-		for _, arg := range a.Args {
-			switch v := arg.(type) {
-			case *ndlog.Var:
-				slot := slots[v.Name]
-				if bound[slot] {
-					binds = append(binds, bindSpec{kind: bindCheck, slot: slot})
-				} else {
-					binds = append(binds, bindSpec{kind: bindNew, slot: slot})
-					bound[slot] = true
-				}
-			case *ndlog.Const:
-				binds = append(binds, bindSpec{kind: bindConst, val: v.Val})
-			default:
-				return nil, fmt.Errorf("body atom %s: argument must be a variable or constant", a.Pred)
-			}
-		}
-		return binds, nil
-	}
-
-	// Non-atom terms in source order: guards written before an assignment
-	// must execute before it (e.g. f_size(L) > k guarding f_nth(L, k)).
-	type nonAtom struct {
-		assign *ndlog.Assign
-		cond   *ndlog.Cond
-	}
-	var terms []nonAtom
-	for _, t := range cr.source.Body {
-		switch v := t.(type) {
-		case *ndlog.Assign:
-			terms = append(terms, nonAtom{assign: v})
-		case *ndlog.Cond:
-			terms = append(terms, nonAtom{cond: v})
-		}
-	}
-	termDone := make([]bool, len(terms))
-	// flush appends the pending assignments and conditions whose
-	// dependencies are bound, preserving source order; it retries until a
-	// fixed point so chains (R=..., RID=f(R)) resolve.
-	flush := func() error {
-		for {
-			progress := false
-			for i, tm := range terms {
-				if termDone[i] {
-					continue
-				}
-				var deps []string
-				if tm.assign != nil {
-					deps = ndlog.Vars(tm.assign.Rhs)
-				} else {
-					deps = ndlog.Vars(tm.cond.Expr)
-				}
-				ready := true
-				for _, dep := range deps {
-					if !bound[slots[dep]] {
-						ready = false
-						break
-					}
-				}
-				if !ready {
-					continue
-				}
-				if tm.assign != nil {
-					code, err := compileExpr(tm.assign.Rhs, slots)
-					if err != nil {
-						return err
-					}
-					pl.steps = append(pl.steps, planStep{kind: stepAssign, assignSlot: slots[tm.assign.Lhs], expr: code})
-					bound[slots[tm.assign.Lhs]] = true
-				} else {
-					code, err := compileExpr(tm.cond.Expr, slots)
-					if err != nil {
-						return err
-					}
-					pl.steps = append(pl.steps, planStep{kind: stepCond, expr: code})
-				}
-				termDone[i] = true
-				progress = true
-			}
-			if !progress {
-				return nil
-			}
-		}
-	}
-
-	var err error
-	pl.deltaBinds, err = computeBinds(atoms[k])
-	if err != nil {
-		return nil, err
-	}
-	if err := flush(); err != nil {
-		return nil, err
-	}
-
-	remaining := map[int]bool{}
-	for i := range atoms {
-		if i != k {
-			remaining[i] = true
-		}
-	}
-	for len(remaining) > 0 {
-		// Greedy: pick the remaining atom with the most bound/const
-		// argument positions (ties broken by position for determinism).
-		best, bestScore := -1, -1
-		for i := 0; i < len(atoms); i++ {
-			if !remaining[i] {
-				continue
-			}
-			score := 0
-			for _, arg := range atoms[i].Args {
-				switch v := arg.(type) {
-				case *ndlog.Var:
-					if bound[slots[v.Name]] {
-						score++
-					}
-				case *ndlog.Const:
-					score++
-				}
-			}
-			if score > bestScore {
-				best, bestScore = i, score
-			}
-		}
-		a := atoms[best]
-		delete(remaining, best)
-
-		// Index on the bound/const positions; bind the rest.
-		var indexPos []int
-		var keyParts []keyPart
-		for pos, arg := range a.Args {
-			switch v := arg.(type) {
-			case *ndlog.Var:
-				if bound[slots[v.Name]] {
-					indexPos = append(indexPos, pos)
-					keyParts = append(keyParts, keyPart{slot: slots[v.Name]})
-				}
-			case *ndlog.Const:
-				indexPos = append(indexPos, pos)
-				keyParts = append(keyParts, keyPart{isConst: true, val: v.Val})
-			}
-		}
-		binds, err := computeBinds(a)
-		if err != nil {
-			return nil, err
-		}
-		pl.steps = append(pl.steps, planStep{
-			kind: stepJoin, atom: best, indexPos: indexPos, keyParts: keyParts, binds: binds,
-		})
-		if err := flush(); err != nil {
-			return nil, err
-		}
-	}
-
-	for i, done := range termDone {
-		if !done {
-			if terms[i].assign != nil {
-				return nil, fmt.Errorf("assignment %s never becomes evaluable", terms[i].assign.Lhs)
-			}
-			return nil, fmt.Errorf("condition %s never becomes evaluable", ndlog.ExprString(terms[i].cond.Expr))
-		}
-	}
-	return pl, nil
-}
-
-// bindTuple matches a tuple against bind specs, writing new bindings into
-// env; it reports whether the match succeeds.
-func bindTuple(binds []bindSpec, t types.Tuple, env []types.Value) bool {
-	if len(binds) != len(t.Args) {
-		return false
-	}
-	for i, b := range binds {
-		switch b.kind {
-		case bindNew:
-			env[b.slot] = t.Args[i]
-		case bindCheck:
-			if !env[b.slot].Equal(t.Args[i]) {
-				return false
-			}
-		case bindConst:
-			if !b.val.Equal(t.Args[i]) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// appendLookupKey builds the join-probe key for the step into b: the
-// fixed-width handle key of each key part (matching appendIndexKey on the
-// index side). Probes pass a per-node scratch buffer so the innermost join
-// loop allocates nothing, and interned handles mean no string or digest
-// bytes are copied per probe.
-func (s *planStep) appendLookupKey(b []byte, env []types.Value) []byte {
-	for _, p := range s.keyParts {
-		if p.isConst {
-			b = p.val.AppendKey(b)
-		} else {
-			b = env[p.slot].AppendKey(b)
-		}
-	}
-	return b
 }

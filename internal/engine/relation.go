@@ -39,6 +39,16 @@ type entry struct {
 	vidh   types.IDHandle // interned vid; keys the provenance store partition
 	vidOK  bool
 	stored bool // VID→tuple mapping already registered with the prov store
+
+	// Sharded-round bookkeeping (rounds.go; unused in serial mode).
+	// touchRound/startVis snapshot the entry's visibility at the start of
+	// the round that first touched it — the reference point for net-change
+	// firing and old-state probe admission. indexed tracks index
+	// membership, which is deferred to the merge barrier on removal so
+	// frozen fire-phase probes can still see start-of-round state.
+	touchRound uint32
+	startVis   bool
+	indexed    bool
 }
 
 func (e *entry) derivCount() int { return len(e.derivs) }
@@ -105,6 +115,12 @@ type Relation struct {
 	visible int    // O(1) Len
 	dead    int    // invisible derivation-free entries retained for reuse
 	scratch []byte // reusable key-encoding buffer
+
+	// deferMaint switches the relation to sharded-round maintenance:
+	// setVisible defers index removals and tombstone sweeps to the merge
+	// barrier (Relation.unindex / maybeSweepRound), because sibling shards
+	// probe the indexes read-only while the owner applies its batch.
+	deferMaint bool
 
 	// freeEntries recycles entry structs reclaimed by sweep; entryArena
 	// chunk-allocates fresh ones (boxing each entry individually was a
@@ -239,7 +255,10 @@ func (r *Relation) getOrCreate(t types.Tuple) *entry {
 	return e
 }
 
-// setVisible inserts or removes the entry from all indexes.
+// setVisible inserts or removes the entry from all indexes. Under deferred
+// maintenance (sharded rounds) removals and sweeps wait for the merge
+// barrier: the entry stays indexed (filtered by probe admission) until
+// unindex, and tombstones are only reclaimed by maybeSweepRound.
 func (r *Relation) setVisible(e *entry, visible bool) {
 	if e.visible == visible {
 		return
@@ -249,6 +268,15 @@ func (r *Relation) setVisible(e *entry, visible bool) {
 		r.visible++
 	} else {
 		r.visible--
+	}
+	if r.deferMaint {
+		if visible && !e.indexed {
+			r.indexAdd(e)
+		}
+		if !visible && len(e.derivs) == 0 {
+			r.dead++
+		}
+		return
 	}
 	for _, idx := range r.indexes {
 		r.scratch = appendIndexKey(r.scratch[:0], e.tuple, idx.positions)
@@ -270,6 +298,34 @@ func (r *Relation) setVisible(e *entry, visible bool) {
 	}
 }
 
+// indexAdd inserts the entry into every index of the relation.
+func (r *Relation) indexAdd(e *entry) {
+	for _, idx := range r.indexes {
+		r.scratch = appendIndexKey(r.scratch[:0], e.tuple, idx.positions)
+		idx.add(r.scratch, e)
+	}
+	e.indexed = true
+}
+
+// unindex removes the entry from every index (deferred maintenance; called
+// at the merge barrier for entries whose round netted to invisible).
+func (r *Relation) unindex(e *entry) {
+	for _, idx := range r.indexes {
+		r.scratch = appendIndexKey(r.scratch[:0], e.tuple, idx.positions)
+		idx.remove(r.scratch, e)
+	}
+	e.indexed = false
+}
+
+// maybeSweepRound reclaims tombstones at the merge barrier once they
+// dominate the live population — the deferred-maintenance counterpart of
+// the sweep setVisible triggers inline.
+func (r *Relation) maybeSweepRound() {
+	if r.dead > 128 && r.dead > 2*r.visible {
+		r.sweep(nil)
+	}
+}
+
 // sweep deletes all tombstones except spare, bounding retained memory to a
 // small factor of the live entry count. Swept entries are cleared
 // (releasing their tuples) and recycled through the free list.
@@ -284,7 +340,10 @@ func (r *Relation) sweep(spare *entry) {
 			r.freeEntries = append(r.freeEntries, e)
 		}
 	}
-	r.dead = 1 // the spared tombstone remains
+	r.dead = 0
+	if spare != nil {
+		r.dead = 1 // the spared tombstone remains
+	}
 }
 
 func removeEntry(list []*entry, e *entry) []*entry {
@@ -331,6 +390,7 @@ func (r *Relation) EnsureIndex(positions []int) *index {
 		if e.visible {
 			r.scratch = appendIndexKey(r.scratch[:0], e.tuple, idx.positions)
 			idx.add(r.scratch, e)
+			e.indexed = true
 		}
 	}
 	r.indexes[id] = idx

@@ -1,0 +1,399 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bdd"
+	"repro/internal/provenance"
+	"repro/internal/types"
+)
+
+// This file is the engine's RUNTIME layer for sharded nodes: a batched
+// round executor that replaces the serial inline drain when a node has more
+// than one worker shard. Each round has three phases:
+//
+//  1. APPLY (parallel over shards). Every shard drains its own ring of
+//     deltas, mutating only state it owns: relation entries, index
+//     postings, prov rows in its store partition, aggregate groups routed
+//     to it. Firing is deferred — the shard records the round's net
+//     visibility transitions (markTouched) and incoming event deltas.
+//  2. FIRE (parallel over shards). State is frozen; shards evaluate rule
+//     plans for their net transitions, probing every shard's indexes
+//     read-only under the batched semi-naïve old/new discipline (exec.go).
+//     Derivations are buffered: local head deltas, aggregate updates for
+//     other shards' groups, outbound messages, deferred ruleExec rows.
+//  3. MERGE (serial). Buffers drain in shard-index order — so the next
+//     round's rings, the transport and the store see one deterministic
+//     sequence regardless of goroutine scheduling — deferred index
+//     removals and tombstone sweeps run, and deferred provenance-change
+//     notifications flush.
+//
+// Rounds repeat until no shard has pending work. For a fixed shard count
+// the execution is fully deterministic; across shard counts the fixpoint
+// state (relations, provenance rows, counters of net derivations) is
+// identical, while transient aggregate outputs may be elided by batching
+// (see ARCHITECTURE.md "Sharded runtime").
+
+// fireItem is one deferred firing: either an event delta (fires with its
+// own sign) or a stored entry touched this round (fires with its net
+// visibility transition, or not at all when the batch nets to zero).
+type fireItem struct {
+	tuple   types.Tuple
+	occs    []occurrence
+	ent     *entry    // nil for events
+	rel     *Relation // owning relation, for deferred index maintenance
+	sign    int8      // events only; stored entries resolve at fire time
+	isEvent bool
+}
+
+// aggItem is one aggregate-group update shipped to the group's owner shard.
+type aggItem struct {
+	rule      *CompiledRule
+	groupVals []types.Value
+	sortVal   types.Value
+	carried   []types.Value
+	input     types.Tuple
+	sign      int8
+}
+
+// routedAgg pairs an aggregate update with its destination shard.
+type routedAgg struct {
+	dst int
+	it  aggItem
+}
+
+// outMsg is one buffered cross-node message.
+type outMsg struct {
+	to types.NodeID
+	m  *Message
+}
+
+// reOp is one deferred ruleExec-row change. Inserts and deletes of the same
+// RID can fire on different shards (whichever owned the triggering delta),
+// so the ops replay at the merge barrier into the RID's home partition —
+// keeping every add/del pair in one map. vid offsets slice the shard's
+// reVIDs arena.
+type reOp struct {
+	ridh   types.IDHandle
+	rid    types.ID
+	label  string
+	sign   int8
+	vidOff int
+	vidLen int
+}
+
+// roundShard is the per-shard slice of round-runtime state.
+type roundShard struct {
+	fires    []fireItem
+	outLocal []localDelta
+	outAgg   []routedAgg
+	outMsgs  []outMsg
+	aggIn    []aggItem
+	reOps    []reOp
+	reVIDs   []types.ID
+	keyBufs  [][]byte // per-plan-step probe keys (exec.go round probing)
+}
+
+// initRounds sizes the per-shard round state once the shard set is final.
+func (n *Node) initRounds() {
+	maxSteps := 0
+	for _, cr := range n.Prog.Rules {
+		for _, pl := range cr.plans {
+			if len(pl.steps) > maxSteps {
+				maxSteps = len(pl.steps)
+			}
+		}
+	}
+	for _, sh := range n.shards {
+		sh.rs.keyBufs = make([][]byte, maxSteps)
+	}
+}
+
+// markTouched records a stored entry's first touch of the round: its
+// start-of-round visibility (against which the net transition and the
+// old-state probe admissions are decided) and a fire-list slot.
+func (sh *shard) markTouched(rel *Relation, e *entry, occs []occurrence) {
+	if e.touchRound == sh.n.curRound {
+		return
+	}
+	e.touchRound = sh.n.curRound
+	e.startVis = e.visible
+	sh.rs.fires = append(sh.rs.fires, fireItem{tuple: e.tuple, occs: occs, ent: e, rel: rel})
+}
+
+// applyPhase drains the shard's delta ring and applies aggregate updates
+// routed to this shard's groups. Only owner-local state is mutated.
+func (sh *shard) applyPhase() {
+	for sh.qhead < len(sh.queue) && sh.err == nil {
+		sh.process(sh.popDelta(), true)
+	}
+	if sh.qhead == len(sh.queue) {
+		sh.queue = sh.queue[:0]
+		sh.qhead = 0
+	}
+	for i := range sh.rs.aggIn {
+		if sh.err != nil {
+			break
+		}
+		sh.applyAggItem(&sh.rs.aggIn[i])
+	}
+	clearAggItems(sh.rs.aggIn)
+	sh.rs.aggIn = sh.rs.aggIn[:0]
+}
+
+// firePhase evaluates the deferred firings against the frozen post-apply
+// state. Stored entries whose batch netted to zero are skipped; the rest
+// fire once with their net sign.
+func (sh *shard) firePhase() {
+	for i := range sh.rs.fires {
+		if sh.err != nil {
+			return
+		}
+		it := &sh.rs.fires[i]
+		sign := it.sign
+		var ent *entry
+		if !it.isEvent {
+			e := it.ent
+			if e.startVis == e.visible {
+				continue // net zero: transient within the round
+			}
+			if e.visible {
+				sign = Insert
+			} else {
+				sign = Delete
+			}
+			ent = e
+		}
+		for _, occ := range it.occs {
+			if occ.rule.agg != nil {
+				sh.fireAggRound(occ.rule, it.tuple, sign)
+			} else {
+				payload := bdd.False
+				if ent != nil {
+					payload = ent.payload
+				}
+				sh.firePlan(occ.rule, occ.pos, it.tuple, sign, ent, payload)
+			}
+		}
+	}
+}
+
+// fireAggRound evaluates an aggregate rule's body for a net delta and ships
+// the group update to the group's owner shard (applied in its next apply
+// phase). Group values and carried values are copied out of scratch into
+// the shard's chunked value arena.
+func (sh *shard) fireAggRound(rule *CompiledRule, t types.Tuple, sign int8) {
+	env, ok := sh.evalAggBody(rule, t)
+	if !ok {
+		return
+	}
+	spec := rule.agg
+	groupVals := sh.groupBuf[:len(spec.groupCode)]
+	for i, code := range spec.groupCode {
+		v, err := code(env)
+		if err != nil {
+			sh.fail(fmt.Errorf("rule %s group: %w", rule.Label, err))
+			return
+		}
+		groupVals[i] = v
+	}
+	sortVal, carried := sh.evalAggVals(rule, env)
+	gv := sh.allocArgs(len(groupVals))
+	copy(gv, groupVals)
+	cv := sh.allocArgs(len(carried))
+	copy(cv, carried)
+	dst := int(types.HashValues(gv) % uint64(len(sh.n.shards)))
+	sh.rs.outAgg = append(sh.rs.outAgg, routedAgg{dst: dst, it: aggItem{
+		rule: rule, groupVals: gv, sortVal: sortVal, carried: cv, input: t, sign: sign,
+	}})
+}
+
+// applyAggItem applies one routed aggregate update to this shard's group
+// state, emitting any net output change as local head deltas for the next
+// round.
+func (sh *shard) applyAggItem(it *aggItem) {
+	rule := it.rule
+	groups := sh.aggByRule[rule.idx]
+	if groups == nil {
+		groups = map[string]*aggGroup{}
+		sh.aggByRule[rule.idx] = groups
+	}
+	sh.keyBuf = appendValuesKey(sh.keyBuf[:0], it.groupVals)
+	g := groups[string(sh.keyBuf)]
+	if g == nil {
+		g = sh.allocAggGroup()
+		groups[string(sh.keyBuf)] = g
+	}
+	for _, em := range g.update(sh, rule.agg, it.groupVals, it.sortVal, it.carried, it.input, it.sign) {
+		out := em.tuple
+		out.Pred = rule.HeadPred
+		sh.emitAggChange(rule, out, em, it.input)
+	}
+}
+
+// deferRuleExecRow buffers a ruleExec-row change for the merge barrier.
+func (sh *shard) deferRuleExecRow(ridh types.IDHandle, rid types.ID, label string, inputVIDs []types.ID, sign int8) {
+	off := len(sh.rs.reVIDs)
+	if sign == Insert { // deletes never materialize a new row; skip the copy
+		sh.rs.reVIDs = append(sh.rs.reVIDs, inputVIDs...)
+	}
+	sh.rs.reOps = append(sh.rs.reOps, reOp{
+		ridh: ridh, rid: rid, label: label, sign: sign, vidOff: off, vidLen: len(inputVIDs),
+	})
+}
+
+// ridHome maps an RID to the partition its ruleExec row lives in: a
+// content-derived hash so add/del pairs always meet, whatever shards they
+// fired on.
+func (n *Node) ridHome(rid types.ID) *provenance.Partition {
+	return n.Store.Part(int(binary.BigEndian.Uint64(rid[:8]) % uint64(len(n.shards))))
+}
+
+// replayRuleExecOps applies this shard's deferred ruleExec ops (merge
+// barrier, serial).
+func (sh *shard) replayRuleExecOps() {
+	n := sh.n
+	for i := range sh.rs.reOps {
+		op := &sh.rs.reOps[i]
+		part := n.ridHome(op.rid)
+		switch {
+		case op.sign == Insert && op.ridh != 0:
+			part.AddRuleExecH(op.ridh, op.rid, op.label, sh.rs.reVIDs[op.vidOff:op.vidOff+op.vidLen])
+		case op.sign == Insert:
+			part.AddRuleExec(op.rid, op.label, sh.rs.reVIDs[op.vidOff:op.vidOff+op.vidLen])
+		case op.ridh != 0:
+			part.DelRuleExecH(op.ridh)
+		default:
+			part.DelRuleExec(op.rid)
+		}
+	}
+	sh.rs.reOps = sh.rs.reOps[:0]
+	sh.rs.reVIDs = sh.rs.reVIDs[:0]
+}
+
+// mergeRound is the serial barrier closing one round: deferred index
+// removals and sweeps, deferred ruleExec rows, redistribution of buffered
+// local deltas and aggregate updates into the next round's rings, and the
+// transport flush — all in shard-index order, so the sequence feeding the
+// next round (and the wire) is deterministic.
+func (n *Node) mergeRound() {
+	// Deferred index maintenance: entries whose net transition was to
+	// invisible leave the indexes now that no probe can be in flight.
+	for _, sh := range n.shards {
+		for i := range sh.rs.fires {
+			it := &sh.rs.fires[i]
+			if it.ent != nil && !it.ent.visible && it.ent.indexed {
+				it.rel.unindex(it.ent)
+			}
+			sh.rs.fires[i] = fireItem{}
+		}
+		sh.rs.fires = sh.rs.fires[:0]
+		for _, rel := range sh.tablesByID {
+			rel.maybeSweepRound()
+		}
+		for _, rel := range sh.extraTables {
+			rel.maybeSweepRound()
+		}
+	}
+	for _, sh := range n.shards {
+		sh.replayRuleExecOps()
+	}
+	for _, sh := range n.shards {
+		for i := range sh.rs.outLocal {
+			d := sh.rs.outLocal[i]
+			n.ownerShard(d.tuple).enqueue(d)
+			sh.rs.outLocal[i] = localDelta{}
+		}
+		sh.rs.outLocal = sh.rs.outLocal[:0]
+		for i := range sh.rs.outAgg {
+			ra := &sh.rs.outAgg[i]
+			dst := &n.shards[ra.dst].rs
+			dst.aggIn = append(dst.aggIn, ra.it)
+			sh.rs.outAgg[i] = routedAgg{}
+		}
+		sh.rs.outAgg = sh.rs.outAgg[:0]
+	}
+	for _, sh := range n.shards {
+		for i := range sh.rs.outMsgs {
+			om := sh.rs.outMsgs[i]
+			sh.rs.outMsgs[i] = outMsg{}
+			n.Transport.Send(n.ID, om.to, om.m)
+		}
+		sh.rs.outMsgs = sh.rs.outMsgs[:0]
+	}
+	n.syncErr()
+}
+
+func clearAggItems(items []aggItem) {
+	for i := range items {
+		items[i] = aggItem{}
+	}
+}
+
+// anyPending reports whether any shard has queued deltas or aggregate
+// updates.
+func (n *Node) anyPending() bool {
+	for _, sh := range n.shards {
+		if sh.pending() {
+			return true
+		}
+	}
+	return false
+}
+
+// runRounds executes batched rounds until the node is locally quiescent.
+// Apply and fire phases fan out across shard goroutines; merge runs on the
+// calling goroutine. Re-entrant calls (a synchronous transport delivering a
+// message back to this node mid-merge) just deposit and return — the outer
+// loop picks the work up next round.
+func (n *Node) runRounds() {
+	if n.inRounds {
+		return
+	}
+	n.inRounds = true
+	defer func() { n.inRounds = false }()
+	// Phase results are goroutine-schedule-independent by construction, so
+	// on a single-CPU host the fan-out is pure overhead and the phases run
+	// inline in shard order instead.
+	fanOut := runtime.GOMAXPROCS(0) > 1
+	var wg sync.WaitGroup
+	for n.Err == nil && n.anyPending() {
+		n.curRound++
+		n.Store.DeferChanges()
+		for _, sh := range n.shards {
+			if !sh.pending() {
+				continue
+			}
+			if !fanOut {
+				sh.applyPhase()
+				continue
+			}
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				sh.applyPhase()
+			}(sh)
+		}
+		wg.Wait()
+		for _, sh := range n.shards {
+			if len(sh.rs.fires) == 0 {
+				continue
+			}
+			if !fanOut {
+				sh.firePhase()
+				continue
+			}
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				sh.firePhase()
+			}(sh)
+		}
+		wg.Wait()
+		n.mergeRound()
+		n.Store.FlushDeferred()
+	}
+}

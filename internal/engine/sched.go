@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/algebra"
+	"repro/internal/bdd"
+	"repro/internal/types"
+)
+
+// Scheduler is the cluster-scale half of the engine's RUNTIME layer: it owns
+// every node's worker shards and drives the whole distributed fixpoint as
+// bulk-synchronous rounds over a bounded worker pool, instead of threading
+// each message through the discrete-event simulator one delivery at a time.
+//
+// One scheduler round runs every node with pending input to local
+// quiescence (in parallel — nodes share no mutable state, and a sharded
+// node fans its own apply/fire phases out further), then delivers the
+// buffered cross-node messages in (source node, emission order) — a fixed
+// merge order, so a run is deterministic for a given node and shard count
+// regardless of how the goroutines interleave. Byte accounting charges the
+// same per-message wire size + datagram overhead as the simulator and the
+// UDP deployment, so totals are comparable.
+//
+// The scheduler computes fixpoints and their provenance; it does not model
+// latency or bandwidth (no virtual clock) and does not serve distributed
+// provenance queries — use the simnet or deploy drivers for those. Final
+// relation and provenance-store state matches a simulator run of the same
+// program modulo message-arrival order, and matches it exactly for
+// monotone (insert-only) workloads.
+type Scheduler struct {
+	Prog *Program
+	Mode ProvMode
+
+	// MsgOverhead is the fixed per-message header cost (28 = IPv4 + UDP),
+	// matching simnet.DefaultMsgOverhead and the deployment transport.
+	MsgOverhead int
+
+	// Accounting, indexed by node.
+	TotalBytes int64
+	SentBytes  []int64
+	RecvBytes  []int64
+	SentMsgs   []int64
+	// Rounds counts executed scheduler rounds.
+	Rounds int64
+
+	nodes   []*Node
+	workers int
+	staged  [][]outMsg // per source node; written only by that node's task
+}
+
+// NewScheduler builds a cluster of nNodes engine nodes with the given
+// worker-shard count each, driven by a pool of `workers` goroutines
+// (0 = GOMAXPROCS).
+func NewScheduler(prog *Program, mode ProvMode, nNodes, shardsPerNode, workers int) *Scheduler {
+	s := &Scheduler{
+		Prog:        prog,
+		Mode:        mode,
+		MsgOverhead: 28,
+		workers:     workers,
+		SentBytes:   make([]int64, nNodes),
+		RecvBytes:   make([]int64, nNodes),
+		SentMsgs:    make([]int64, nNodes),
+		staged:      make([][]outMsg, nNodes),
+	}
+	var alloc *algebra.VarAlloc
+	if mode == ProvValue {
+		alloc = algebra.NewVarAlloc()
+		// Value mode shares one BDD variable allocator across the cluster;
+		// variable numbering (and with it encoded payload bytes) must not
+		// depend on which node's goroutine interns a base tuple first, so
+		// value-mode clusters execute their node tasks serially.
+		s.workers = 1
+	}
+	s.nodes = make([]*Node, nNodes)
+	for i := range s.nodes {
+		s.nodes[i] = NewNodeSharded(types.NodeID(i), prog, mode, schedTransport{s}, alloc, shardsPerNode)
+	}
+	return s
+}
+
+// schedTransport buffers outbound messages per source node. Each node's
+// local run is the only writer of its staged slice, so concurrent node
+// tasks never contend.
+type schedTransport struct{ s *Scheduler }
+
+func (t schedTransport) Send(from, to types.NodeID, m *Message) {
+	t.s.staged[from] = append(t.s.staged[from], outMsg{to: to, m: m})
+}
+
+// Node returns engine node i.
+func (s *Scheduler) Node(i int) *Node { return s.nodes[i] }
+
+// NumNodes reports the cluster size.
+func (s *Scheduler) NumNodes() int { return len(s.nodes) }
+
+// InsertBase deposits a base-tuple insertion at a node (evaluated by Run).
+func (s *Scheduler) InsertBase(node types.NodeID, t types.Tuple) {
+	s.nodes[node].deposit(localDelta{tuple: t, sign: Insert, rloc: node, isBase: true})
+}
+
+// DeleteBase deposits a base-tuple retraction at a node.
+func (s *Scheduler) DeleteBase(node types.NodeID, t types.Tuple) {
+	s.nodes[node].deposit(localDelta{tuple: t, sign: Delete, rloc: node, isBase: true})
+}
+
+// InjectEvent deposits an event tuple at a node.
+func (s *Scheduler) InjectEvent(node types.NodeID, t types.Tuple) {
+	d := localDelta{tuple: t, sign: Insert, rloc: node, isBase: true}
+	if s.Mode == ProvValue {
+		d.payload = bdd.True
+	}
+	s.nodes[node].deposit(d)
+}
+
+// Err reports the first engine error across nodes.
+func (s *Scheduler) Err() error {
+	for _, n := range s.nodes {
+		n.syncErr()
+		if n.Err != nil {
+			return n.Err
+		}
+	}
+	return nil
+}
+
+// Run executes scheduler rounds until the cluster is quiescent: no node has
+// pending deltas and no messages are in flight. It returns the first engine
+// error, if any.
+func (s *Scheduler) Run() error {
+	scratch := make([]*Node, 0, len(s.nodes))
+	for {
+		active := scratch[:0]
+		for _, n := range s.nodes {
+			if n.Err == nil && n.anyPending() {
+				active = append(active, n)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		s.Rounds++
+		s.runLocal(active)
+		if err := s.Err(); err != nil {
+			return err
+		}
+		s.deliver()
+	}
+	return s.Err()
+}
+
+// runLocal runs each active node to local quiescence on the worker pool.
+func (s *Scheduler) runLocal(active []*Node) {
+	w := s.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(active) {
+		w = len(active)
+	}
+	if w <= 1 {
+		for _, n := range active {
+			n.localFixpoint()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(active) {
+					return
+				}
+				active[i].localFixpoint()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// localFixpoint drains the node to local quiescence under its own execution
+// strategy (serial inline drain or sharded rounds), with outbound messages
+// buffered by the scheduler transport.
+func (n *Node) localFixpoint() {
+	if n.Err != nil {
+		return
+	}
+	if n.rounds() {
+		n.runRounds()
+		return
+	}
+	n.drain()
+}
+
+// deliver moves staged messages into destination shard rings in (source
+// node, emission order) and charges byte accounting.
+func (s *Scheduler) deliver() {
+	for src := range s.staged {
+		msgs := s.staged[src]
+		for i := range msgs {
+			om := msgs[i]
+			msgs[i] = outMsg{}
+			size := int64(om.m.WireSize() + s.MsgOverhead)
+			s.TotalBytes += size
+			s.SentBytes[src] += size
+			s.SentMsgs[src]++
+			s.RecvBytes[om.to] += size
+			s.nodes[om.to].depositMessage(types.NodeID(src), om.m)
+		}
+		s.staged[src] = msgs[:0]
+	}
+}
+
+// AvgSentMB reports the per-node average of bytes sent, in megabytes.
+func (s *Scheduler) AvgSentMB() float64 {
+	return float64(s.TotalBytes) / float64(len(s.nodes)) / 1e6
+}

@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/ndlog"
+	"repro/internal/topology"
+	"repro/internal/types"
+)
+
+// These tests pin the sharded runtime's equivalence contract: for any shard
+// count, the fixpoint state — visible tuples per node and predicate, prov
+// and ruleExec row sets — matches the serial single-shard engine exactly,
+// from-scratch and under delete/re-insert churn. They run the same random
+// topologies through the serial engine (the pre-sharding code path), a
+// one-shard scheduler and a multi-shard scheduler, and diff the outcomes.
+
+// randomLinks generates a connected random graph: a spanning tree plus a few
+// extra edges, deduplicated (parallel links with distinct costs drive the
+// MIN-aggregate cascade into pathological transient churn on dense graphs —
+// a property of the workload, not of the runtime under test).
+func randomLinks(n int, extra int, rng *rand.Rand) [][2]int {
+	seen := map[[2]int]bool{}
+	var edges [][2]int
+	add := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || seen[[2]int{u, v}] {
+			return
+		}
+		seen[[2]int{u, v}] = true
+		edges = append(edges, [2]int{u, v})
+	}
+	for i := 1; i < n; i++ {
+		add(rng.Intn(i), i)
+	}
+	for k := 0; k < extra; k++ {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return edges
+}
+
+// edgeCost derives a stable cost from the endpoints, so insert and churn
+// scripts always agree on each link's tuple. An explicit cost table (from a
+// topology) overrides it.
+func edgeCost(e [2]int, costs map[[2]int]int64) int64 {
+	if c, ok := costs[e]; ok {
+		return c
+	}
+	return int64(1 + (7*e[0]+3*e[1])%5)
+}
+
+func linkTup(u, v int, cost int64) types.Tuple {
+	return types.NewTuple("link", types.Node(types.NodeID(u)), types.Node(types.NodeID(v)), types.Int(cost))
+}
+
+// stateFingerprint renders one node's observable fixpoint state.
+func nodeState(n *Node, preds []string) string {
+	out := ""
+	for _, pred := range preds {
+		for _, tu := range n.Tuples(pred) {
+			out += pred + ":" + tu.String() + "\n"
+		}
+	}
+	for _, row := range n.Store.ProvRows() {
+		out += "prov|" + row + "\n"
+	}
+	for _, row := range n.Store.RuleExecRows() {
+		out += "re|" + row + "\n"
+	}
+	return out
+}
+
+// runSched drives one scheduler cluster through the insert/churn script.
+func runSched(t *testing.T, prog *Program, mode ProvMode, nNodes, shards, workers int,
+	edges [][2]int, churn [][2]int, costs map[[2]int]int64) *Scheduler {
+	t.Helper()
+	s := NewScheduler(prog, mode, nNodes, shards, workers)
+	for _, e := range edges {
+		cost := edgeCost(e, costs)
+		s.InsertBase(types.NodeID(e[0]), linkTup(e[0], e[1], cost))
+		s.InsertBase(types.NodeID(e[1]), linkTup(e[1], e[0], cost))
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("insert fixpoint: %v", err)
+	}
+	// Churn: retract a subset, re-run, re-insert half of it, re-run.
+	for i, e := range churn {
+		cost := edgeCost(e, costs)
+		s.DeleteBase(types.NodeID(e[0]), linkTup(e[0], e[1], cost))
+		s.DeleteBase(types.NodeID(e[1]), linkTup(e[1], e[0], cost))
+		if i%2 == 0 {
+			s.InsertBase(types.NodeID(e[0]), linkTup(e[0], e[1], cost))
+			s.InsertBase(types.NodeID(e[1]), linkTup(e[1], e[0], cost))
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("churn fixpoint: %v", err)
+	}
+	return s
+}
+
+// runSerialRef computes the same script on the pre-sharding serial engine
+// (plain NewNode + synchronous FIFO transport).
+func runSerialRef(t *testing.T, prog *Program, mode ProvMode, nNodes int,
+	edges [][2]int, churn [][2]int, costs map[[2]int]int64) []*Node {
+	t.Helper()
+	tr := &refTransport{}
+	nodes := make([]*Node, nNodes)
+	for i := range nodes {
+		nodes[i] = NewNode(types.NodeID(i), prog, mode, tr, nil)
+	}
+	tr.nodes = nodes
+	for _, e := range edges {
+		cost := edgeCost(e, costs)
+		nodes[e[0]].InsertBase(linkTup(e[0], e[1], cost))
+		nodes[e[1]].InsertBase(linkTup(e[1], e[0], cost))
+	}
+	for i, e := range churn {
+		cost := edgeCost(e, costs)
+		nodes[e[0]].DeleteBase(linkTup(e[0], e[1], cost))
+		nodes[e[1]].DeleteBase(linkTup(e[1], e[0], cost))
+		if i%2 == 0 {
+			nodes[e[0]].InsertBase(linkTup(e[0], e[1], cost))
+			nodes[e[1]].InsertBase(linkTup(e[1], e[0], cost))
+		}
+	}
+	for _, n := range nodes {
+		if n.Err != nil {
+			t.Fatalf("serial reference: %v", n.Err)
+		}
+	}
+	return nodes
+}
+
+// refTransport delivers messages synchronously in FIFO order.
+type refTransport struct {
+	nodes []*Node
+	queue []struct {
+		from, to types.NodeID
+		m        *Message
+	}
+	busy bool
+}
+
+func (tr *refTransport) Send(from, to types.NodeID, m *Message) {
+	tr.queue = append(tr.queue, struct {
+		from, to types.NodeID
+		m        *Message
+	}{from, to, m})
+	if tr.busy {
+		return
+	}
+	tr.busy = true
+	defer func() { tr.busy = false }()
+	for len(tr.queue) > 0 {
+		q := tr.queue[0]
+		tr.queue = tr.queue[1:]
+		tr.nodes[q.to].HandleMessage(q.from, q.m)
+	}
+}
+
+func diffStates(t *testing.T, label string, nNodes int, preds []string,
+	ref func(i int) *Node, got func(i int) *Node) {
+	t.Helper()
+	for i := 0; i < nNodes; i++ {
+		want, have := nodeState(ref(i), preds), nodeState(got(i), preds)
+		if want != have {
+			t.Errorf("%s: node %d state mismatch\n--- serial ---\n%s--- sharded ---\n%s", label, i, want, have)
+			return
+		}
+	}
+}
+
+// shardedEquivalence checks serial/sharded agreement on one random graph.
+// extra > 0 adds cycle-closing edges; withChurn retracts and re-inserts a
+// random subset of THOSE extra edges after the first fixpoint. Churn never
+// touches spanning-tree edges: links are symmetric (every edge is a
+// 2-cycle), so a disconnecting deletion under the unbounded MINCOST program
+// is the classic count-to-infinity divergence in ANY execution mode —
+// phantom route costs only stay bounded while a live alternative exists.
+func shardedEquivalence(t *testing.T, prog *Program, mode ProvMode, preds []string, seed int64, extra int, withChurn bool) {
+	t.Helper()
+	const nNodes = 12
+	rng := rand.New(rand.NewSource(seed))
+	edges := randomLinks(nNodes, extra, rng)
+	var churn [][2]int
+	if withChurn {
+		for _, e := range edges[nNodes-1:] {
+			if rng.Intn(2) == 0 {
+				churn = append(churn, e)
+			}
+		}
+	}
+	equivalenceOn(t, prog, mode, preds, nNodes, edges, churn, nil)
+}
+
+// equivalenceOn runs one explicit insert/churn script through the serial
+// reference and several scheduler configurations and diffs the outcomes.
+// costs overrides edgeCost per (u,v) pair when non-nil.
+func equivalenceOn(t *testing.T, prog *Program, mode ProvMode, preds []string,
+	nNodes int, edges, churn [][2]int, costs map[[2]int]int64) {
+	t.Helper()
+	serial := runSerialRef(t, prog, mode, nNodes, edges, churn, costs)
+	for _, shards := range []int{1, 4} {
+		for _, workers := range []int{1, 4} {
+			s := runSched(t, prog, mode, nNodes, shards, workers, edges, churn, costs)
+			label := fmt.Sprintf("shards=%d workers=%d", shards, workers)
+			diffStates(t, label, nNodes, preds,
+				func(i int) *Node { return serial[i] },
+				func(i int) *Node { return s.Node(i) })
+		}
+	}
+
+	// Determinism across repeated sharded runs: byte accounting and round
+	// counts must reproduce exactly.
+	a := runSched(t, prog, mode, nNodes, 4, 4, edges, churn, costs)
+	b := runSched(t, prog, mode, nNodes, 4, 4, edges, churn, costs)
+	if a.TotalBytes != b.TotalBytes || a.Rounds != b.Rounds {
+		t.Errorf("sharded runs diverge: bytes %d vs %d, rounds %d vs %d",
+			a.TotalBytes, b.TotalBytes, a.Rounds, b.Rounds)
+	}
+	for i := range a.SentBytes {
+		if a.SentBytes[i] != b.SentBytes[i] || a.SentMsgs[i] != b.SentMsgs[i] {
+			t.Fatalf("node %d counters diverge across identical sharded runs", i)
+		}
+	}
+}
+
+// topoScript converts a topology's links into the insert script, with churn
+// picking stub-stub links (the same tier the repo's churn experiments
+// remove, chosen so removal never disconnects and MINCOST stays convergent;
+// the unbounded-cost program diverges by count-to-infinity on arbitrary
+// deletions in ANY execution mode — see TestShardedReachChurnMatchesSerial
+// for cyclic-churn coverage with a terminating program).
+func topoScript(topo *topology.Topology, churnN int) (edges, churn [][2]int, costs map[[2]int]int64) {
+	costs = map[[2]int]int64{}
+	for _, l := range topo.Links {
+		e := [2]int{int(l.U), int(l.V)}
+		edges = append(edges, e)
+		costs[e] = l.Cost
+	}
+	for _, li := range topo.StubStubLinks {
+		if churnN == 0 {
+			break
+		}
+		churnN--
+		l := topo.Links[li]
+		churn = append(churn, [2]int{int(l.U), int(l.V)})
+	}
+	return edges, churn, costs
+}
+
+func TestShardedMinCostMatchesSerial(t *testing.T) {
+	prog, err := Compile(apps.MinCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serial reference runs under a synchronous FIFO transport, whose
+	// delivery order only provably converges MINCOST on ring-like
+	// topologies (the same combination the deploy tests rely on) — the
+	// unbounded-cost program is order-sensitive on meshier graphs in any
+	// execution mode. TestSchedulerMatchesSimnet (internal/core) covers the
+	// full transit-stub benchmark topology against the simulator.
+	preds := []string{"link", "pathCost", "bestPathCost"}
+	for seed := int64(1); seed <= 2; seed++ {
+		ring := topology.Ring(12, rand.New(rand.NewSource(seed)))
+		edges, churn, costs := topoScript(ring, 0)
+		churn = append(churn, edges[0]) // delete+re-add one ring link
+		equivalenceOn(t, prog, ProvReference, preds, ring.N, edges, churn, costs)
+		equivalenceOn(t, prog, ProvNone, preds, ring.N, edges, churn, costs)
+	}
+}
+
+func TestShardedPathVectorMatchesSerial(t *testing.T) {
+	prog, err := Compile(apps.PathVector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []string{"link", "path", "bestPath"}
+	shardedEquivalence(t, prog, ProvReference, preds, 7, 3, true)
+}
+
+// TestShardedReachChurnMatchesSerial exercises delete/re-derive churn over a
+// CYCLIC recursive program (derivations support each other around cycles —
+// the hardest case for exact counting retraction) in both provenance modes.
+func TestShardedReachChurnMatchesSerial(t *testing.T) {
+	prog, err := Compile(ndlog.MustParse(`
+r1 reach(@Y,X) :- link(@X,Y,C).
+r2 reach(@Z,X) :- link(@Y,Z,C), reach(@Y,X).
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []string{"link", "reach"}
+	for seed := int64(1); seed <= 3; seed++ {
+		shardedEquivalence(t, prog, ProvReference, preds, seed, 6, true)
+		shardedEquivalence(t, prog, ProvNone, preds, seed, 6, true)
+	}
+}
+
+// TestShardedNodeUnderSyncTransport drives sharded nodes through the
+// HandleMessage path (self-driven node-local rounds, as simnet and deploy
+// do) rather than the scheduler, and checks the same fixpoint.
+func TestShardedNodeUnderSyncTransport(t *testing.T) {
+	prog, err := Compile(apps.MinCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.Ring(8, rand.New(rand.NewSource(11)))
+	nNodes := topo.N
+	edges, _, costs := topoScript(topo, 0)
+
+	serial := runSerialRef(t, prog, ProvReference, nNodes, edges, nil, costs)
+
+	tr := &refTransport{}
+	nodes := make([]*Node, nNodes)
+	for i := range nodes {
+		nodes[i] = NewNodeSharded(types.NodeID(i), prog, ProvReference, tr, nil, 3)
+	}
+	tr.nodes = nodes
+	for _, e := range edges {
+		cost := edgeCost(e, costs)
+		nodes[e[0]].InsertBase(linkTup(e[0], e[1], cost))
+		nodes[e[1]].InsertBase(linkTup(e[1], e[0], cost))
+	}
+	for _, n := range nodes {
+		if n.Err != nil {
+			t.Fatal(n.Err)
+		}
+	}
+	preds := []string{"link", "pathCost", "bestPathCost"}
+	diffStates(t, "sync transport shards=3", nNodes, preds,
+		func(i int) *Node { return serial[i] },
+		func(i int) *Node { return nodes[i] })
+}

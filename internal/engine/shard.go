@@ -1,0 +1,471 @@
+package engine
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/bdd"
+	"repro/internal/provenance"
+	"repro/internal/types"
+)
+
+// This file is the engine's WORKER (shard) layer. A shard owns one
+// hash-partition of a node's evaluation state — relations, join indexes,
+// aggregate groups, a provenance-store partition — plus its own drain ring,
+// scratch arenas and RID memo. A single-shard node (the default) runs the
+// exact pre-sharding pipeline: process() applies a delta and fires rules
+// inline, FIFO, to local quiescence. With several shards, the runtime layer
+// (rounds.go) drives shards through batched apply/fire phases instead; the
+// round-only code paths are all guarded by node.rounds().
+//
+// Ownership: a tuple belongs to the shard selected by its content hash
+// (types.Tuple.ContentHash — stable across processes). The owner is the only
+// writer of the tuple's relation entry, index postings and prov rows; any
+// shard may read them during the frozen fire phase.
+
+// localDelta is one unit of PSN work in a shard's FIFO queue.
+type localDelta struct {
+	tuple   types.Tuple
+	sign    int8
+	rid     types.ID
+	rloc    types.NodeID
+	isBase  bool
+	payload bdd.Ref // value mode: decoded provenance of this derivation
+}
+
+// shard is one worker partition of a Node.
+type shard struct {
+	n   *Node
+	idx int
+
+	// store is this shard's provenance-store partition (reference and
+	// centralized modes).
+	store *provenance.Partition
+
+	tables map[string]*Relation
+	queue  []localDelta
+	qhead  int // drain ring head: queue[qhead:] is pending work
+
+	// Compiled access paths: each stepJoin's index handle, resolved once
+	// at plan-bind time (newShard) and indexed by joinID, so a join probe
+	// never re-derives the index from its position list.
+	joinIdx []*index
+	// tablesByID mirrors tables for the program's stored predicates,
+	// indexed by PredInfo.tableID (one map lookup per delta instead of
+	// three). aggByRule and aggBodyRel key aggregate state and the
+	// aggregate body relation by CompiledRule.idx.
+	tablesByID []*Relation
+	aggByRule  []map[string]*aggGroup
+	aggBodyRel []*Relation
+	// extraTables lists relations created outside the compiled program
+	// (unknown predicates, e.g. relayed meta rows), so round maintenance
+	// can walk every relation deterministically without a map iteration.
+	extraTables []*Relation
+
+	// Per-shard scratch arenas, sized at program-compile time and reused
+	// across rule firings. Safe because firing never re-enters the
+	// evaluator: derived deltas are enqueued and processed by drain (or
+	// buffered for the next round).
+	envBuf     []types.Value
+	matchedBuf []types.Tuple
+	entBuf     []*entry
+	payloadBuf []bdd.Ref
+	vidBuf     []types.ID
+	groupBuf   []types.Value
+	carryBuf   []types.Value
+	keyBuf     []byte
+	ridBuf     []byte
+	hashBuf    []byte
+	argArena   []types.Value // chunked backing store for emitted head args
+
+	// ridCache memoizes rule-execution identifiers. An RID is the SHA-1 of
+	// (rule, this node, exact input VIDs), so it is fully determined by the
+	// rule index and the inputs' interned VID handles — a 4+4k-byte key.
+	// Under churn the same derivations fire repeatedly (insert, delete,
+	// re-insert), and the memo turns every repeat into a map hit instead of
+	// a SHA-1. Only derivations whose inputs are all stored tuples are
+	// cached: event tuples are transient and usually unique, so caching
+	// them would grow the memo (and the intern table) without ever hitting.
+	// The memo is monotone per shard, bounded by the distinct derivations
+	// the workload produces — the same order as the ruleExec partition.
+	ridCache map[string]ridCacheVal
+	ridKey   []byte
+
+	// Chunked arenas for aggregate state: group and entry structs plus the
+	// entry-key scratch. Aggregates allocate one group per (rule, group-by)
+	// combination and one entry per distinct input row; boxing each struct
+	// individually was a leading allocation class in fixpoint profiles.
+	aggKeyBuf     []byte
+	aggEntryArena []aggEntry
+	aggGroupArena []aggGroup
+
+	// err records the first evaluation error raised on this shard; the
+	// merge barrier (or serial drain) propagates it to Node.Err.
+	err error
+
+	// Counters.
+	deltasProcessed int64
+	rulesFired      int64
+
+	// fireAtomPos/fireIsEvent describe the delta currently being fired
+	// (set by firePlan); round-mode join probes use them to pick the
+	// old/new admission side.
+	fireAtomPos int
+	fireIsEvent bool
+
+	// Round-mode state; see rounds.go.
+	rs roundShard
+}
+
+// newShard creates one worker partition, binding the program's join steps to
+// this shard's index handles.
+func newShard(n *Node, idx int, store *provenance.Partition) *shard {
+	prog := n.Prog
+	sh := &shard{
+		n:      n,
+		idx:    idx,
+		store:  store,
+		tables: make(map[string]*Relation),
+	}
+	// Pre-create relations, the indexes every join plan needs, and the
+	// per-join compiled handles. Joins against event atoms keep a nil
+	// handle: events never materialize, so such probes match nothing.
+	sharded := n.NumShards() > 1 // NumShards is fixed before newShard runs
+	sh.tablesByID = make([]*Relation, prog.numTables)
+	for _, info := range prog.Preds() {
+		if !info.Event {
+			rel := NewRelation(info.Name)
+			rel.deferMaint = sharded
+			sh.tables[info.Name] = rel
+			sh.tablesByID[info.tableID] = rel
+		}
+	}
+	sh.joinIdx = make([]*index, prog.numJoins)
+	sh.aggByRule = make([]map[string]*aggGroup, len(prog.Rules))
+	sh.aggBodyRel = make([]*Relation, len(prog.Rules))
+	for _, r := range prog.Rules {
+		for _, pl := range r.plans {
+			for i := range pl.steps {
+				st := &pl.steps[i]
+				if st.kind != stepJoin {
+					continue
+				}
+				a := r.atoms[st.atom]
+				if !a.event {
+					sh.joinIdx[st.joinID] = sh.table(a.pred).EnsureIndex(st.indexPos)
+				}
+			}
+		}
+		if r.agg != nil && !r.atoms[0].event {
+			sh.aggBodyRel[r.idx] = sh.table(r.atoms[0].pred)
+		}
+	}
+	sh.ridCache = make(map[string]ridCacheVal)
+	sh.envBuf = make([]types.Value, prog.maxVars)
+	sh.matchedBuf = make([]types.Tuple, prog.maxAtoms)
+	sh.entBuf = make([]*entry, prog.maxAtoms)
+	sh.payloadBuf = make([]bdd.Ref, prog.maxAtoms)
+	sh.vidBuf = make([]types.ID, prog.maxAtoms)
+	sh.groupBuf = make([]types.Value, prog.maxGroup)
+	sh.carryBuf = make([]types.Value, 0, prog.maxVars)
+	return sh
+}
+
+func (sh *shard) table(pred string) *Relation {
+	t := sh.tables[pred]
+	if t == nil {
+		t = NewRelation(pred)
+		t.deferMaint = sh.n.NumShards() > 1
+		sh.tables[pred] = t
+		sh.extraTables = append(sh.extraTables, t)
+	}
+	return t
+}
+
+func (sh *shard) fail(err error) {
+	if sh.err == nil {
+		sh.err = err
+	}
+}
+
+func (sh *shard) enqueue(d localDelta) { sh.queue = append(sh.queue, d) }
+
+// popDelta removes and returns the next pending delta of the drain ring.
+// The queue is a head-index ring over one slice: popping advances qhead
+// instead of re-slicing, and the slice capacity is reused across bursts
+// rather than re-allocated per enqueue wave.
+func (sh *shard) popDelta() localDelta {
+	// Compact once the consumed prefix dominates so a long-lived burst
+	// cannot grow the slice without bound.
+	if sh.qhead >= 1024 && 2*sh.qhead >= len(sh.queue) {
+		m := copy(sh.queue, sh.queue[sh.qhead:])
+		tail := sh.queue[m:]
+		for i := range tail {
+			tail[i] = localDelta{}
+		}
+		sh.queue = sh.queue[:m]
+		sh.qhead = 0
+	}
+	d := sh.queue[sh.qhead]
+	sh.queue[sh.qhead] = localDelta{} // release tuple/payload references
+	sh.qhead++
+	if sh.qhead == len(sh.queue) {
+		sh.queue = sh.queue[:0]
+		sh.qhead = 0
+	}
+	return d
+}
+
+func (sh *shard) pending() bool { return sh.qhead < len(sh.queue) || len(sh.rs.aggIn) > 0 }
+
+// process applies one delta to this shard's state and — in serial mode —
+// fires the triggered rules inline. In round mode (rm true) firing is
+// deferred: the delta's net visibility effect is recorded via markTouched
+// and evaluated by the fire phase (rounds.go).
+func (sh *shard) process(d localDelta, rm bool) {
+	n := sh.n
+	sh.deltasProcessed++
+	info := n.Prog.Pred(d.tuple.Pred)
+	// One predicate lookup serves event-ness, triggered occurrences and the
+	// relation: the PredInfo carries them all from compile time.
+	var occs []occurrence
+	if info != nil {
+		occs = info.occs
+	}
+	isEvent := info != nil && info.Event || info == nil && ndlogIsEvent(d.tuple.Pred)
+	if isEvent {
+		// Events are transient: fire rules, never materialize. Both
+		// insertion and deletion deltas flow through events — the
+		// rewritten provenance-maintenance programs rely on deletion
+		// deltas cascading through their eHTemp/eH events ("rule r20
+		// compiles into a series of insertion and deletion delta rules").
+		// Event provenance rows are recorded symmetrically so data-plane
+		// activity (e.g. packet forwarding) can be traced.
+		if d.sign == Update {
+			return
+		}
+		if n.Mode == ProvReference {
+			// Events have no entry to cache on; hash once per delta.
+			var vid types.ID
+			vid, sh.hashBuf = d.tuple.VIDBuf(sh.hashBuf)
+			if d.sign == Insert {
+				sh.store.RegisterTupleVID(vid, d.tuple)
+				sh.store.AddProv(vid, d.rid, d.rloc)
+			} else {
+				sh.store.DelProv(vid, d.rid, d.rloc)
+			}
+		}
+		// Centralized: base events are reported by their injector; derived
+		// events were already reported by the deriving node.
+		if n.Mode == ProvCentralized && d.isBase {
+			var vid types.ID
+			vid, sh.hashBuf = d.tuple.VIDBuf(sh.hashBuf)
+			n.sendProvRow(n.ID, vid, types.ZeroID, n.ID, d.sign)
+		}
+		if rm {
+			sh.rs.fires = append(sh.rs.fires, fireItem{tuple: d.tuple, occs: occs, sign: d.sign, isEvent: true})
+		} else {
+			sh.fireAll(occs, d.tuple, d.sign, nil, d.payload)
+		}
+		return
+	}
+
+	// The provenance meta-relations themselves (rows relayed to a
+	// centralized server, or produced by a rewrite-generated program) are
+	// stored without further provenance bookkeeping.
+	meta := d.tuple.Pred == "prov" || d.tuple.Pred == "ruleExec"
+
+	var rel *Relation
+	if info != nil && info.tableID >= 0 {
+		rel = sh.tablesByID[info.tableID]
+	} else {
+		rel = sh.table(d.tuple.Pred)
+	}
+	switch d.sign {
+	case Insert:
+		e := rel.getOrCreate(d.tuple)
+		if rm {
+			sh.markTouched(rel, e, occs)
+		}
+		dv := e.findDeriv(d.rid)
+		if dv == nil {
+			dv = e.addDeriv(d.rid, d.rloc)
+		}
+		dv.count++
+		// The entry caches the canonical VID and its interned handle, so
+		// each stored tuple is hashed at most once per lifetime regardless
+		// of how many deltas and provenance branches touch it, and store
+		// partitions are addressed by the 4-byte handle.
+		if rm {
+			// Sibling shards read the VID during the frozen fire phase;
+			// computing it here keeps that phase free of entry mutation.
+			_, sh.hashBuf = e.VIDBuf(sh.hashBuf)
+		}
+		if n.Mode == ProvReference && !meta {
+			_, sh.hashBuf = e.VIDBuf(sh.hashBuf)
+			if !e.stored {
+				// The store drops the VID→tuple row when the last prov
+				// entry goes (at which point this entry is deleted too),
+				// so one registration per entry lifetime suffices.
+				sh.store.RegisterTupleVIDH(e.vidHandle(), d.tuple)
+				e.stored = true
+			}
+			sh.store.AddProvH(e.vidHandle(), d.rid, d.rloc)
+		}
+		// Centralized: the deriving node reports derived rows; the owner
+		// reports base rows.
+		if n.Mode == ProvCentralized && !meta && d.isBase {
+			var vid types.ID
+			vid, sh.hashBuf = e.VIDBuf(sh.hashBuf)
+			n.sendProvRow(n.ID, vid, types.ZeroID, n.ID, Insert)
+		}
+		payloadChanged := false
+		if n.Mode == ProvValue {
+			if d.isBase {
+				var vid types.ID
+				vid, sh.hashBuf = e.VIDBuf(sh.hashBuf)
+				dv.payload = n.Mgr.Var(n.Alloc.VarOf(algebra.Base{
+					VID: vid, Label: d.tuple.String(), Node: n.ID,
+				}))
+			} else {
+				dv.payload = d.payload
+			}
+			payloadChanged = sh.recomputePayload(e)
+		}
+		if !e.visible {
+			rel.setVisible(e, true)
+			if !rm {
+				sh.fireAll(occs, d.tuple, Insert, e, e.payload)
+			}
+		} else if payloadChanged {
+			sh.fireAll(occs, d.tuple, Update, e, e.payload)
+		}
+
+	case Delete:
+		e := rel.get(d.tuple)
+		if e == nil {
+			return
+		}
+		dv := e.findDeriv(d.rid)
+		if dv == nil {
+			return
+		}
+		if rm {
+			sh.markTouched(rel, e, occs)
+		}
+		dv.count--
+		if dv.count <= 0 {
+			e.delDeriv(d.rid)
+		}
+		if n.Mode == ProvReference && !meta {
+			_, sh.hashBuf = e.VIDBuf(sh.hashBuf)
+			sh.store.DelProvH(e.vidHandle(), d.rid, d.rloc)
+		}
+		if n.Mode == ProvCentralized && !meta && d.isBase {
+			var vid types.ID
+			vid, sh.hashBuf = e.VIDBuf(sh.hashBuf)
+			n.sendProvRow(n.ID, vid, types.ZeroID, n.ID, Delete)
+		}
+		if len(e.derivs) == 0 {
+			rel.setVisible(e, false)
+			if !rm {
+				sh.fireAll(occs, d.tuple, Delete, e, e.payload)
+			}
+		} else if n.Mode == ProvValue && sh.recomputePayload(e) {
+			sh.fireAll(occs, d.tuple, Update, e, e.payload)
+		}
+
+	case Update:
+		if n.Mode != ProvValue {
+			return
+		}
+		e := rel.get(d.tuple)
+		if e == nil || !e.visible {
+			return
+		}
+		dv := e.findDeriv(d.rid)
+		if dv == nil {
+			return
+		}
+		dv.payload = d.payload
+		if sh.recomputePayload(e) {
+			sh.fireAll(occs, d.tuple, Update, e, e.payload)
+		}
+	}
+}
+
+func ndlogIsEvent(pred string) bool {
+	return len(pred) >= 2 && pred[0] == 'e' && pred[1] >= 'A' && pred[1] <= 'Z'
+}
+
+// recomputePayload refreshes the entry's combined (OR) payload; it reports
+// whether the payload changed.
+func (sh *shard) recomputePayload(e *entry) bool {
+	comb := bdd.False
+	for i := range e.derivs {
+		comb = sh.n.Mgr.Or(comb, e.derivs[i].payload)
+	}
+	if comb == e.payload {
+		return false
+	}
+	e.payload = comb
+	return true
+}
+
+// fireAll runs every rule occurrence triggered by a delta of this
+// predicate. deltaEntry may be nil (events); payload is the tuple's current
+// provenance payload in value mode.
+func (sh *shard) fireAll(occs []occurrence, t types.Tuple, sign int8, deltaEntry *entry, payload bdd.Ref) {
+	for _, occ := range occs {
+		if occ.rule.agg != nil {
+			sh.fireAgg(occ.rule, t, sign, payload)
+		} else {
+			sh.firePlan(occ.rule, occ.pos, t, sign, deltaEntry, payload)
+		}
+	}
+}
+
+// argArenaChunk sizes the chunked backing store for emitted head arguments.
+// Emitted tuples escape into relations and messages, so their args cannot
+// live in reusable scratch; carving them from a chunk amortizes the per-
+// emission allocation to ~1/chunk.
+const argArenaChunk = 512
+
+func (sh *shard) allocArgs(k int) []types.Value {
+	if k == 0 {
+		return nil
+	}
+	if len(sh.argArena)+k > cap(sh.argArena) {
+		size := argArenaChunk
+		if k > size {
+			size = k
+		}
+		sh.argArena = make([]types.Value, 0, size)
+	}
+	off := len(sh.argArena)
+	sh.argArena = sh.argArena[:off+k]
+	return sh.argArena[off : off+k : off+k]
+}
+
+// aggArenaChunk sizes the chunked arenas for aggregate group and entry
+// structs.
+const aggArenaChunk = 128
+
+// allocAggEntry carves a zeroed aggregate entry from the chunked arena.
+func (sh *shard) allocAggEntry() *aggEntry {
+	if len(sh.aggEntryArena) == cap(sh.aggEntryArena) {
+		sh.aggEntryArena = make([]aggEntry, 0, aggArenaChunk)
+	}
+	sh.aggEntryArena = sh.aggEntryArena[:len(sh.aggEntryArena)+1]
+	return &sh.aggEntryArena[len(sh.aggEntryArena)-1]
+}
+
+// allocAggGroup carves a fresh aggregate group (with its entry map ready)
+// from the chunked arena.
+func (sh *shard) allocAggGroup() *aggGroup {
+	if len(sh.aggGroupArena) == cap(sh.aggGroupArena) {
+		sh.aggGroupArena = make([]aggGroup, 0, aggArenaChunk)
+	}
+	sh.aggGroupArena = sh.aggGroupArena[:len(sh.aggGroupArena)+1]
+	g := &sh.aggGroupArena[len(sh.aggGroupArena)-1]
+	g.entries = make(map[string]*aggEntry)
+	return g
+}

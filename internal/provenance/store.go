@@ -12,181 +12,126 @@
 // keeps the VID→tuple mapping (the paper's "systems table that maps VIDs to
 // tuples") and reverse dataflow edges used by cache invalidation (§6.1).
 //
-// Rows are stored by value inside their per-VID slices: the store sits on
-// the engine's delta hot path, and per-row pointer boxes more than doubled
-// the evaluator's allocation count in fixpoint profiles.
-//
-// Partitions are keyed by interned ID handles (types.IDHandle), not by the
-// 20-byte digests themselves: map operations hash and compare 4 bytes, and
-// the (vid, rid) reverse-edge index keys 8 bytes instead of 40. The engine
-// caches handles on its relation entries and calls the *H methods directly;
-// the ID-based methods intern (write paths) or look up without interning
-// (read paths, so probing an unknown VID cannot grow the intern table) and
-// delegate. Row values keep full IDs — handles are process-local and never
-// travel in query replies or on the wire.
+// A node's Store is itself split into one Partition per engine worker shard
+// (see partition.go): during the sharded runtime's parallel phases each
+// shard writes only its own partition, so the store needs no locks. The
+// Store type here is the single-writer facade the query processor and tools
+// use — its methods behave exactly like the pre-sharding store, fanning out
+// across partitions where a row could live in any of them. With one
+// partition (the default) every method is a direct delegation.
 package provenance
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/types"
 )
 
-// ProvEntry is one row of the prov relation: a direct derivation of the
-// tuple identified by VID via the rule execution RID at RLoc. Base tuples
-// carry the null RID. Count tracks duplicate derivations under incremental
-// maintenance; an entry is visible while Count > 0.
-type ProvEntry struct {
-	VID   types.ID
-	RID   types.ID
-	RLoc  types.NodeID
-	Count int
-}
-
-// RuleExecEntry is one row of the ruleExec relation: the metadata of a rule
-// execution instance.
-type RuleExecEntry struct {
-	RID     types.ID
-	Rule    string
-	VIDList []types.ID
-	Count   int
-}
-
-// Parent is a reverse dataflow edge: the local tuple was consumed by rule
-// execution RID (local, since rule bodies are localized), deriving the head
-// tuple HeadVID stored at HeadLoc.
-type Parent struct {
-	RID     types.ID
-	HeadVID types.ID
-	HeadLoc types.NodeID
-	Count   int
-}
-
-// parentKey identifies one reverse dataflow edge for O(1) add/remove. The
-// RID alone determines the derived head (an RID hashes the rule, its
-// location and its exact inputs), so (vid, rid) is unique per edge. Hub
-// tuples (e.g. a link consumed by every route derivation) accumulate long
-// parent lists, and the linear scans previously done by AddParent dominated
-// fixpoint profiles. Interned handles shrink the key from 40 bytes to 8.
-type parentKey struct {
-	vidh types.IDHandle
-	ridh types.IDHandle
-}
-
-// Store is one node's partition of the provenance graph.
-//
-// Reverse dataflow edges (parents) are installed lazily by the query
-// processor when it caches a traversal level — §6.1 invalidation is their
-// only consumer, so their maintenance cost is paid per cached query, never
-// per derivation on the engine's hot path.
+// Store is one node's view of its provenance graph: a facade over one or
+// more single-writer partitions.
 type Store struct {
 	Node types.NodeID
 
-	prov      map[types.IDHandle][]ProvEntry
-	ruleExec  map[types.IDHandle]RuleExecEntry
-	tuples    map[types.IDHandle]types.Tuple
-	parents   map[types.IDHandle][]Parent
-	parentIdx map[parentKey]int // position inside parents[vidh]
-
-	// Chunked arenas for the first element of per-VID row slices and for
-	// ruleExec input lists. Most VIDs have exactly one prov row and one
-	// parent edge, so the per-VID "first append" allocations dominated the
-	// store's profile; carving capacity-1 slices from a chunk amortizes
-	// them to ~1/chunk. Longer lists spill to regular append growth.
-	provArena   []ProvEntry
-	parentArena []Parent
-	vidArena    []types.ID
-
 	// OnProvChange, when set, fires after the derivation set of a local
 	// VID changes (entry added or removed). The query cache uses it for
-	// invalidation.
+	// invalidation. While DeferChanges is in effect, notifications are
+	// buffered per partition and replayed by FlushDeferred.
 	OnProvChange func(vid types.ID)
+
+	parts     []*Partition
+	deferring bool
 }
 
-// NewStore creates an empty partition for a node.
-func NewStore(node types.NodeID) *Store {
-	return &Store{
-		Node:      node,
-		prov:      make(map[types.IDHandle][]ProvEntry),
-		ruleExec:  make(map[types.IDHandle]RuleExecEntry),
-		tuples:    make(map[types.IDHandle]types.Tuple),
-		parents:   make(map[types.IDHandle][]Parent),
-		parentIdx: make(map[parentKey]int),
+// NewStore creates a store with a single partition — the layout every
+// single-threaded node uses.
+func NewStore(node types.NodeID) *Store { return NewStoreSharded(node, 1) }
+
+// NewStoreSharded creates a store with n partitions, one per engine worker
+// shard.
+func NewStoreSharded(node types.NodeID, n int) *Store {
+	if n < 1 {
+		n = 1
 	}
+	s := &Store{Node: node}
+	s.parts = make([]*Partition, n)
+	for i := range s.parts {
+		s.parts[i] = newPartition(s)
+	}
+	return s
 }
 
-const storeArenaChunk = 256
+// NumPartitions reports the number of partitions.
+func (s *Store) NumPartitions() int { return len(s.parts) }
 
-func (s *Store) allocProv1() []ProvEntry {
-	if len(s.provArena) == cap(s.provArena) {
-		s.provArena = make([]ProvEntry, 0, storeArenaChunk)
-	}
-	n := len(s.provArena)
-	s.provArena = s.provArena[:n+1]
-	return s.provArena[n : n : n+1]
-}
+// Part returns partition i. The engine worker shards write through these
+// directly; everything else goes through the facade methods.
+func (s *Store) Part(i int) *Partition { return s.parts[i] }
 
-func (s *Store) allocParent1() []Parent {
-	if len(s.parentArena) == cap(s.parentArena) {
-		s.parentArena = make([]Parent, 0, storeArenaChunk)
-	}
-	n := len(s.parentArena)
-	s.parentArena = s.parentArena[:n+1]
-	return s.parentArena[n : n : n+1]
-}
+// DeferChanges buffers OnProvChange notifications until FlushDeferred. The
+// engine brackets its parallel phases with this pair so the (single-threaded)
+// query-cache hook never runs concurrently.
+func (s *Store) DeferChanges() { s.deferring = true }
 
-// allocVIDs carves a copy of vidList from the chunked ID arena.
-func (s *Store) allocVIDs(vidList []types.ID) []types.ID {
-	k := len(vidList)
-	if k == 0 {
-		return nil
-	}
-	if len(s.vidArena)+k > cap(s.vidArena) {
-		size := storeArenaChunk
-		if k > size {
-			size = k
+// FlushDeferred replays buffered change notifications in partition order and
+// resumes synchronous delivery.
+func (s *Store) FlushDeferred() {
+	s.deferring = false
+	if s.OnProvChange == nil {
+		for _, p := range s.parts {
+			p.pending = p.pending[:0]
 		}
-		s.vidArena = make([]types.ID, 0, size)
+		return
 	}
-	n := len(s.vidArena)
-	s.vidArena = s.vidArena[:n+k]
-	cp := s.vidArena[n : n+k : n+k]
-	copy(cp, vidList)
-	return cp
+	for _, p := range s.parts {
+		for _, vid := range p.pending {
+			s.OnProvChange(vid)
+		}
+		p.pending = p.pending[:0]
+	}
+}
+
+// partForVID returns the partition holding rows of vid (its prov rows or its
+// VID→tuple mapping), or nil. Reads and parent-edge writes route through it.
+func (s *Store) partForVID(vidh types.IDHandle) *Partition {
+	for _, p := range s.parts {
+		if _, ok := p.prov[vidh]; ok {
+			return p
+		}
+		if _, ok := p.tuples[vidh]; ok {
+			return p
+		}
+		if _, ok := p.parents[vidh]; ok {
+			return p
+		}
+	}
+	return nil
 }
 
 // RegisterTuple records the VID→tuple mapping for a local tuple.
 func (s *Store) RegisterTuple(t types.Tuple) types.ID {
-	vid := t.VID()
-	s.RegisterTupleVIDH(types.InternID(vid), t)
-	return vid
+	return s.parts[0].RegisterTuple(t)
 }
 
 // RegisterTupleVID records the VID→tuple mapping for a tuple whose VID the
 // caller has already computed.
 func (s *Store) RegisterTupleVID(vid types.ID, t types.Tuple) {
-	s.RegisterTupleVIDH(types.InternID(vid), t)
+	s.parts[0].RegisterTupleVID(vid, t)
 }
 
 // RegisterTupleVIDH is RegisterTupleVID for a caller that holds the interned
-// handle (the engine caches one per relation entry), avoiding the 20-byte
-// dedup-map lookup on the hot path.
+// handle.
 func (s *Store) RegisterTupleVIDH(vidh types.IDHandle, t types.Tuple) {
-	if _, ok := s.tuples[vidh]; !ok {
-		s.tuples[vidh] = t
-	}
+	s.parts[0].RegisterTupleVIDH(vidh, t)
 }
 
 // TupleOf resolves a local VID to its tuple.
 func (s *Store) TupleOf(vid types.ID) (types.Tuple, bool) {
-	h, ok := types.LookupID(vid)
-	if !ok {
-		return types.Tuple{}, false
+	for _, p := range s.parts {
+		if t, ok := p.TupleOf(vid); ok {
+			return t, true
+		}
 	}
-	t, ok := s.tuples[h]
-	return t, ok
+	return types.Tuple{}, false
 }
 
 // AddProv inserts (or increments) a prov entry.
@@ -194,22 +139,15 @@ func (s *Store) AddProv(vid, rid types.ID, rloc types.NodeID) {
 	s.AddProvH(types.InternID(vid), rid, rloc)
 }
 
-// AddProvH is AddProv keyed by the caller's interned VID handle.
+// AddProvH is AddProv keyed by the caller's interned VID handle. Facade
+// writes land in the partition already holding the VID's rows (partition 0
+// for first sight); sharded engine writers bypass the facade via Part.
 func (s *Store) AddProvH(vidh types.IDHandle, rid types.ID, rloc types.NodeID) {
-	entries := s.prov[vidh]
-	for i := range entries {
-		if entries[i].RID == rid && entries[i].RLoc == rloc {
-			entries[i].Count++
-			s.changed(entries[i].VID)
-			return
-		}
+	p := s.partForVID(vidh)
+	if p == nil {
+		p = s.parts[0]
 	}
-	if entries == nil {
-		entries = s.allocProv1()
-	}
-	vid := vidh.ID()
-	s.prov[vidh] = append(entries, ProvEntry{VID: vid, RID: rid, RLoc: rloc, Count: 1})
-	s.changed(vid)
+	p.AddProvH(vidh, rid, rloc)
 }
 
 // DelProv decrements (and possibly removes) a prov entry; it reports
@@ -224,39 +162,23 @@ func (s *Store) DelProv(vid, rid types.ID, rloc types.NodeID) bool {
 
 // DelProvH is DelProv keyed by the caller's interned VID handle.
 func (s *Store) DelProvH(vidh types.IDHandle, rid types.ID, rloc types.NodeID) bool {
-	entries := s.prov[vidh]
-	for i := range entries {
-		if entries[i].RID == rid && entries[i].RLoc == rloc {
-			vid := entries[i].VID
-			entries[i].Count--
-			if entries[i].Count <= 0 {
-				s.prov[vidh] = append(entries[:i], entries[i+1:]...)
-				if len(s.prov[vidh]) == 0 {
-					delete(s.prov, vidh)
-					delete(s.tuples, vidh)
-				}
-			}
-			s.changed(vid)
+	for _, p := range s.parts {
+		if p.DelProvH(vidh, rid, rloc) {
 			return true
 		}
 	}
 	return false
 }
 
-func (s *Store) changed(vid types.ID) {
-	if s.OnProvChange != nil {
-		s.OnProvChange(vid)
-	}
-}
-
 // Derivations returns the visible prov entries for a VID. Callers must not
 // mutate the returned slice.
 func (s *Store) Derivations(vid types.ID) []ProvEntry {
-	h, ok := types.LookupID(vid)
-	if !ok {
-		return nil
+	for _, p := range s.parts {
+		if d := p.Derivations(vid); d != nil {
+			return d
+		}
 	}
-	return s.prov[h]
+	return nil
 }
 
 // AddRuleExec inserts (or increments) a ruleExec entry. vidList may be
@@ -265,15 +187,15 @@ func (s *Store) AddRuleExec(rid types.ID, rule string, vidList []types.ID) {
 	s.AddRuleExecH(types.InternID(rid), rid, rule, vidList)
 }
 
-// AddRuleExecH is AddRuleExec keyed by the caller's interned RID handle (the
-// engine's RID cache hands them out).
+// AddRuleExecH is AddRuleExec keyed by the caller's interned RID handle.
 func (s *Store) AddRuleExecH(ridh types.IDHandle, rid types.ID, rule string, vidList []types.ID) {
-	if e, ok := s.ruleExec[ridh]; ok {
-		e.Count++
-		s.ruleExec[ridh] = e
-		return
+	for _, p := range s.parts {
+		if _, ok := p.ruleExec[ridh]; ok {
+			p.AddRuleExecH(ridh, rid, rule, vidList)
+			return
+		}
 	}
-	s.ruleExec[ridh] = RuleExecEntry{RID: rid, Rule: rule, VIDList: s.allocVIDs(vidList), Count: 1}
+	s.parts[0].AddRuleExecH(ridh, rid, rule, vidList)
 }
 
 // DelRuleExec decrements (and possibly removes) a ruleExec entry.
@@ -287,174 +209,116 @@ func (s *Store) DelRuleExec(rid types.ID) bool {
 
 // DelRuleExecH is DelRuleExec keyed by the caller's interned RID handle.
 func (s *Store) DelRuleExecH(ridh types.IDHandle) bool {
-	e, ok := s.ruleExec[ridh]
-	if !ok {
-		return false
+	for _, p := range s.parts {
+		if p.DelRuleExecH(ridh) {
+			return true
+		}
 	}
-	e.Count--
-	if e.Count <= 0 {
-		delete(s.ruleExec, ridh)
-	} else {
-		s.ruleExec[ridh] = e
-	}
-	return true
+	return false
 }
 
 // RuleExecOf resolves a local RID.
 func (s *Store) RuleExecOf(rid types.ID) (RuleExecEntry, bool) {
-	h, ok := types.LookupID(rid)
-	if !ok {
-		return RuleExecEntry{}, false
+	for _, p := range s.parts {
+		if e, ok := p.RuleExecOf(rid); ok {
+			return e, true
+		}
 	}
-	e, ok := s.ruleExec[h]
-	return e, ok
+	return RuleExecEntry{}, false
 }
 
 // ForEachRuleExec invokes fn for every visible ruleExec entry (iteration
 // order is unspecified).
 func (s *Store) ForEachRuleExec(fn func(RuleExecEntry)) {
-	for _, e := range s.ruleExec {
-		fn(e)
+	for _, p := range s.parts {
+		p.ForEachRuleExec(fn)
 	}
 }
 
 // AddParent records that local tuple vid was consumed by rule execution rid
-// deriving headVID at headLoc. This is a write path driven by the query
-// processor's cache installation, so both IDs are interned.
+// deriving headVID at headLoc. The edge lands in the partition holding the
+// VID's rows, so invalidation finds it alongside them.
 func (s *Store) AddParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
-	vidh := types.InternID(vid)
-	k := parentKey{vidh: vidh, ridh: types.InternID(rid)}
-	list := s.parents[vidh]
-	if pos, ok := s.parentIdx[k]; ok {
-		list[pos].Count++
-		return
+	p := s.partForVID(types.InternID(vid))
+	if p == nil {
+		p = s.parts[0]
 	}
-	s.parentIdx[k] = len(list)
-	if list == nil {
-		list = s.allocParent1()
-	}
-	s.parents[vidh] = append(list, Parent{RID: rid, HeadVID: headVID, HeadLoc: headLoc, Count: 1})
+	p.AddParent(vid, rid, headVID, headLoc)
 }
 
 // DelParent removes one reverse edge occurrence.
 func (s *Store) DelParent(vid, rid, headVID types.ID, headLoc types.NodeID) {
-	vidh, ok := types.LookupID(vid)
-	if !ok {
-		return
-	}
-	ridh, ok := types.LookupID(rid)
-	if !ok {
-		return
-	}
-	k := parentKey{vidh: vidh, ridh: ridh}
-	pos, ok := s.parentIdx[k]
-	if !ok {
-		return
-	}
-	list := s.parents[vidh]
-	list[pos].Count--
-	if list[pos].Count > 0 {
-		return
-	}
-	delete(s.parentIdx, k)
-	last := len(list) - 1
-	if pos != last {
-		list[pos] = list[last]
-		movedRidh, _ := types.LookupID(list[pos].RID)
-		s.parentIdx[parentKey{vidh: vidh, ridh: movedRidh}] = pos
-	}
-	list[last] = Parent{}
-	list = list[:last]
-	if len(list) == 0 {
-		delete(s.parents, vidh)
-	} else {
-		s.parents[vidh] = list
+	for _, p := range s.parts {
+		p.DelParent(vid, rid, headVID, headLoc)
 	}
 }
 
 // Parents returns the reverse dataflow edges of a local VID. Callers must
 // not mutate the returned slice.
 func (s *Store) Parents(vid types.ID) []Parent {
-	h, ok := types.LookupID(vid)
-	if !ok {
-		return nil
+	for _, p := range s.parts {
+		if list := p.Parents(vid); list != nil {
+			return list
+		}
 	}
-	return s.parents[h]
+	return nil
 }
 
 // DropParents removes every reverse edge of a VID (an invalidation wave
-// consumed them). A slice previously returned by Parents stays readable.
+// consumed them).
 func (s *Store) DropParents(vid types.ID) {
-	vidh, ok := types.LookupID(vid)
-	if !ok {
-		return
+	for _, p := range s.parts {
+		p.DropParents(vid)
 	}
-	list, ok := s.parents[vidh]
-	if !ok {
-		return
-	}
-	for i := range list {
-		if ridh, ok := types.LookupID(list[i].RID); ok {
-			delete(s.parentIdx, parentKey{vidh: vidh, ridh: ridh})
-		}
-	}
-	delete(s.parents, vidh)
 }
 
-// NumProv reports the number of visible prov entries in the partition.
+// NumProv reports the number of visible prov entries across partitions.
 func (s *Store) NumProv() int {
 	n := 0
-	for _, list := range s.prov {
-		n += len(list)
+	for _, p := range s.parts {
+		n += p.NumProv()
 	}
 	return n
 }
 
 // NumRuleExec reports the number of visible ruleExec entries.
-func (s *Store) NumRuleExec() int { return len(s.ruleExec) }
+func (s *Store) NumRuleExec() int {
+	n := 0
+	for _, p := range s.parts {
+		n += p.NumRuleExec()
+	}
+	return n
+}
 
 // NumParents reports the number of reverse dataflow edges.
-func (s *Store) NumParents() int { return len(s.parentIdx) }
+func (s *Store) NumParents() int {
+	n := 0
+	for _, p := range s.parts {
+		n += p.NumParents()
+	}
+	return n
+}
 
-// ProvRows renders the partition's prov relation as sorted printable rows
-// (Loc, tuple, RID short, RLoc) — the format of the paper's Table 1.
+// ProvRows renders the store's prov relation as sorted printable rows.
 func (s *Store) ProvRows() []string {
 	var rows []string
-	for vidh, list := range s.prov {
-		label := ""
-		if t, ok := s.tuples[vidh]; ok {
-			label = t.String()
-		}
-		for i := range list {
-			if label == "" {
-				label = list[i].VID.Short()
-			}
-			rid := "null"
-			rloc := list[i].RLoc.String()
-			if !list[i].RID.IsZero() {
-				rid = list[i].RID.Short()
-			}
-			rows = append(rows, fmt.Sprintf("%s | %s | %s | %s", s.Node, label, rid, rloc))
-		}
+	for _, p := range s.parts {
+		rows = append(rows, p.ProvRows()...)
 	}
-	sort.Strings(rows)
+	if len(s.parts) > 1 {
+		sort.Strings(rows)
+	}
 	return rows
 }
 
-// RuleExecRows renders the partition's ruleExec relation as sorted rows
-// (RLoc, RID short, rule, VIDList shorts) — the format of Table 2.
+// RuleExecRows renders the store's ruleExec relation as sorted rows.
 func (s *Store) RuleExecRows() []string {
 	var rows []string
-	for _, e := range s.ruleExec {
-		vids := make([]string, len(e.VIDList))
-		for i, v := range e.VIDList {
-			vids[i] = v.Short()
-			if t, ok := s.TupleOf(v); ok {
-				vids[i] = t.String()
-			}
-		}
-		rows = append(rows, fmt.Sprintf("%s | %s | %s | (%s)", s.Node, e.RID.Short(), e.Rule, strings.Join(vids, ",")))
+	for _, p := range s.parts {
+		rows = append(rows, p.RuleExecRows()...)
 	}
-	sort.Strings(rows)
+	if len(s.parts) > 1 {
+		sort.Strings(rows)
+	}
 	return rows
 }

@@ -1,0 +1,75 @@
+package types
+
+// Content hashing for shard routing. The sharded engine runtime partitions
+// relation state across worker shards by a 64-bit hash of each tuple's
+// canonical CONTENT — never of interning handles — so that shard assignment
+// (and with it round composition, merge order and byte accounting) is
+// reproducible across processes with different interning histories, the same
+// property the wire format already guarantees. Interned kinds memoize their
+// hash in the intern tables at first construction, making ContentHash O(1)
+// on the delta-routing path.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv1a hashes b with FNV-1a, continuing from h (seed with fnvOffset64).
+func fnv1a(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// mix64 finalizes a 64-bit hash (the splitmix64 finalizer), giving inline
+// payloads the same avalanche quality as the byte-hashed interned kinds.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ContentHash returns a 64-bit hash of the value's canonical content. Equal
+// values hash equally; the hash is derived from payload bytes (the canonical
+// encoding for interned kinds, the inline payload otherwise) and is therefore
+// stable across processes regardless of interning order.
+func (v Value) ContentHash() uint64 {
+	switch v.kind {
+	case KindStr:
+		return strTab.store.get(v.h).chash
+	case KindID:
+		return idTab.store.get(v.h).chash
+	case KindList:
+		return listTab.store.get(v.h).chash
+	case KindProv:
+		return provTab.store.get(v.h).chash
+	default:
+		return mix64(uint64(v.kind)*fnvPrime64 ^ uint64(v.i))
+	}
+}
+
+// ContentHash returns a 64-bit content-derived hash of the whole tuple
+// (predicate name plus arguments). The sharded runtime routes deltas to
+// their owner shard with it.
+func (t Tuple) ContentHash() uint64 {
+	h := fnv1a(fnvOffset64, []byte(t.Pred))
+	for _, a := range t.Args {
+		h = (h ^ a.ContentHash()) * fnvPrime64
+	}
+	return h
+}
+
+// HashValues folds the content hashes of vals into one 64-bit hash (used for
+// aggregate group-key routing).
+func HashValues(vals []Value) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range vals {
+		h = (h ^ v.ContentHash()) * fnvPrime64
+	}
+	return h
+}

@@ -82,27 +82,33 @@ func (c *chunkStore[T]) put(h uint32, v T) {
 
 // strEntry, idEntry, listEntry and provEntry are the per-kind table rows.
 // Every row caches enc, the payload's full canonical encoding including the
-// kind tag, so Encode and WireSize on interned values are O(len) copies.
+// kind tag, so Encode and WireSize on interned values are O(len) copies, and
+// chash, an FNV-1a hash of enc, so content-derived shard routing
+// (Value.ContentHash) is O(1) after the first construction.
 type strEntry struct {
-	s   string
-	enc []byte
+	s     string
+	enc   []byte
+	chash uint64
 }
 
 type idEntry struct {
-	id  ID
-	enc []byte
+	id    ID
+	enc   []byte
+	chash uint64
 }
 
 type listEntry struct {
 	elems []Value
 	key   string // canonical encoding of the elements; the dedup map key
 	enc   []byte
+	chash uint64
 }
 
 type payloadEntry struct {
-	p   Payload
-	key string // EncodePayload bytes; the dedup map key
-	enc []byte
+	p     Payload
+	key   string // EncodePayload bytes; the dedup map key
+	enc   []byte
+	chash uint64
 }
 
 var (
@@ -156,7 +162,7 @@ func internStr(s string) uint32 {
 	enc = append(enc, s...)
 	h = strTab.next
 	strTab.next++
-	strTab.store.put(h, strEntry{s: s, enc: enc})
+	strTab.store.put(h, strEntry{s: s, enc: enc, chash: fnv1a(fnvOffset64, enc)})
 	strTab.lookup[s] = h
 	return h
 }
@@ -178,7 +184,7 @@ func internID(id ID) uint32 {
 	enc = append(enc, id[:]...)
 	h = idTab.next
 	idTab.next++
-	idTab.store.put(h, idEntry{id: id, enc: enc})
+	idTab.store.put(h, idEntry{id: id, enc: enc, chash: fnv1a(fnvOffset64, enc)})
 	idTab.lookup[id] = h
 	return h
 }
@@ -219,7 +225,7 @@ func internList(elems []Value) uint32 {
 	listTab.next++
 	// The elems slice is retained, not copied: List documents that callers
 	// must not mutate the slice after construction.
-	listTab.store.put(h, listEntry{elems: elems, key: key, enc: enc})
+	listTab.store.put(h, listEntry{elems: elems, key: key, enc: enc, chash: fnv1a(fnvOffset64, enc)})
 	listTab.lookup[key] = h
 	return h
 }
@@ -250,7 +256,7 @@ func internPayload(p Payload) uint32 {
 	enc = append(enc, key...)
 	h = provTab.next
 	provTab.next++
-	provTab.store.put(h, payloadEntry{p: p, key: key, enc: enc})
+	provTab.store.put(h, payloadEntry{p: p, key: key, enc: enc, chash: fnv1a(fnvOffset64, enc)})
 	provTab.lookup[key] = h
 	return h
 }

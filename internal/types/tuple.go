@@ -3,6 +3,7 @@ package types
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -94,6 +95,31 @@ func (t Tuple) WireSize() int {
 // content-derived identity for the tuple. Hot paths key their maps on the
 // cheaper process-local AppendArgsKey form instead.
 func (t Tuple) Key() string { return string(t.Encode(nil)) }
+
+// SortTuples orders tuples in place by their canonical encoding — the same
+// process-independent order Relation.Tuples uses, so merged cross-shard
+// snapshots compare byte-for-byte with single-shard ones.
+func SortTuples(ts []Tuple) {
+	keys := make([]string, len(ts))
+	var buf []byte
+	for i := range ts {
+		buf = ts[i].Encode(buf[:0])
+		keys[i] = string(buf)
+	}
+	sort.Sort(&tupleSorter{ts: ts, keys: keys})
+}
+
+type tupleSorter struct {
+	ts   []Tuple
+	keys []string
+}
+
+func (s *tupleSorter) Len() int           { return len(s.ts) }
+func (s *tupleSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *tupleSorter) Swap(i, j int) {
+	s.ts[i], s.ts[j] = s.ts[j], s.ts[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
 
 // AppendArgsKey appends the fixed-width process-local identity key of the
 // tuple's arguments (see Value.AppendKey): nine bytes per argument, no
