@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/types"
+)
+
+// These tests pin the convergent-deletion contract (ISSUE 5, §4.2 cascaded
+// deletions): retracting a link that keeps the network connected but kills
+// the cheapest route under the unbounded-cost MINCOST program — the classic
+// count-to-infinity trigger — must terminate with the correct post-churn
+// costs, identically across the serial engine and sharded schedulers in
+// every provenance mode; and retracting every link must leave zero tuples,
+// prov rows, ruleExec rows, reverse edges and aggregate groups.
+
+// dredSquare is a 4-node cycle with a chord: 0-1(1), 1-2(1), 2-3(1),
+// 3-0(1), 0-2(5). Deleting 0-1 disconnects nothing (0 still reaches 1 via
+// 3-2) but kills the cheapest 0↔1 and 0↔2 routes, forcing retraction to
+// chase re-derivations around the cycle.
+func dredSquare() (edges [][2]int, costs map[[2]int]int64) {
+	edges = [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 2}}
+	costs = map[[2]int]int64{
+		{0, 1}: 1, {1, 2}: 1, {2, 3}: 1, {0, 3}: 1, {0, 2}: 5,
+	}
+	return edges, costs
+}
+
+func TestConvergentDeletionCyclicMinCost(t *testing.T) {
+	prog, err := Compile(apps.MinCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, costs := dredSquare()
+	// Churn script: index 0 ({0,3}) is deleted and re-inserted (equivalence
+	// harness re-adds even indexes), index 1 ({0,1}) is retracted for good.
+	churn := [][2]int{{0, 3}, {0, 1}}
+	preds := []string{"link", "pathCost", "bestPathCost"}
+	for _, mode := range []ProvMode{ProvNone, ProvReference, ProvValue, ProvCentralized} {
+		t.Run(mode.String(), func(t *testing.T) {
+			equivalenceOn(t, prog, mode, preds, 4, edges, churn, costs)
+		})
+	}
+
+	// Correctness of the surviving costs (not just serial/sharded
+	// agreement): all-pairs shortest paths of the square minus 0-1.
+	serial := runSerialRef(t, prog, ProvReference, 4, edges, churn, costs)
+	want := map[string]int64{
+		"0-1": 3, "0-2": 2, "0-3": 1,
+		"1-0": 3, "1-2": 1, "1-3": 2,
+		"2-0": 2, "2-1": 1, "2-3": 1,
+		"3-0": 1, "3-1": 2, "3-2": 1,
+		// Self-routes: MINCOST also derives X→X via the symmetric 2-cycle
+		// of each surviving link.
+		"0-0": 2, "1-1": 2, "2-2": 2, "3-3": 2,
+	}
+	got := map[string]int64{}
+	for i, n := range serial {
+		for _, tu := range n.Tuples("bestPathCost") {
+			got[fmt.Sprintf("%d-%d", i, tu.Args[1].AsNode())] = tu.Args[2].AsInt()
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("bestPathCost count = %d, want %d (got %v)", len(got), len(want), got)
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Errorf("bestPathCost %s = %d, want %d", k, got[k], c)
+		}
+	}
+}
+
+// TestFullRetractionCyclicMinCostLeavesNoState retracts every link of the
+// cyclic square, one at a time with interleaved fixpoints, on serial nodes
+// and on sharded schedulers, in every provenance mode — and requires the
+// engine to end completely empty: no tuples, no prov or ruleExec rows, no
+// reverse edges, no aggregate groups. Before the two-phase retraction
+// discipline this diverged (count-to-infinity) for any deletion that kept
+// the network connected.
+func TestFullRetractionCyclicMinCostLeavesNoState(t *testing.T) {
+	prog, err := Compile(apps.MinCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, costs := dredSquare()
+	preds := []string{"link", "pathCost", "bestPathCost"}
+
+	checkEmpty := func(t *testing.T, label string, nodes []*Node) {
+		t.Helper()
+		for i, n := range nodes {
+			for _, pred := range preds {
+				if c := n.TupleCount(pred); c != 0 {
+					t.Errorf("%s: node %d: %d %s tuples survive full retraction", label, i, c, pred)
+				}
+			}
+			if c := n.Store.NumProv(); c != 0 {
+				t.Errorf("%s: node %d: %d prov rows leak", label, i, c)
+			}
+			if c := n.Store.NumRuleExec(); c != 0 {
+				t.Errorf("%s: node %d: %d ruleExec rows leak", label, i, c)
+			}
+			if c := n.Store.NumParents(); c != 0 {
+				t.Errorf("%s: node %d: %d reverse edges leak", label, i, c)
+			}
+			if c := n.AggGroupCount(); c != 0 {
+				t.Errorf("%s: node %d: %d aggregate groups leak", label, i, c)
+			}
+		}
+	}
+
+	for _, mode := range []ProvMode{ProvNone, ProvReference, ProvValue, ProvCentralized} {
+		// Serial engine under the synchronous transport.
+		nodes := runSerialRef(t, prog, mode, 4, edges, nil, costs)
+		for _, e := range edges {
+			cost := edgeCost(e, costs)
+			nodes[e[0]].DeleteBase(linkTup(e[0], e[1], cost))
+			nodes[e[1]].DeleteBase(linkTup(e[1], e[0], cost))
+			Settle(nodes...)
+		}
+		checkEmpty(t, "serial "+mode.String(), nodes)
+
+		// Sharded schedulers.
+		for _, shards := range []int{1, 4} {
+			s := NewScheduler(prog, mode, 4, shards, 0)
+			for _, e := range edges {
+				cost := edgeCost(e, costs)
+				s.InsertBase(types.NodeID(e[0]), linkTup(e[0], e[1], cost))
+				s.InsertBase(types.NodeID(e[1]), linkTup(e[1], e[0], cost))
+			}
+			if err := s.Run(); err != nil {
+				t.Fatalf("mode %s shards %d: %v", mode, shards, err)
+			}
+			if s.Node(0).TupleCount("bestPathCost") == 0 {
+				t.Fatalf("mode %s shards %d: nothing derived", mode, shards)
+			}
+			for _, e := range edges {
+				cost := edgeCost(e, costs)
+				s.DeleteBase(types.NodeID(e[0]), linkTup(e[0], e[1], cost))
+				s.DeleteBase(types.NodeID(e[1]), linkTup(e[1], e[0], cost))
+				if err := s.Run(); err != nil {
+					t.Fatalf("mode %s shards %d: %v", mode, shards, err)
+				}
+			}
+			sn := make([]*Node, s.NumNodes())
+			for i := range sn {
+				sn[i] = s.Node(i)
+			}
+			checkEmpty(t, fmt.Sprintf("sched %s shards=%d", mode, shards), sn)
+		}
+	}
+}

@@ -67,6 +67,24 @@ type Sim struct {
 	seq    int64
 	events []event
 	steps  int64
+
+	// msgCount tracks queued message-delivery events. Zero means no
+	// protocol traffic is in flight — the cluster-quiescence signal OnIdle
+	// keys on — even while future timer events (experiment scripts, churn
+	// batches) remain queued.
+	msgCount int
+
+	// OnIdle, when set, is invoked at every protocol-quiescence point: when
+	// no message events remain queued (future timers may still be pending —
+	// they carry scripted work, not in-flight traffic) and before the clock
+	// advances to the next timer or the run returns. It must return true
+	// only when it produced new work (scheduled events or made progress
+	// that can lead to them); Run and RunUntil then resume the event loop.
+	// The engine drivers use it to release staged re-derivations of the
+	// retraction protocol, which are only sound to apply once no deletion
+	// messages remain in flight anywhere (see ARCHITECTURE.md "Deletion
+	// semantics").
+	OnIdle func() bool
 }
 
 // NewSim creates an empty simulator at time zero.
@@ -147,6 +165,7 @@ func (s *Sim) scheduleMessage(t Time, nw *Network, from, to types.NodeID, payloa
 		t = s.now
 	}
 	s.seq++
+	s.msgCount++
 	s.push(event{at: t, seq: s.seq, kind: evMessage, from: from, to: to, size: int32(size), payload: payload, nw: nw})
 }
 
@@ -160,25 +179,55 @@ func (s *Sim) dispatch(e *event) {
 }
 
 // Run executes events until the queue is empty (a distributed fixpoint for
-// protocols without timers) and returns the final virtual time.
+// protocols without timers) and returns the final virtual time. When an
+// OnIdle hook is installed it runs at every protocol-quiescence point: no
+// message events queued, before the next timer dispatches and before the
+// run returns; the loop resumes while the hook keeps producing work.
 func (s *Sim) Run() Time {
-	for len(s.events) > 0 {
-		e := s.pop()
-		s.now = e.at
-		s.steps++
-		s.dispatch(&e)
+	for {
+		for len(s.events) > 0 {
+			if s.msgCount == 0 && s.OnIdle != nil && s.OnIdle() {
+				continue // released work may have scheduled messages at now
+			}
+			e := s.pop()
+			if e.kind == evMessage {
+				s.msgCount--
+			}
+			s.now = e.at
+			s.steps++
+			s.dispatch(&e)
+		}
+		if s.OnIdle == nil || !s.OnIdle() {
+			return s.now
+		}
 	}
-	return s.now
 }
 
 // RunUntil executes events with timestamps <= deadline and then sets the
-// clock to the deadline. Remaining events stay queued.
+// clock to the deadline. Remaining events stay queued. The OnIdle hook runs
+// at interior protocol-quiescence points (no messages in flight, even with
+// future timers queued), so time-bounded experiment runs observe the same
+// release discipline as Run.
 func (s *Sim) RunUntil(deadline Time) {
-	for len(s.events) > 0 && s.events[0].at <= deadline {
-		e := s.pop()
-		s.now = e.at
-		s.steps++
-		s.dispatch(&e)
+	for {
+		for len(s.events) > 0 && s.events[0].at <= deadline {
+			if s.msgCount == 0 && s.OnIdle != nil && s.OnIdle() {
+				continue
+			}
+			e := s.pop()
+			if e.kind == evMessage {
+				s.msgCount--
+			}
+			s.now = e.at
+			s.steps++
+			s.dispatch(&e)
+		}
+		// Remaining message events are all beyond the deadline (traffic
+		// still in flight): not quiescent, stop. Only-timer remainders are
+		// quiescent — offer the hook before snapshotting at the deadline.
+		if s.msgCount > 0 || s.OnIdle == nil || !s.OnIdle() {
+			break
+		}
 	}
 	if s.now < deadline {
 		s.now = deadline
