@@ -1,8 +1,8 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml); `make bench` regenerates the machine-readable
-# before/after record in BENCH_PR4.json against the checked-in pre-PR4
-# baseline run, and `make bench-compare` prints a benchstat-style delta of
-# a smoke run against the committed BENCH_PR3.json numbers (report-only).
+# before/after record in BENCH_PR5.json against the committed PR 4 record,
+# and `make bench-compare` prints a benchstat-style delta of a smoke run
+# against the committed BENCH_PR4.json numbers (report-only).
 
 GO ?= go
 BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkQueryBFS|BenchmarkCacheInvalidation
@@ -11,7 +11,7 @@ BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkQuery
 # detector and CI runs it on every push.
 RACE_PKGS := ./internal/engine/... ./internal/provenance/... ./internal/deploy/...
 
-.PHONY: all build fmt vet test test-race doccheck check bench bench-smoke bench-compare clean
+.PHONY: all build fmt vet test test-race doccheck fuzz-smoke check bench bench-smoke bench-compare clean
 
 all: check
 
@@ -56,29 +56,38 @@ doccheck:
 	done; \
 	if [ $$fail -eq 0 ]; then echo "doccheck ok"; else exit 1; fi
 
-check: fmt vet build test test-race doccheck
+# Decode-fuzz smoke gate: a short budget per wire-format fuzz target (value
+# and tuple codecs), so strictness regressions in the decoders are caught
+# before the checked-in corpus grows stale. Go runs one fuzz target per
+# invocation, hence the two lines.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeValue$$' -fuzztime 10s ./internal/types
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTuple$$' -fuzztime 10s ./internal/types
+
+check: fmt vet build test test-race doccheck fuzz-smoke
 
 # Full hot-path benchmark run: three samples of each tracked benchmark with
-# allocation stats, merged with the pre-PR4 baseline into BENCH_PR4.json.
-# The simnet dispatch micro-benchmark is appended with a time-based budget
-# (per-op cost is tens of nanoseconds; 10 iterations would be noise).
+# allocation stats, compared against the committed PR 4 record into
+# BENCH_PR5.json. The simnet dispatch micro-benchmark is appended with a
+# time-based budget (per-op cost is tens of nanoseconds; 10 iterations
+# would be noise).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=10x -count=3 . | tee bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSimnetDispatch' -benchmem -benchtime=2s . | tee -a bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline BENCH_BASELINE_PR4.txt -current bench_current.txt \
-		-out BENCH_PR4.json -print \
-		-note "before/after results for the sharded parallel engine runtime (PR 4); baseline is the PR 3 code on the same hardware (single-core container — sharded configs pay partition overhead without parallel payback here); regenerate with make bench"
+	$(GO) run ./cmd/benchjson -baseline-json BENCH_PR4.json -current bench_current.txt \
+		-out BENCH_PR5.json -print \
+		-note "before/after results for the convergent-deletion retraction protocol (PR 5); baseline is the PR 4 record on the same hardware. Insert-only fixpoints are unchanged within noise (identical deltas and wire bytes); retraction workloads that previously diverged now terminate. Regenerate with make bench"
 
 # One-iteration smoke run used by CI to catch benchmark bit-rot cheaply.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineFixpoint' -benchtime=1x .
 
 # CI delta report: smoke-run the tracked benchmarks once and print the
-# change against the committed PR 3 record. Report-only — the `-` prefix
+# change against the committed PR 4 record. Report-only — the `-` prefix
 # keeps a regression (or a noisy runner) from failing the job.
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1x . | tee bench_smoke.txt
-	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR3.json -current bench_smoke.txt -print
+	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR4.json -current bench_smoke.txt -print
 
 clean:
 	rm -f bench_current.txt bench_smoke.txt

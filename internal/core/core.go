@@ -150,6 +150,22 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			c.insertLinkNow(l.U, l.V, l.Cost)
 		}
 	})
+
+	// Retraction protocol, phase 2: an empty event queue is the simulated
+	// cluster's global quiescence point — no deletion message can still be
+	// in flight — so staged re-derivations (suspects with surviving
+	// alternate derivations, deferred aggregate winner promotions) are
+	// released here, in node order, and the simulation resumes until no
+	// host stages further work.
+	sim.OnIdle = func() bool {
+		any := false
+		for _, h := range c.Hosts {
+			if h.Engine.ReleaseAndFlush() {
+				any = true
+			}
+		}
+		return any
+	}
 	return c, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/engine"
+	"repro/internal/ndlog"
 	"repro/internal/topology"
 )
 
@@ -15,57 +16,75 @@ import (
 // invariant of incremental maintenance with provenance (§4.2's cascaded
 // deletions).
 //
-// The workload is PATHVECTOR: its f_member loop check makes derivations
-// loop-free, so retraction terminates. MINCOST (pure distance-vector)
-// exhibits the classic count-to-infinity divergence when links are
-// retracted while the physical network stays connected — deletion waves
-// chase unboundedly growing re-derivations — which is faithful to the
-// protocol class and exactly why path-vector protocols carry the path.
+// Both paper workloads run it. PATHVECTOR's f_member loop check makes
+// derivations loop-free, so retraction always terminated. MINCOST (pure
+// distance-vector) used to exhibit the classic count-to-infinity
+// divergence when links were retracted while the network stayed connected;
+// the two-phase over-delete/re-derive retraction discipline (ARCHITECTURE
+// "Deletion semantics") makes it terminate, so the invariant now covers it
+// in all four modes too.
 func TestFullRetractionLeavesNoState(t *testing.T) {
-	rng := rand.New(rand.NewSource(13))
-	topo := topology.Ring(10, rng)
-	for _, mode := range []engine.ProvMode{engine.ProvNone, engine.ProvReference, engine.ProvValue, engine.ProvCentralized} {
-		c, err := NewCluster(Config{Topo: topo, Prog: apps.PathVector(), Mode: mode})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := c.RunToFixpoint(); err != nil {
-			t.Fatalf("mode %s: %v", mode, err)
-		}
-		if len(c.TuplesOf("bestPath")) == 0 {
-			t.Fatalf("mode %s: nothing derived", mode)
-		}
-		// Retract every link *tuple*, one at a time, with interleaved
-		// fixpoints. The physical links stay installed so every
-		// retraction message remains deliverable — we are testing the
-		// engine's no-leak invariant, not partition loss.
-		for _, l := range topo.Links {
-			c.Hosts[l.U].Engine.DeleteBase(apps.LinkTuple(l.U, l.V, l.Cost))
-			c.Hosts[l.V].Engine.DeleteBase(apps.LinkTuple(l.V, l.U, l.Cost))
+	progs := map[string]*ndlog.Program{
+		"pathvector": apps.PathVector(),
+		"mincost":    apps.MinCost(),
+	}
+	predsOf := map[string][]string{
+		"pathvector": {"link", "path", "bestPath", "bestHop"},
+		"mincost":    {"link", "pathCost", "bestPathCost"},
+	}
+	headOf := map[string]string{"pathvector": "bestPath", "mincost": "bestPathCost"}
+	for name, prog := range progs {
+		rng := rand.New(rand.NewSource(13))
+		topo := topology.Ring(10, rng)
+		for _, mode := range []engine.ProvMode{engine.ProvNone, engine.ProvReference, engine.ProvValue, engine.ProvCentralized} {
+			c, err := NewCluster(Config{Topo: topo, Prog: prog, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if _, err := c.RunToFixpoint(); err != nil {
-				t.Fatalf("mode %s: %v", mode, err)
+				t.Fatalf("%s mode %s: %v", name, mode, err)
 			}
-		}
-		for _, pred := range []string{"link", "path", "bestPath", "bestHop"} {
-			if got := len(c.TuplesOf(pred)); got != 0 {
-				t.Errorf("mode %s: %d %s tuples survive full retraction", mode, got, pred)
+			if len(c.TuplesOf(headOf[name])) == 0 {
+				t.Fatalf("%s mode %s: nothing derived", name, mode)
 			}
-		}
-		for i, h := range c.Hosts {
-			if mode != engine.ProvReference {
-				continue
+			// Retract every link *tuple*, one at a time, with interleaved
+			// fixpoints. The physical links stay installed so every
+			// retraction message remains deliverable — we are testing the
+			// engine's no-leak invariant, not partition loss.
+			for _, l := range topo.Links {
+				c.Hosts[l.U].Engine.DeleteBase(apps.LinkTuple(l.U, l.V, l.Cost))
+				c.Hosts[l.V].Engine.DeleteBase(apps.LinkTuple(l.V, l.U, l.Cost))
+				if _, err := c.RunToFixpoint(); err != nil {
+					t.Fatalf("%s mode %s: %v", name, mode, err)
+				}
 			}
-			if n := h.Engine.Store.NumProv(); n != 0 {
-				t.Errorf("mode %s node %d: %d prov rows leak", mode, i, n)
+			for _, pred := range predsOf[name] {
+				if got := len(c.TuplesOf(pred)); got != 0 {
+					t.Errorf("%s mode %s: %d %s tuples survive full retraction", name, mode, got, pred)
+				}
 			}
-			if n := h.Engine.Store.NumRuleExec(); n != 0 {
-				t.Errorf("mode %s node %d: %d ruleExec rows leak", mode, i, n)
+			for i, h := range c.Hosts {
+				if g := h.Engine.AggGroupCount(); g != 0 {
+					t.Errorf("%s mode %s node %d: %d aggregate groups leak", name, mode, i, g)
+				}
+				if mode != engine.ProvReference {
+					continue
+				}
+				if n := h.Engine.Store.NumProv(); n != 0 {
+					t.Errorf("%s mode %s node %d: %d prov rows leak", name, mode, i, n)
+				}
+				if n := h.Engine.Store.NumRuleExec(); n != 0 {
+					t.Errorf("%s mode %s node %d: %d ruleExec rows leak", name, mode, i, n)
+				}
+				if n := h.Engine.Store.NumParents(); n != 0 {
+					t.Errorf("%s mode %s node %d: %d reverse edges leak", name, mode, i, n)
+				}
 			}
-		}
-		if mode == engine.ProvCentralized {
-			graph := CentralGraphOf(c)
-			if graph.NumVertices() != 0 {
-				t.Errorf("centralized: %d vertices leak at the server", graph.NumVertices())
+			if mode == engine.ProvCentralized {
+				graph := CentralGraphOf(c)
+				if graph.NumVertices() != 0 {
+					t.Errorf("%s centralized: %d vertices leak at the server", name, graph.NumVertices())
+				}
 			}
 		}
 	}

@@ -320,18 +320,43 @@ func (c *Cluster) workDone() {
 }
 
 // WaitFixpoint blocks until the cluster is quiescent (every issued work
-// item fully handled) or the timeout elapses; it returns the elapsed
-// wall-clock time since cluster start and whether a fixpoint was reached.
-// Quiescence is detected from the work accounting itself — workers signal
-// when processed catches up with sent — so a loaded or race-instrumented
-// run converges exactly as fast as it actually processes work, with no
-// sleep-poll granularity in the way. The timeout remains as a backstop for
-// genuine datagram loss.
+// item fully handled and no node staging retraction re-derivations) or the
+// timeout elapses; it returns the elapsed wall-clock time since cluster
+// start and whether a fixpoint was reached. Quiescence is detected from the
+// work accounting itself — workers signal when processed catches up with
+// sent — so a loaded or race-instrumented run converges exactly as fast as
+// it actually processes work, with no sleep-poll granularity in the way.
+// The timeout remains as a backstop for genuine datagram loss.
+//
+// Work-accounting quiescence is the deployment's global quiescence point —
+// no deletion datagram can still be in flight — so the retraction
+// protocol's staged phase-2 work is released here (on each node's worker
+// goroutine, where all engine state is confined) and the wait repeats until
+// a quiescent pass releases nothing.
 func (c *Cluster) WaitFixpoint(timeout time.Duration) (time.Duration, bool) {
-	if c.waitQuiet(timeout) {
-		return time.Since(c.start), true
+	deadline := time.Now().Add(timeout)
+	for {
+		budget := time.Until(deadline)
+		if budget <= 0 || !c.waitQuiet(budget) {
+			return time.Since(c.start), false
+		}
+		var released atomic.Bool
+		var wg sync.WaitGroup
+		for _, np := range c.Nodes {
+			np := np
+			wg.Add(1)
+			np.Do(func() {
+				defer wg.Done()
+				if np.Engine.ReleaseAndFlush() {
+					released.Store(true)
+				}
+			})
+		}
+		wg.Wait()
+		if !released.Load() {
+			return time.Since(c.start), true
+		}
 	}
-	return time.Since(c.start), false
 }
 
 // waitQuiet blocks until processed == sent or the budget elapses. The

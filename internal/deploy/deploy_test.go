@@ -137,6 +137,10 @@ func simulatedBestPaths(t *testing.T, topo *topology.Topology) map[string]bool {
 		nodes[l.V].InsertBase(types.NewTuple("link", types.Node(l.V), types.Node(l.U), types.Int(l.Cost)))
 	}
 	tr.drain()
+	// Release retraction-protocol staging (improvement-driven winner
+	// evictions over-delete and stage even on insert-only workloads); the
+	// deployed cluster gets the same treatment from WaitFixpoint.
+	engine.Settle(nodes...)
 	out := map[string]bool{}
 	for _, n := range nodes {
 		if rel := n.Table("bestPathCost"); rel != nil {

@@ -57,7 +57,7 @@ func (sh *shard) fireAgg(rule *CompiledRule, t types.Tuple, sign int8, payload b
 	}
 
 	sortVal, carried := sh.evalAggVals(rule, env)
-	for _, em := range g.update(sh, spec, groupVals, sortVal, carried, t, sign) {
+	for _, em := range g.update(sh, rule, groupVals, sortVal, carried, t, sign) {
 		out := em.tuple
 		out.Pred = rule.HeadPred
 		sh.emitAggChange(rule, out, em, t)
@@ -215,6 +215,32 @@ type aggGroup struct {
 	hasOut    bool
 	curWinner *aggEntry
 	total     int // COUNT<*>
+	// staged defers output re-emission to the retraction protocol's
+	// release phase: after a delete evicts a recursive rule's winner, the
+	// group emits nothing (hasOut stays false) until releaseStaged
+	// re-refreshes it against post-deletion-wave state. Promoting the
+	// next-best row eagerly is the count-to-infinity engine — the next-best
+	// may be phantom support the deletion wave has not yet consumed.
+	staged bool
+}
+
+// stagedGroup records one group awaiting its deferred re-refresh, with the
+// retained group-by values refresh needs to rebuild the head.
+type stagedGroup struct {
+	rule      *CompiledRule
+	g         *aggGroup
+	groupVals []types.Value
+}
+
+// stage registers the group with its owner shard's release list.
+func (g *aggGroup) stage(sh *shard, rule *CompiledRule, groupVals []types.Value) {
+	if g.staged {
+		return
+	}
+	g.staged = true
+	gv := sh.allocArgs(len(groupVals))
+	copy(gv, groupVals)
+	sh.stagedGroups = append(sh.stagedGroups, stagedGroup{rule: rule, g: g, groupVals: gv})
 }
 
 // appendValuesKey appends the fixed-width handle keys of vals to b (see
@@ -242,12 +268,13 @@ type aggEmit struct {
 }
 
 // update applies one input delta and returns the emitted output changes.
-// groupVals are the evaluated group-by head arguments; spec drives the
-// aggregate function; n supplies the arenas retained data is carved from.
+// groupVals are the evaluated group-by head arguments; rule.agg drives the
+// aggregate function; sh supplies the arenas retained data is carved from.
 // carried may be caller scratch: it is copied if the entry must retain it.
-func (g *aggGroup) update(sh *shard, spec *AggSpec, groupVals []types.Value,
+func (g *aggGroup) update(sh *shard, rule *CompiledRule, groupVals []types.Value,
 	sortVal types.Value, carried []types.Value, input types.Tuple, sign int8) []aggEmit {
 
+	spec := rule.agg
 	sh.aggKeyBuf = appendAggEntryKey(sh.aggKeyBuf[:0], sortVal, carried)
 	key := sh.aggKeyBuf
 	ordered := spec.Fn == "MIN" || spec.Fn == "MAX"
@@ -303,7 +330,7 @@ func (g *aggGroup) update(sh *shard, spec *AggSpec, groupVals []types.Value,
 	default:
 		return nil
 	}
-	return g.refresh(sh, spec, groupVals)
+	return g.refresh(sh, rule, groupVals, sign == Delete)
 }
 
 // beats reports whether a wins over b under spec's ordering (including the
@@ -322,8 +349,17 @@ func beats(spec *AggSpec, a, b *aggEntry) bool {
 // valid until the next refresh. The steady-state path — an input delta that
 // does not change the output — allocates nothing, and a changed output
 // carves its retained argument slice from the node's arena.
-func (g *aggGroup) refresh(sh *shard, spec *AggSpec, groupVals []types.Value) []aggEmit {
-	newArgs, newWinner, ok := g.compute(spec, groupVals)
+//
+// deleting reports that the triggering input delta was a Delete. For rules
+// whose head predicate is recursive, a delete-driven output re-emission is
+// a winner promotion the retraction protocol must defer: the Delete of the
+// old output still cascades, but the Insert of the replacement is withheld
+// and the group staged until the deletion wave quiesces. Once staged, the
+// group stays output-silent through further refreshes (insert-driven ones
+// included — an arriving insert would otherwise promote a phantom row)
+// until releaseStaged re-refreshes it.
+func (g *aggGroup) refresh(sh *shard, rule *CompiledRule, groupVals []types.Value, deleting bool) []aggEmit {
+	newArgs, newWinner, ok := g.compute(rule.agg, groupVals)
 	emits := g.emitBuf[:0]
 	if g.hasOut && !(ok && argsEqual(g.curOut.Args, newArgs)) {
 		em := aggEmit{tuple: g.curOut, sign: Delete}
@@ -333,19 +369,30 @@ func (g *aggGroup) refresh(sh *shard, spec *AggSpec, groupVals []types.Value) []
 		emits = append(emits, em)
 		g.curOut, g.hasOut, g.curWinner = types.Tuple{}, false, nil
 	}
+	if !ok && deleting && rule.headRecursive {
+		// The delete emptied the group. Stage it anyway: an insert arriving
+		// before the deletion wave quiesces (a stale re-advertisement
+		// around a cycle) must not refill and promote immediately — that
+		// reopens the count-to-infinity lap through an empty group.
+		g.stage(sh, rule, groupVals)
+	}
 	if ok && !g.hasOut {
-		// Materialize the candidate output: it escapes into the group
-		// state and the emitted delta, so its args leave the scratch
-		// buffer for the arena.
-		retained := sh.allocArgs(len(newArgs))
-		copy(retained, newArgs)
-		out := types.Tuple{Args: retained}
-		em := aggEmit{tuple: out, sign: Insert}
-		if newWinner != nil {
-			em.winner, em.hasWin = newWinner.input, true
+		if g.staged || (deleting && rule.headRecursive) {
+			g.stage(sh, rule, groupVals)
+		} else {
+			// Materialize the candidate output: it escapes into the group
+			// state and the emitted delta, so its args leave the scratch
+			// buffer for the arena.
+			retained := sh.allocArgs(len(newArgs))
+			copy(retained, newArgs)
+			out := types.Tuple{Args: retained}
+			em := aggEmit{tuple: out, sign: Insert}
+			if newWinner != nil {
+				em.winner, em.hasWin = newWinner.input, true
+			}
+			emits = append(emits, em)
+			g.curOut, g.hasOut, g.curWinner = out, true, newWinner
 		}
-		emits = append(emits, em)
-		g.curOut, g.hasOut, g.curWinner = out, true, newWinner
 	}
 	g.emitBuf = emits
 	return emits

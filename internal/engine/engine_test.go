@@ -405,6 +405,14 @@ func TestMessageCodecRoundTrip(t *testing.T) {
 	if _, err := DecodeMessage([]byte{1}); err == nil {
 		t.Error("truncated message accepted")
 	}
+	// Only the three wire signs decode; the engine-internal rederive sign
+	// (2) must be rejected so a forged datagram cannot re-show a staged
+	// suspect mid-deletion-wave.
+	bad := (&Message{Tuple: types.NewTuple("p", types.Node(1)), Delta: Insert}).Encode(nil)
+	bad[1] = 2
+	if _, err := DecodeMessage(bad); err == nil {
+		t.Error("out-of-range delta sign accepted")
+	}
 }
 
 func TestReferenceOverheadIsExactly24Bytes(t *testing.T) {

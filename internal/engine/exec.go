@@ -279,14 +279,20 @@ func (sh *shard) ruleExecID(rule *CompiledRule, ments []*entry, inputVIDs []type
 // route delivers a derived delta to its destination node: enqueued locally
 // when the head lives here, shipped through the transport otherwise. Under
 // rounds both paths are buffered on the firing shard and handed over at the
-// merge barrier in shard-index order.
+// merge barrier in shard-index order — except while the node is releasing
+// staged re-derivations, which happens between rounds: those deltas go
+// straight to their owner shard's ring (and the transport), where the next
+// round picks them up.
 func (sh *shard) route(head types.Tuple, dst types.NodeID, sign int8, rid types.ID, payload bdd.Ref) {
 	n := sh.n
 	if dst == n.ID {
 		d := localDelta{tuple: head, sign: sign, rid: rid, rloc: n.ID, payload: payload}
-		if n.rounds() {
+		switch {
+		case n.rounds() && !n.releasing:
 			sh.rs.outLocal = append(sh.rs.outLocal, d)
-		} else {
+		case n.rounds():
+			n.ownerShard(d.tuple).enqueue(d)
+		default:
 			sh.enqueue(d)
 		}
 		return
@@ -302,7 +308,7 @@ func (sh *shard) route(head types.Tuple, dst types.NodeID, sign int8, rid types.
 		m.HasRef, m.RID, m.RLoc = true, rid, n.ID
 		m.Payload = n.Mgr.Encode(payload, nil)
 	}
-	if n.rounds() {
+	if n.rounds() && !n.releasing {
 		sh.rs.outMsgs = append(sh.rs.outMsgs, outMsg{to: dst, m: m})
 		return
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"repro/internal/ndlog"
 	"repro/internal/types"
 )
 
@@ -158,6 +159,45 @@ func TestSteadyStateFiringAllocs(t *testing.T) {
 	}
 	if allocs > 1 {
 		t.Errorf("steady-state firing allocated %.2f objects per run, want ≤ 1", allocs)
+	}
+}
+
+// TestSchedulerDeliveryAllocFree pins the zero-alloc send→deliver contract
+// on the cluster Scheduler path: a steady-state event that fires a rule,
+// ships the head cross-node and deposits it at the receiver must stay at or
+// under one allocation end-to-end. Messages are drawn from the sender's
+// pool and released by deliver once deposited; the run loop reuses its
+// active-node scratch. This is the fence for the former "unpooled messages
+// under the scheduler" hot spot.
+func TestSchedulerDeliveryAllocFree(t *testing.T) {
+	prog, err := Compile(ndlog.MustParse(`r1 at(@Y,X) :- eOut(@X,Y), peer(@X,Y).`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(prog, ProvNone, 2, 1, 1)
+	s.InsertBase(0, types.NewTuple("peer", types.Node(0), types.Node(1)))
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ev := types.NewTuple("eOut", types.Node(0), types.Node(1))
+	for i := 0; i < 16; i++ { // warm queues, pools, arenas
+		s.InjectEvent(0, ev)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sent := s.SentMsgs[0]
+	allocs := testing.AllocsPerRun(300, func() {
+		s.InjectEvent(0, ev)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if s.SentMsgs[0] == sent {
+		t.Fatal("no message crossed the scheduler transport")
+	}
+	if allocs > 1 {
+		t.Errorf("scheduler send→deliver allocated %.2f objects per run, want ≤ 1", allocs)
 	}
 }
 

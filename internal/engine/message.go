@@ -25,6 +25,13 @@ const (
 	Update int8 = 0
 )
 
+// rederive is the node-local delta sign of the retraction protocol's second
+// phase: re-show an over-deleted tuple whose alternate derivations survived
+// the deletion wave (see "Deletion semantics" in ARCHITECTURE.md). It never
+// travels in a Message — releases are staged per node and the resulting
+// firings ship as ordinary Insert deltas — so the wire format is untouched.
+const rederive int8 = 2
+
 // Message is one tuple shipped between nodes during protocol execution.
 // The serialized layout is specified in docs/wire-format.md; WireSize and
 // Encode must stay in lockstep so simulated byte counts match deployment.
@@ -92,13 +99,21 @@ func (m *Message) Encode(dst []byte) []byte {
 
 var errBadMessage = errors.New("engine: malformed message")
 
-// DecodeMessage parses a serialized message.
+// DecodeMessage parses a serialized message. The delta byte must be one of
+// the three wire signs (insert/delete/update, docs/wire-format.md) — in
+// particular the engine-internal rederive sign is rejected, so a corrupt or
+// hostile datagram cannot trigger the retraction protocol's phase-2
+// re-show while a deletion wave is in flight.
 func DecodeMessage(b []byte) (*Message, error) {
 	if len(b) < 2 {
 		return nil, errBadMessage
 	}
 	flags := b[0]
-	m := &Message{Delta: int8(b[1])}
+	delta := int8(b[1])
+	if delta != Insert && delta != Delete && delta != Update {
+		return nil, errBadMessage
+	}
+	m := &Message{Delta: delta}
 	used := 2
 	t, n, err := types.DecodeTuple(b[used:])
 	if err != nil {

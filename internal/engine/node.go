@@ -77,6 +77,11 @@ type Node struct {
 
 	shards   []*shard
 	draining bool
+	// releasing is true while ReleaseStaged re-emits deferred work; on a
+	// sharded node it switches route() from round buffering (no round is
+	// active between driver-visible quiescence points) to direct owner-
+	// shard enqueueing.
+	releasing bool
 
 	// Round-runtime state (rounds.go). curRound is the node's monotone
 	// round counter; inRounds is true while a batched round executes
@@ -184,6 +189,24 @@ func (n *Node) DeltasProcessed() int64 {
 	var c int64
 	for _, sh := range n.shards {
 		c += sh.deltasProcessed
+	}
+	return c
+}
+
+// AggGroupCount reports the number of aggregate groups still holding state
+// (a non-empty input multiset, an emitted output, or a live COUNT total)
+// across all shards — the aggregate-side leak check of full-retraction
+// tests: after every base tuple is retracted, it must be zero.
+func (n *Node) AggGroupCount() int {
+	c := 0
+	for _, sh := range n.shards {
+		for _, groups := range sh.aggByRule {
+			for _, g := range groups {
+				if len(g.entries) > 0 || g.hasOut || g.total != 0 {
+					c++
+				}
+			}
+		}
 	}
 	return c
 }
@@ -306,6 +329,69 @@ func (n *Node) syncErr() {
 	for _, sh := range n.shards {
 		if sh.err != nil {
 			n.Err = sh.err
+			return
+		}
+	}
+}
+
+// ReleaseStaged begins the retraction protocol's re-derivation phase on
+// this node: suspects over-deleted with surviving alternate derivations are
+// enqueued for re-insertion and staged aggregate groups emit their deferred
+// winner. It reports whether any work was produced; the caller then runs
+// the node (Flush) — and the whole cluster — to quiescence again, repeating
+// until no node stages further work.
+//
+// Correctness requires the cluster-wide deletion wave to have quiesced
+// first: releasing while delete messages are still in flight re-creates the
+// race between deletion and re-derivation that diverges on cyclic
+// derivations (count-to-infinity). Every driver therefore calls this only
+// at a global quiescence point — the simulator's empty event queue, the
+// scheduler's drained rounds, the deployment's retired work accounting, or
+// Settle under a synchronous transport.
+func (n *Node) ReleaseStaged() bool {
+	n.releasing = true
+	defer func() { n.releasing = false }()
+	any := false
+	for _, sh := range n.shards {
+		if sh.releaseStaged() {
+			any = true
+		}
+	}
+	return any
+}
+
+// Flush runs any pending deposited work to local quiescence under the
+// node's execution strategy (serial drain or sharded rounds).
+func (n *Node) Flush() { n.localFixpoint() }
+
+// ReleaseAndFlush performs one node's release pass: staged phase-2 work is
+// released and, when any was produced, run to local quiescence. It reports
+// whether work was released. This is the shared unit of every
+// flush-style driver's release loop (Settle, the simulator's OnIdle hook,
+// deploy.WaitFixpoint); the Scheduler, whose round loop runs released work
+// itself, calls ReleaseStaged alone.
+func (n *Node) ReleaseAndFlush() bool {
+	if n.Err != nil || !n.ReleaseStaged() {
+		return false
+	}
+	n.Flush()
+	return true
+}
+
+// Settle drives the retraction protocol's release loop across a set of
+// nodes connected by a synchronous transport (one whose Send delivers — and
+// cascades — before returning, like the test harnesses): at entry the
+// deletion wave has globally quiesced, so staged work is released and run,
+// repeatedly, until no node stages anything further.
+func Settle(nodes ...*Node) {
+	for {
+		progress := false
+		for _, n := range nodes {
+			if n.ReleaseAndFlush() {
+				progress = true
+			}
+		}
+		if !progress {
 			return
 		}
 	}

@@ -33,6 +33,11 @@ type PredInfo struct {
 	Arity int
 	Event bool
 	Base  bool // EDB: never derived by a rule
+	// Recursive marks predicates on a cycle of the head→body dependency
+	// graph (stratify.go). Their tuples can carry phantom cyclic support,
+	// so retraction follows the two-phase over-delete/re-derive protocol
+	// instead of exact derivation counting.
+	Recursive bool
 
 	// tableID is a dense index over the program's stored (non-event)
 	// predicates, assigned at compile time so nodes can keep relations in
@@ -56,6 +61,10 @@ type CompiledRule struct {
 	agg         *AggSpec // non-nil for aggregate rules
 	idx         int      // position in Program.Rules; keys per-rule node state
 	source      *ndlog.Rule
+	// headRecursive mirrors PredInfo.Recursive for the head predicate:
+	// aggregate winner promotions triggered by deletes of such rules are
+	// staged for the re-derivation phase (agg.go).
+	headRecursive bool
 }
 
 // AggSpec describes an aggregate rule head.
@@ -160,6 +169,7 @@ func Compile(p *ndlog.Program) (*Program, error) {
 			}
 		}
 	}
+	prog.markRecursive()
 	return prog, nil
 }
 

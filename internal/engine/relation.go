@@ -40,6 +40,12 @@ type entry struct {
 	vidOK  bool
 	stored bool // VID→tuple mapping already registered with the prov store
 
+	// staged marks a suspect of the retraction protocol: the entry was
+	// over-deleted while alternate derivations survived and sits on its
+	// shard's re-derivation list (shard.stagedEnts). Sweep must not reclaim
+	// it — the staged list holds a pointer — and release clears the flag.
+	staged bool
+
 	// Sharded-round bookkeeping (rounds.go; unused in serial mode).
 	// touchRound/startVis snapshot the entry's visibility at the start of
 	// the round that first touched it — the reference point for net-change
@@ -292,9 +298,25 @@ func (r *Relation) setVisible(e *entry, visible bool) {
 		// the delete cascade with e.payload; getOrCreate resets state on
 		// revival.
 		r.dead++
-		if r.dead > 128 && r.dead > 2*r.visible {
+		if r.sweepDue() {
 			r.sweep(e)
 		}
+	}
+}
+
+// sweepDue reports whether tombstones dominate the live population — the
+// single threshold every sweep trigger (inline, noteDead, merge barrier)
+// shares.
+func (r *Relation) sweepDue() bool { return r.dead > 128 && r.dead > 2*r.visible }
+
+// noteDead counts an entry that became derivation-free while already
+// invisible — the over-delete path hides a suspect before its last
+// derivation is consumed, so setVisible's tombstone accounting never sees
+// the transition. Sweeping is deferred to the usual thresholds.
+func (r *Relation) noteDead(e *entry) {
+	r.dead++
+	if !r.deferMaint && r.sweepDue() {
+		r.sweep(e)
 	}
 }
 
@@ -321,7 +343,7 @@ func (r *Relation) unindex(e *entry) {
 // dominate the live population — the deferred-maintenance counterpart of
 // the sweep setVisible triggers inline.
 func (r *Relation) maybeSweepRound() {
-	if r.dead > 128 && r.dead > 2*r.visible {
+	if r.sweepDue() {
 		r.sweep(nil)
 	}
 }
@@ -334,7 +356,7 @@ func (r *Relation) maybeSweepRound() {
 // returns, so it must survive untouched.
 func (r *Relation) sweep(spare *entry) {
 	for k, e := range r.entries {
-		if e != spare && !e.visible && len(e.derivs) == 0 {
+		if e != spare && !e.visible && len(e.derivs) == 0 && !e.staged {
 			delete(r.entries, k)
 			*e = entry{}
 			r.freeEntries = append(r.freeEntries, e)

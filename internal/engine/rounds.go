@@ -227,7 +227,7 @@ func (sh *shard) applyAggItem(it *aggItem) {
 		g = sh.allocAggGroup()
 		groups[string(sh.keyBuf)] = g
 	}
-	for _, em := range g.update(sh, rule.agg, it.groupVals, it.sortVal, it.carried, it.input, it.sign) {
+	for _, em := range g.update(sh, rule, it.groupVals, it.sortVal, it.carried, it.input, it.sign) {
 		out := em.tuple
 		out.Pred = rule.HeadPred
 		sh.emitAggChange(rule, out, em, it.input)

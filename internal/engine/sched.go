@@ -49,6 +49,7 @@ type Scheduler struct {
 	nodes   []*Node
 	workers int
 	staged  [][]outMsg // per source node; written only by that node's task
+	scratch []*Node    // reusable active-node list (Run)
 }
 
 // NewScheduler builds a cluster of nNodes engine nodes with the given
@@ -76,7 +77,17 @@ func NewScheduler(prog *Program, mode ProvMode, nNodes, shardsPerNode, workers i
 	}
 	s.nodes = make([]*Node, nNodes)
 	for i := range s.nodes {
-		s.nodes[i] = NewNodeSharded(types.NodeID(i), prog, mode, schedTransport{s}, alloc, shardsPerNode)
+		n := NewNodeSharded(types.NodeID(i), prog, mode, schedTransport{s}, alloc, shardsPerNode)
+		// Single-shard nodes run their whole local fixpoint on one
+		// goroutine, so each gets a private message free list; deliver
+		// (serial, between rounds) releases messages back to the sender's
+		// pool once deposited. Sharded nodes fire in parallel and bypass
+		// pooling (Node.newMessage), so they keep a nil pool — Put degrades
+		// to a no-op.
+		if n.NumShards() == 1 {
+			n.Msgs = NewMessagePool()
+		}
+		s.nodes[i] = n
 	}
 	return s
 }
@@ -127,19 +138,35 @@ func (s *Scheduler) Err() error {
 }
 
 // Run executes scheduler rounds until the cluster is quiescent: no node has
-// pending deltas and no messages are in flight. It returns the first engine
-// error, if any.
+// pending deltas, no messages are in flight, and no node stages retraction
+// re-derivations. Quiescence of the delta rounds is the scheduler's global
+// quiescence point — every deletion message has been delivered — so staged
+// phase-2 work (suspects with surviving alternate derivations, deferred
+// aggregate winner promotions) is released there, in node order, and the
+// rounds resume until nothing further is staged. It returns the first
+// engine error, if any.
 func (s *Scheduler) Run() error {
-	scratch := make([]*Node, 0, len(s.nodes))
+	if s.scratch == nil {
+		s.scratch = make([]*Node, 0, len(s.nodes))
+	}
 	for {
-		active := scratch[:0]
+		active := s.scratch[:0]
 		for _, n := range s.nodes {
 			if n.Err == nil && n.anyPending() {
 				active = append(active, n)
 			}
 		}
 		if len(active) == 0 {
-			break
+			released := false
+			for _, n := range s.nodes {
+				if n.Err == nil && n.ReleaseStaged() {
+					released = true
+				}
+			}
+			if !released {
+				break
+			}
+			continue
 		}
 		s.Rounds++
 		s.runLocal(active)
@@ -199,7 +226,10 @@ func (n *Node) localFixpoint() {
 }
 
 // deliver moves staged messages into destination shard rings in (source
-// node, emission order) and charges byte accounting.
+// node, emission order) and charges byte accounting. Once deposited, the
+// message struct is released back to its sender's pool (a no-op for sharded
+// senders, which allocate plainly): deliver runs serially between rounds,
+// so the unsynchronized pools see one goroutine.
 func (s *Scheduler) deliver() {
 	for src := range s.staged {
 		msgs := s.staged[src]
@@ -212,6 +242,7 @@ func (s *Scheduler) deliver() {
 			s.SentMsgs[src]++
 			s.RecvBytes[om.to] += size
 			s.nodes[om.to].depositMessage(types.NodeID(src), om.m)
+			s.nodes[src].Msgs.Put(om.m)
 		}
 		s.staged[src] = msgs[:0]
 	}

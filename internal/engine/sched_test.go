@@ -105,7 +105,10 @@ func runSched(t *testing.T, prog *Program, mode ProvMode, nNodes, shards, worker
 }
 
 // runSerialRef computes the same script on the pre-sharding serial engine
-// (plain NewNode + synchronous FIFO transport).
+// (plain NewNode + synchronous FIFO transport). The transport cascades to
+// global quiescence inside every InsertBase/DeleteBase, so each op is
+// followed by a Settle releasing the retraction protocol's staged
+// re-derivations — the serial analogue of the drivers' idle-point release.
 func runSerialRef(t *testing.T, prog *Program, mode ProvMode, nNodes int,
 	edges [][2]int, churn [][2]int, costs map[[2]int]int64) []*Node {
 	t.Helper()
@@ -120,13 +123,16 @@ func runSerialRef(t *testing.T, prog *Program, mode ProvMode, nNodes int,
 		nodes[e[0]].InsertBase(linkTup(e[0], e[1], cost))
 		nodes[e[1]].InsertBase(linkTup(e[1], e[0], cost))
 	}
+	Settle(nodes...)
 	for i, e := range churn {
 		cost := edgeCost(e, costs)
 		nodes[e[0]].DeleteBase(linkTup(e[0], e[1], cost))
 		nodes[e[1]].DeleteBase(linkTup(e[1], e[0], cost))
+		Settle(nodes...)
 		if i%2 == 0 {
 			nodes[e[0]].InsertBase(linkTup(e[0], e[1], cost))
 			nodes[e[1]].InsertBase(linkTup(e[1], e[0], cost))
+			Settle(nodes...)
 		}
 	}
 	for _, n := range nodes {
@@ -177,12 +183,13 @@ func diffStates(t *testing.T, label string, nNodes int, preds []string,
 }
 
 // shardedEquivalence checks serial/sharded agreement on one random graph.
-// extra > 0 adds cycle-closing edges; withChurn retracts and re-inserts a
-// random subset of THOSE extra edges after the first fixpoint. Churn never
-// touches spanning-tree edges: links are symmetric (every edge is a
-// 2-cycle), so a disconnecting deletion under the unbounded MINCOST program
-// is the classic count-to-infinity divergence in ANY execution mode —
-// phantom route costs only stay bounded while a live alternative exists.
+// extra > 0 adds cycle-closing edges; withChurn retracts (and re-inserts
+// half of) a random subset of ALL edges — spanning-tree and cycle-closing
+// alike. Disconnecting deletions and deletions that kill the cheapest route
+// on a cycle are exactly the retractions the two-phase over-delete/
+// re-derive discipline exists for (see ARCHITECTURE.md "Deletion
+// semantics"); before it, unbounded-cost programs diverged here by
+// count-to-infinity and churn had to be pinned to stub edges.
 func shardedEquivalence(t *testing.T, prog *Program, mode ProvMode, preds []string, seed int64, extra int, withChurn bool) {
 	t.Helper()
 	const nNodes = 12
@@ -190,8 +197,8 @@ func shardedEquivalence(t *testing.T, prog *Program, mode ProvMode, preds []stri
 	edges := randomLinks(nNodes, extra, rng)
 	var churn [][2]int
 	if withChurn {
-		for _, e := range edges[nNodes-1:] {
-			if rng.Intn(2) == 0 {
+		for _, e := range edges {
+			if rng.Intn(3) == 0 {
 				churn = append(churn, e)
 			}
 		}
@@ -232,11 +239,10 @@ func equivalenceOn(t *testing.T, prog *Program, mode ProvMode, preds []string,
 }
 
 // topoScript converts a topology's links into the insert script, with churn
-// picking stub-stub links (the same tier the repo's churn experiments
-// remove, chosen so removal never disconnects and MINCOST stays convergent;
-// the unbounded-cost program diverges by count-to-infinity on arbitrary
-// deletions in ANY execution mode — see TestShardedReachChurnMatchesSerial
-// for cyclic-churn coverage with a terminating program).
+// picking arbitrary links — transit and spanning-tree tiers included, not
+// just the stub-stub edges whose removal provably keeps MINCOST convergent.
+// The two-phase retraction discipline makes arbitrary deletions terminate,
+// so churn no longer needs to dodge disconnecting or cycle-breaking links.
 func topoScript(topo *topology.Topology, churnN int) (edges, churn [][2]int, costs map[[2]int]int64) {
 	costs = map[[2]int]int64{}
 	for _, l := range topo.Links {
@@ -244,12 +250,9 @@ func topoScript(topo *topology.Topology, churnN int) (edges, churn [][2]int, cos
 		edges = append(edges, e)
 		costs[e] = l.Cost
 	}
-	for _, li := range topo.StubStubLinks {
-		if churnN == 0 {
-			break
-		}
-		churnN--
-		l := topo.Links[li]
+	for i := 0; i < len(topo.Links) && i < churnN; i++ {
+		// Stride across the link list so the churn sample spans tiers.
+		l := topo.Links[(i*7)%len(topo.Links)]
 		churn = append(churn, [2]int{int(l.U), int(l.V)})
 	}
 	return edges, churn, costs
@@ -260,20 +263,22 @@ func TestShardedMinCostMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The serial reference runs under a synchronous FIFO transport, whose
-	// delivery order only provably converges MINCOST on ring-like
-	// topologies (the same combination the deploy tests rely on) — the
-	// unbounded-cost program is order-sensitive on meshier graphs in any
-	// execution mode. TestSchedulerMatchesSimnet (internal/core) covers the
-	// full transit-stub benchmark topology against the simulator.
+	// The unbounded-cost MINCOST program runs over both ring and meshy
+	// random topologies, with churn hitting arbitrary links (ring edges
+	// whose removal disconnects the logical cycle into a line, and
+	// cycle-closing mesh edges whose removal kills cheapest routes). The
+	// two-phase retraction discipline makes every combination terminate;
+	// TestSchedulerMatchesSimnet (internal/core) covers the full
+	// transit-stub benchmark topology against the simulator.
 	preds := []string{"link", "pathCost", "bestPathCost"}
 	for seed := int64(1); seed <= 2; seed++ {
 		ring := topology.Ring(12, rand.New(rand.NewSource(seed)))
-		edges, churn, costs := topoScript(ring, 0)
-		churn = append(churn, edges[0]) // delete+re-add one ring link
+		edges, churn, costs := topoScript(ring, 3)
 		equivalenceOn(t, prog, ProvReference, preds, ring.N, edges, churn, costs)
 		equivalenceOn(t, prog, ProvNone, preds, ring.N, edges, churn, costs)
 	}
+	shardedEquivalence(t, prog, ProvReference, preds, 5, 4, true)
+	shardedEquivalence(t, prog, ProvNone, preds, 6, 4, true)
 }
 
 func TestShardedPathVectorMatchesSerial(t *testing.T) {
@@ -328,6 +333,7 @@ func TestShardedNodeUnderSyncTransport(t *testing.T) {
 		nodes[e[0]].InsertBase(linkTup(e[0], e[1], cost))
 		nodes[e[1]].InsertBase(linkTup(e[1], e[0], cost))
 	}
+	Settle(nodes...) // release retraction staging from improvement-driven evictions
 	for _, n := range nodes {
 		if n.Err != nil {
 			t.Fatal(n.Err)

@@ -97,6 +97,14 @@ type shard struct {
 	aggEntryArena []aggEntry
 	aggGroupArena []aggGroup
 
+	// Retraction-protocol staging (see ARCHITECTURE.md "Deletion
+	// semantics"): suspects over-deleted with surviving alternate
+	// derivations, and aggregate groups whose winner promotion was
+	// deferred. Both lists are drained by releaseStaged once the driver
+	// detects that the cluster-wide deletion wave has quiesced.
+	stagedEnts   []*entry
+	stagedGroups []stagedGroup
+
 	// err records the first evaluation error raised on this shard; the
 	// merge barrier (or serial drain) propagates it to Node.Err.
 	err error
@@ -239,8 +247,8 @@ func (sh *shard) process(d localDelta, rm bool) {
 		// compiles into a series of insertion and deletion delta rules").
 		// Event provenance rows are recorded symmetrically so data-plane
 		// activity (e.g. packet forwarding) can be traced.
-		if d.sign == Update {
-			return
+		if d.sign != Insert && d.sign != Delete {
+			return // neither Update nor rederive applies to transient events
 		}
 		if n.Mode == ProvReference {
 			// Events have no entry to cache on; hash once per delta.
@@ -331,6 +339,15 @@ func (sh *shard) process(d localDelta, rm bool) {
 			payloadChanged = sh.recomputePayload(e)
 		}
 		if !e.visible {
+			if e.staged {
+				// Retraction phase 1: a suspect absorbs new support
+				// silently. Re-showing it here would let the insert wave
+				// race the still-running deletion wave around derivation
+				// cycles (a hide/show flap that never quiesces); the
+				// release re-shows it — with this derivation counted —
+				// once the deletion wave is done.
+				return
+			}
 			rel.setVisible(e, true)
 			if !rm {
 				sh.fireAll(occs, d.tuple, Insert, e, e.payload)
@@ -352,7 +369,8 @@ func (sh *shard) process(d localDelta, rm bool) {
 			sh.markTouched(rel, e, occs)
 		}
 		dv.count--
-		if dv.count <= 0 {
+		removed := dv.count <= 0
+		if removed {
 			e.delDeriv(d.rid)
 		}
 		if n.Mode == ProvReference && !meta {
@@ -364,13 +382,53 @@ func (sh *shard) process(d localDelta, rm bool) {
 			vid, sh.hashBuf = e.VIDBuf(sh.hashBuf)
 			n.sendProvRow(n.ID, vid, types.ZeroID, n.ID, Delete)
 		}
-		if len(e.derivs) == 0 {
+		switch {
+		case len(e.derivs) == 0:
+			if e.visible {
+				rel.setVisible(e, false)
+				if !rm {
+					sh.fireAll(occs, d.tuple, Delete, e, e.payload)
+				}
+			} else {
+				// A suspect lost its last alternate while hidden; record the
+				// tombstone transition setVisible never observed.
+				rel.noteDead(e)
+			}
+		case removed && e.visible && info != nil && info.Recursive && !meta:
+			// Over-deletion (retraction phase 1): a recursive tuple that
+			// lost a derivation is hidden even though alternates remain —
+			// the alternates may be phantom cyclic support — and staged for
+			// the re-derivation phase, which re-shows it only if support
+			// survives the completed deletion wave (see ARCHITECTURE.md
+			// "Deletion semantics").
 			rel.setVisible(e, false)
+			sh.stageEntry(e)
 			if !rm {
 				sh.fireAll(occs, d.tuple, Delete, e, e.payload)
 			}
-		} else if n.Mode == ProvValue && sh.recomputePayload(e) {
-			sh.fireAll(occs, d.tuple, Update, e, e.payload)
+		case n.Mode == ProvValue && sh.recomputePayload(e):
+			if e.visible {
+				sh.fireAll(occs, d.tuple, Update, e, e.payload)
+			}
+		}
+
+	case rederive:
+		// Retraction phase 2: re-show an over-deleted tuple whose alternate
+		// derivations survived the deletion wave, firing the ordinary
+		// insert cascade so consumers re-derive from it.
+		e := rel.get(d.tuple)
+		if e == nil || e.visible || len(e.derivs) == 0 {
+			return
+		}
+		if rm {
+			sh.markTouched(rel, e, occs)
+		}
+		if n.Mode == ProvValue {
+			sh.recomputePayload(e)
+		}
+		rel.setVisible(e, true)
+		if !rm {
+			sh.fireAll(occs, d.tuple, Insert, e, e.payload)
 		}
 
 	case Update:
@@ -378,7 +436,7 @@ func (sh *shard) process(d localDelta, rm bool) {
 			return
 		}
 		e := rel.get(d.tuple)
-		if e == nil || !e.visible {
+		if e == nil {
 			return
 		}
 		dv := e.findDeriv(d.rid)
@@ -386,10 +444,56 @@ func (sh *shard) process(d localDelta, rm bool) {
 			return
 		}
 		dv.payload = d.payload
-		if sh.recomputePayload(e) {
+		// Suspects absorb payload updates silently; a visibility-preserving
+		// change only propagates for visible tuples.
+		if sh.recomputePayload(e) && e.visible {
 			sh.fireAll(occs, d.tuple, Update, e, e.payload)
 		}
 	}
+}
+
+// stageEntry registers an over-deleted entry with surviving alternate
+// derivations for the re-derivation phase.
+func (sh *shard) stageEntry(e *entry) {
+	if e.staged {
+		return
+	}
+	e.staged = true
+	sh.stagedEnts = append(sh.stagedEnts, e)
+}
+
+// releaseStaged moves this shard's staged re-derivations into actionable
+// work: suspects whose alternate derivations survived the deletion wave are
+// enqueued as rederive deltas, and staged aggregate groups re-refresh,
+// emitting their deferred winner. It reports whether any work was produced
+// (the driver then runs the node to quiescence again). Staging is validated
+// here, not at staging time — a suspect re-shown by a genuine insert, or a
+// group whose output was already rebuilt, releases as a no-op — so release
+// order across shards and nodes cannot affect the fixpoint.
+func (sh *shard) releaseStaged() bool {
+	any := false
+	for i, e := range sh.stagedEnts {
+		sh.stagedEnts[i] = nil
+		e.staged = false
+		if !e.visible && len(e.derivs) > 0 {
+			sh.enqueue(localDelta{tuple: e.tuple, sign: rederive})
+			any = true
+		}
+	}
+	sh.stagedEnts = sh.stagedEnts[:0]
+	for i := range sh.stagedGroups {
+		sg := sh.stagedGroups[i]
+		sh.stagedGroups[i] = stagedGroup{}
+		sg.g.staged = false
+		for _, em := range sg.g.refresh(sh, sg.rule, sg.groupVals, false) {
+			out := em.tuple
+			out.Pred = sg.rule.HeadPred
+			sh.emitAggChange(sg.rule, out, em, types.Tuple{})
+			any = true
+		}
+	}
+	sh.stagedGroups = sh.stagedGroups[:0]
+	return any
 }
 
 func ndlogIsEvent(pred string) bool {
