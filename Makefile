@@ -1,17 +1,17 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml); `make bench` regenerates the machine-readable
-# before/after record in BENCH_PR5.json against the committed PR 4 record,
+# before/after record in BENCH_PR6.json against the committed PR 5 record,
 # and `make bench-compare` prints a benchstat-style delta of a smoke run
-# against the committed BENCH_PR4.json numbers (report-only).
+# against the committed BENCH_PR5.json numbers (report-only).
 
 GO ?= go
 BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkQueryBFS|BenchmarkCacheInvalidation
 # Packages whose tests exercise concurrent code paths (worker shards, the
 # round scheduler, UDP node processes); test-race gates them under the race
 # detector and CI runs it on every push.
-RACE_PKGS := ./internal/engine/... ./internal/provenance/... ./internal/deploy/...
+RACE_PKGS := ./internal/engine/... ./internal/provenance/... ./internal/deploy/... ./internal/transport/...
 
-.PHONY: all build fmt vet test test-race doccheck fuzz-smoke check bench bench-smoke bench-compare clean
+.PHONY: all build fmt vet test test-race chaos-smoke doccheck fuzz-smoke check bench bench-smoke bench-compare clean
 
 all: check
 
@@ -36,6 +36,17 @@ test:
 # would make the gate vacuous).
 test-race:
 	GOMAXPROCS=4 $(GO) test -race $(RACE_PKGS)
+
+# Chaos gate: the seeded fault-schedule matrix under the race detector — the
+# transport state machine end to end, simnet fault injection and timer
+# interleaving, the core chaos-equivalence fences (loss/dup/jitter/partition/
+# crash vs the fault-free fixpoint, all provenance modes), and the deploy
+# loss + kill/restart reconvergence tests over real UDP sockets.
+chaos-smoke:
+	GOMAXPROCS=4 $(GO) test -race ./internal/transport/
+	GOMAXPROCS=4 $(GO) test -race -run 'Fault|OnIdle|Jitter|Partition|Crash|Unreachable' ./internal/simnet/
+	GOMAXPROCS=4 $(GO) test -race -run 'Chaos' ./internal/core/
+	GOMAXPROCS=4 $(GO) test -race -run 'Chaos|Timeout' ./internal/deploy/
 
 # Documentation link check: every local file referenced from the markdown
 # docs must exist, so ARCHITECTURE.md / docs/wire-format.md / README files
@@ -63,31 +74,32 @@ doccheck:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeValue$$' -fuzztime 10s ./internal/types
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTuple$$' -fuzztime 10s ./internal/types
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrameHeader$$' -fuzztime 10s ./internal/transport
 
-check: fmt vet build test test-race doccheck fuzz-smoke
+check: fmt vet build test test-race chaos-smoke doccheck fuzz-smoke
 
 # Full hot-path benchmark run: three samples of each tracked benchmark with
-# allocation stats, compared against the committed PR 4 record into
-# BENCH_PR5.json. The simnet dispatch micro-benchmark is appended with a
+# allocation stats, compared against the committed PR 5 record into
+# BENCH_PR6.json. The simnet dispatch micro-benchmark is appended with a
 # time-based budget (per-op cost is tens of nanoseconds; 10 iterations
 # would be noise).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=10x -count=3 . | tee bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSimnetDispatch' -benchmem -benchtime=2s . | tee -a bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline-json BENCH_PR4.json -current bench_current.txt \
-		-out BENCH_PR5.json -print \
-		-note "before/after results for the convergent-deletion retraction protocol (PR 5); baseline is the PR 4 record on the same hardware. Insert-only fixpoints are unchanged within noise (identical deltas and wire bytes); retraction workloads that previously diverged now terminate. Regenerate with make bench"
+	$(GO) run ./cmd/benchjson -baseline-json BENCH_PR5.json -current bench_current.txt \
+		-out BENCH_PR6.json -print \
+		-note "before/after results for the chaos-ready transport (PR 6); baseline is the PR 5 record on the same hardware. Reliability is strictly opt-in (core Faults/deploy Reliable), so the fault-free hot paths measured here are untouched: same dispatch, same alloc fences. Regenerate with make bench"
 
 # One-iteration smoke run used by CI to catch benchmark bit-rot cheaply.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineFixpoint' -benchtime=1x .
 
 # CI delta report: smoke-run the tracked benchmarks once and print the
-# change against the committed PR 4 record. Report-only — the `-` prefix
+# change against the committed PR 5 record. Report-only — the `-` prefix
 # keeps a regression (or a noisy runner) from failing the job.
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1x . | tee bench_smoke.txt
-	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR4.json -current bench_smoke.txt -print
+	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR5.json -current bench_smoke.txt -print
 
 clean:
 	rm -f bench_current.txt bench_smoke.txt

@@ -23,6 +23,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ndlog"
 	"repro/internal/provquery"
+	"repro/internal/simnet"
 	"repro/internal/topology"
 	"repro/internal/types"
 )
@@ -41,6 +42,10 @@ func main() {
 		"engine worker shards per node (default GOMAXPROCS); with >1 shards a plain\n"+
 			"fixpoint run uses the parallel round scheduler, while -query/-dump-prov/-deploy\n"+
 			"runs keep their driver and shard each node's evaluation internally")
+	faultSeed := flag.Int64("fault-seed", 0, "seed of the injected fault schedule (with -loss/-dup/-partition)")
+	loss := flag.Float64("loss", 0, "per-datagram drop probability in [0,1); traffic then runs over the\nreliable ack/retransmit transport so the fixpoint is unchanged")
+	dupP := flag.Float64("dup", 0, "per-datagram duplication probability in [0,1) (reliable transport, as -loss)")
+	partition := flag.String("partition", "", "scheduled healing partition 'startMs:endMs:n1,n2,...' (simulator only)")
 	flag.Parse()
 
 	prog, err := loadProgram(*app)
@@ -56,22 +61,39 @@ func main() {
 		fatal(err)
 	}
 
+	// A fault schedule, when requested, is seeded and recorded in the
+	// output, so every chaos run is reproducible from its printed flags.
+	var plan *simnet.FaultPlan
+	if *loss > 0 || *dupP > 0 || *partition != "" {
+		plan = &simnet.FaultPlan{Seed: *faultSeed, Drop: *loss, Dup: *dupP}
+		if *partition != "" {
+			start, end, side, err := parsePartition(*partition)
+			if err != nil {
+				fatal(err)
+			}
+			plan.AddPartition(start, end, side...)
+		}
+	}
+
 	if *deployMode {
-		runDeployment(topo, prog, mode, *shards)
+		if *partition != "" {
+			fatal(fmt.Errorf("-partition is simulator-only; -loss/-dup work with -deploy"))
+		}
+		runDeployment(topo, prog, mode, *shards, *loss, *dupP, *faultSeed)
 		return
 	}
 
-	// A plain fixpoint run (no query, no provenance dump) uses the parallel
-	// scheduler when sharding is requested: same results, no simulator in
-	// the way. Queries and dumps need the simulator's virtual clock and the
-	// query processor, so they stay on the simnet driver with per-node
-	// sharding instead.
-	if *shards > 1 && *query == "" && !*dumpProv {
+	// A plain fixpoint run (no query, no provenance dump, no faults) uses
+	// the parallel scheduler when sharding is requested: same results, no
+	// simulator in the way. Queries and dumps need the simulator's virtual
+	// clock and the query processor, fault schedules need its network, so
+	// those stay on the simnet driver with per-node sharding instead.
+	if *shards > 1 && *query == "" && !*dumpProv && plan == nil {
 		runScheduled(topo, prog, mode, *shards)
 		return
 	}
 
-	cfg := core.Config{Topo: topo, Prog: prog, Mode: mode, Shards: *shards}
+	cfg := core.Config{Topo: topo, Prog: prog, Mode: mode, Shards: *shards, Faults: plan}
 	c, err := core.NewCluster(cfg)
 	if err != nil {
 		fatal(err)
@@ -90,6 +112,9 @@ func main() {
 		fatal(fmt.Errorf("unknown -udf %q", *udfName))
 	}
 
+	if plan != nil {
+		fmt.Println(plan.String())
+	}
 	fix, err := c.RunToFixpoint()
 	if err != nil {
 		fatal(err)
@@ -98,6 +123,14 @@ func main() {
 		fix.Seconds(), topo.N, c.Net.NumLinks())
 	fmt.Printf("communication: %.3f MB total, %.4f MB avg per node\n",
 		float64(c.Net.TotalBytes)/1e6, c.AvgCommMB())
+	fmt.Printf("network: %d datagrams dropped\n", c.Net.DroppedMsgs)
+	if plan != nil {
+		st := c.TransportStats()
+		fmt.Printf("faults: %d dropped, %d duplicated, %d cut by partition/crash\n",
+			plan.Dropped, plan.Duplicated, plan.Cut)
+		fmt.Printf("transport: %d data frames, %d retransmits, %d pure acks, %d dups absorbed, %d reordered\n",
+			st.DataSent, st.Retransmits, st.AcksSent, st.DupsDropped, st.OooBuffered)
+	}
 	var deltas, fired int64
 	for _, h := range c.Hosts {
 		deltas += h.Engine.DeltasProcessed()
@@ -166,20 +199,27 @@ func runScheduled(topo *topology.Topology, prog *ndlog.Program, mode engine.Prov
 }
 
 // runDeployment executes the program over real UDP sockets on loopback
-// (the paper's testbed mode) and prints byte and latency statistics.
-func runDeployment(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode, shards int) {
-	cl, err := deploy.NewCluster(deploy.Config{Topo: topo, Prog: prog, Mode: mode, Shards: shards})
+// (the paper's testbed mode) and prints byte and latency statistics. With
+// loss or duplication injected, traffic runs over the reliable transport
+// and the recovery statistics are reported alongside.
+func runDeployment(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode, shards int, loss, dup float64, faultSeed int64) {
+	faulty := loss > 0 || dup > 0
+	cl, err := deploy.NewCluster(deploy.Config{
+		Topo: topo, Prog: prog, Mode: mode, Shards: shards,
+		Reliable: faulty, Loss: loss, Dup: dup, FaultSeed: faultSeed,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer cl.Stop()
 	cl.Start()
 	startAt := time.Now()
+	if faulty {
+		fmt.Printf("faults(seed=%d loss=%.3f dup=%.3f) over reliable transport\n", faultSeed, loss, dup)
+	}
 	cl.InsertLinks()
-	elapsed, ok := cl.WaitFixpoint(120 * time.Second)
-	_ = elapsed
-	if !ok {
-		fatal(fmt.Errorf("no fixpoint within timeout"))
+	if _, err := cl.WaitFixpoint(120 * time.Second); err != nil {
+		fatal(err)
 	}
 	if err := cl.Err(); err != nil {
 		fatal(err)
@@ -188,11 +228,43 @@ func runDeployment(topo *topology.Topology, prog *ndlog.Program, mode engine.Pro
 		time.Since(startAt).Seconds(), topo.N)
 	fmt.Printf("communication: %.1f KB total, %.2f KB avg per node\n",
 		float64(cl.TotalSentBytes())/1e3, cl.AvgSentKB())
+	fmt.Printf("network: %d datagrams dropped\n", cl.Dropped.Load())
+	if faulty {
+		st := cl.TransportStats()
+		fmt.Printf("transport: %d data frames, %d retransmits, %d pure acks, %d dups absorbed, %d reordered\n",
+			st.DataSent, st.Retransmits, st.AcksSent, st.DupsDropped, st.OooBuffered)
+	}
 	for _, pred := range []string{"bestPathCost", "bestPath"} {
 		if n := len(cl.Snapshot(pred)); n > 0 {
 			fmt.Printf("  %-14s %6d tuples\n", pred, n)
 		}
 	}
+}
+
+// parsePartition parses 'startMs:endMs:n1,n2,...' into a healing cut.
+func parsePartition(s string) (start, end simnet.Time, side []types.NodeID, err error) {
+	var startMs, endMs int64
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 {
+		return 0, 0, nil, fmt.Errorf("bad -partition %q, want 'startMs:endMs:n1,n2,...'", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &startMs); err != nil {
+		return 0, 0, nil, fmt.Errorf("bad -partition start %q", parts[0])
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &endMs); err != nil {
+		return 0, 0, nil, fmt.Errorf("bad -partition end %q", parts[1])
+	}
+	if endMs <= startMs {
+		return 0, 0, nil, fmt.Errorf("-partition window [%d,%d) is empty; it must heal after it starts", startMs, endMs)
+	}
+	for _, f := range strings.Split(parts[2], ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 0 {
+			return 0, 0, nil, fmt.Errorf("bad -partition node %q", f)
+		}
+		side = append(side, types.NodeID(n))
+	}
+	return simnet.Time(startMs) * simnet.Millisecond, simnet.Time(endMs) * simnet.Millisecond, side, nil
 }
 
 func setUDF(c *core.Cluster, u provquery.UDF) {

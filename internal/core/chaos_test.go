@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/engine"
+	"repro/internal/ndlog"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Chaos equivalence fences: a cluster run under a seeded fault schedule
+// (probabilistic loss and duplication, latency jitter, healing partitions,
+// fail-pause crashes) must reach the exact fixpoint of the fault-free run —
+// same visible tuples, same provenance rows, same ruleExec rows at every
+// node. The reliable transport (exactly-once, in-order per peer) is what
+// makes this hold: a lost -1 or a duplicated +1 would permanently corrupt
+// the count-based provenance state.
+
+// chaosPlan builds one seeded schedule: moderate loss, duplication and
+// reorder plus a partition across the cluster boot. Every partition heals,
+// so the default retry-forever transport setting is the right one.
+func chaosPlan(seed int64) *simnet.FaultPlan {
+	p := &simnet.FaultPlan{Seed: seed, Drop: 0.15, Dup: 0.1, Jitter: 2 * simnet.Millisecond}
+	p.AddPartition(3*simnet.Millisecond, 25*simnet.Millisecond, 0, 1)
+	return p
+}
+
+// chaosState serializes the full per-node fixpoint state for comparison.
+func chaosState(t *testing.T, c *Cluster, preds []string) []string {
+	t.Helper()
+	out := make([]string, len(c.Hosts))
+	for i, h := range c.Hosts {
+		s := ""
+		for _, pred := range preds {
+			for _, tu := range h.Engine.Tuples(pred) {
+				s += pred + ":" + tu.String() + "\n"
+			}
+		}
+		for _, row := range h.Engine.Store.ProvRows() {
+			s += "prov|" + row + "\n"
+		}
+		for _, row := range h.Engine.Store.RuleExecRows() {
+			s += "re|" + row + "\n"
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// runChaosWorkload runs one cluster to fixpoint, applies deletion churn
+// (base-tuple retractions with interleaved fixpoints; the physical links
+// stay up so retransmissions remain deliverable), and returns the final
+// state. Under a fault plan a second partition is injected mid-churn, so
+// deletion deltas cross a lossy, partitioned wire.
+func runChaosWorkload(t *testing.T, prog *ndlog.Program, preds []string, mode engine.ProvMode, shards int, plan *simnet.FaultPlan) ([]string, *Cluster) {
+	t.Helper()
+	topo := topology.Ring(8, rand.New(rand.NewSource(21)))
+	c, err := NewCluster(Config{Topo: topo, Prog: prog, Mode: mode, Shards: shards, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunToFixpoint(); err != nil {
+		t.Fatalf("boot fixpoint: %v", err)
+	}
+	for k := 0; k < 3; k++ {
+		l := topo.Links[(k*3)%len(topo.Links)]
+		if plan != nil && k == 1 {
+			now := c.Sim.Now()
+			plan.AddPartition(now+simnet.Millisecond, now+15*simnet.Millisecond, l.U)
+		}
+		c.Hosts[l.U].Engine.DeleteBase(apps.LinkTuple(l.U, l.V, l.Cost))
+		c.Hosts[l.V].Engine.DeleteBase(apps.LinkTuple(l.V, l.U, l.Cost))
+		if _, err := c.RunToFixpoint(); err != nil {
+			t.Fatalf("churn fixpoint %d: %v", k, err)
+		}
+	}
+	return chaosState(t, c, preds), c
+}
+
+func TestChaosEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix")
+	}
+	workloads := []struct {
+		name  string
+		prog  *ndlog.Program
+		preds []string
+	}{
+		{"mincost", apps.MinCost(), []string{"link", "pathCost", "bestPathCost"}},
+		{"pathvector", apps.PathVector(), []string{"link", "path", "bestPath", "bestHop"}},
+	}
+	modes := []engine.ProvMode{engine.ProvNone, engine.ProvReference, engine.ProvValue, engine.ProvCentralized}
+	for _, w := range workloads {
+		for _, mode := range modes {
+			want, _ := runChaosWorkload(t, w.prog, w.preds, mode, 0, nil)
+			for _, seed := range []int64{1, 42, 1234} {
+				plan := chaosPlan(seed)
+				got, c := runChaosWorkload(t, w.prog, w.preds, mode, 0, plan)
+				if plan.Dropped+plan.Duplicated+plan.Cut == 0 {
+					t.Fatalf("%s %s seed %d: fault schedule injected nothing", w.name, mode, seed)
+				}
+				if st := c.TransportStats(); st.Retransmits == 0 || st.DupsDropped == 0 {
+					t.Errorf("%s %s seed %d: transport recovered nothing (stats %+v)", w.name, mode, seed, st)
+				}
+				if c.Net.DroppedMsgs == 0 {
+					t.Errorf("%s %s seed %d: network counted no drops", w.name, mode, seed)
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s %s seed %d: node %d fixpoint differs from fault-free run\nfault-free:\n%.2000s\nchaos:\n%.2000s",
+							w.name, mode, seed, i, want[i], got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChaosEquivalenceSharded runs the same fence with sharded engine
+// nodes: endpoint sends from merge rounds stay on the simulator goroutine,
+// so the single-threaded transport contract must hold there too.
+func TestChaosEquivalenceSharded(t *testing.T) {
+	preds := []string{"link", "pathCost", "bestPathCost"}
+	want, _ := runChaosWorkload(t, apps.MinCost(), preds, engine.ProvReference, 3, nil)
+	for _, seed := range []int64{1, 42, 1234} {
+		got, _ := runChaosWorkload(t, apps.MinCost(), preds, engine.ProvReference, 3, chaosPlan(seed))
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("seed %d: sharded node %d chaos fixpoint differs\nfault-free:\n%.2000s\nchaos:\n%.2000s",
+					seed, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestChaosCrashRestart crashes a node mid-churn (fail-pause: its engine
+// and transport state survive, all its traffic is lost while down). After
+// the window closes, retransmission timers resume the conversation in both
+// directions and the cluster must reconverge to the fault-free fixpoint —
+// and then drain to nothing under the full-retraction no-leak invariant,
+// still with loss applied.
+func TestChaosCrashRestart(t *testing.T) {
+	preds := []string{"link", "pathCost", "bestPathCost"}
+	topo := topology.Ring(8, rand.New(rand.NewSource(21)))
+	want, _ := runChaosWorkload(t, apps.MinCost(), preds, engine.ProvReference, 0, nil)
+
+	plan := &simnet.FaultPlan{Seed: 9, Drop: 0.1, Jitter: simnet.Millisecond}
+	plan.AddCrash(3, 2*simnet.Millisecond, 40*simnet.Millisecond)
+	got, c := runChaosWorkload(t, apps.MinCost(), preds, engine.ProvReference, 0, plan)
+	if plan.Cut == 0 {
+		t.Fatal("crash window silenced nothing")
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("node %d fixpoint differs after crash/restart\nfault-free:\n%.2000s\ncrash:\n%.2000s", i, want[i], got[i])
+		}
+	}
+
+	// Full retraction under continuing loss: the no-leak invariant must
+	// survive chaos, not just clean runs.
+	for _, l := range topo.Links {
+		c.Hosts[l.U].Engine.DeleteBase(apps.LinkTuple(l.U, l.V, l.Cost))
+		c.Hosts[l.V].Engine.DeleteBase(apps.LinkTuple(l.V, l.U, l.Cost))
+		if _, err := c.RunToFixpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pred := range preds {
+		if got := len(c.TuplesOf(pred)); got != 0 {
+			t.Errorf("%d %s tuples survive full retraction under loss", got, pred)
+		}
+	}
+	for i, h := range c.Hosts {
+		if g := h.Engine.AggGroupCount(); g != 0 {
+			t.Errorf("node %d: %d aggregate groups leak", i, g)
+		}
+		if n := h.Engine.Store.NumProv(); n != 0 {
+			t.Errorf("node %d: %d prov rows leak", i, n)
+		}
+		if n := h.Engine.Store.NumRuleExec(); n != 0 {
+			t.Errorf("node %d: %d ruleExec rows leak", i, n)
+		}
+		if h.Ep.InFlight() != 0 {
+			t.Errorf("node %d: %d payloads still in flight at fixpoint", i, h.Ep.InFlight())
+		}
+	}
+}

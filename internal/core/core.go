@@ -16,6 +16,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/transport"
 	"repro/internal/types"
 )
 
@@ -46,6 +47,20 @@ type Config struct {
 	// serial engine exactly. Value-based and centralized provenance clamp
 	// to one shard (see engine.NewNodeSharded).
 	Shards int
+
+	// Faults, when non-nil, installs the seeded fault schedule on the
+	// simulated network AND routes all inter-node engine and query traffic
+	// through reliable transport endpoints (package transport): lost or
+	// duplicated deltas would permanently corrupt the count-based
+	// provenance state, so faults and reliability come as a pair. A nil
+	// plan (the default) leaves the zero-allocation fault-free send path
+	// untouched.
+	Faults *simnet.FaultPlan
+
+	// Transport tunes the reliable endpoints when Faults is set (zero
+	// value = package transport defaults). MaxRetries 0 retries forever —
+	// the right setting when every partition in the plan heals.
+	Transport transport.Config
 }
 
 // Host is one node's ExSPAN stack.
@@ -53,10 +68,16 @@ type Host struct {
 	Engine *engine.Node
 	Query  *provquery.Processor
 
+	// Ep is the node's reliable-transport endpoint; non-nil only when the
+	// cluster runs under a FaultPlan.
+	Ep *transport.Endpoint
+
 	// The cluster-wide message free lists (the simulation is
 	// single-threaded, so senders and receivers share them). A message is
 	// released here, after its handler returns — the simnet delivery is
-	// the last point the transport owns it.
+	// the last point the transport owns it. Under reliable transport the
+	// SENDER's endpoint owns a message until it is acked (it may need to
+	// retransmit), so frame deliveries must not Put; the Release hook does.
 	msgs *engine.MessagePool
 	qry  *provquery.MsgPool
 }
@@ -70,6 +91,8 @@ func (h *Host) HandleMessage(from types.NodeID, payload any, size int) {
 	case *provquery.Msg:
 		h.Query.Handle(from, m)
 		h.qry.Put(m)
+	case *transport.Frame:
+		h.Ep.OnFrame(from, m)
 	default:
 		panic(fmt.Sprintf("core: unknown payload %T", payload))
 	}
@@ -94,6 +117,22 @@ func (t simTransport) Send(from, to types.NodeID, m *engine.Message) {
 	t.nw.Send(from, to, m, m.WireSize())
 }
 
+// reliableTransport routes inter-node engine traffic through the node's
+// reliable endpoint. Self-sends stay local events (they never touch the
+// faulty wire) and keep the direct path.
+type reliableTransport struct {
+	nw *simnet.Network
+	ep *transport.Endpoint
+}
+
+func (t reliableTransport) Send(from, to types.NodeID, m *engine.Message) {
+	if from == to {
+		t.nw.Send(from, to, m, m.WireSize())
+		return
+	}
+	t.ep.Send(to, m, m.WireSize())
+}
+
 // NewCluster builds a simulated cluster and schedules the injection of the
 // topology's base link tuples at virtual time zero.
 func NewCluster(cfg Config) (*Cluster, error) {
@@ -110,6 +149,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.BandwidthBucketNs > 0 {
 		nw.Recorder = stats.NewBandwidth(cfg.BandwidthBucketNs)
 	}
+	nw.InstallFaults(cfg.Faults)
 	alloc := algebra.NewVarAlloc()
 	udf := cfg.UDF
 	if udf == nil {
@@ -128,17 +168,60 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	qryPool := provquery.NewMsgPool()
 	for i := 0; i < cfg.Topo.N; i++ {
 		id := types.NodeID(i)
-		en := engine.NewNodeSharded(id, prog, cfg.Mode, simTransport{nw}, alloc, cfg.Shards)
+		// Under a fault plan the endpoint must exist before the engine (the
+		// engine's transport routes through it) while its Deliver hook needs
+		// the engine — the closures capture `en` by reference to break the
+		// cycle; no frame can arrive before NewCluster returns.
+		var en *engine.Node
+		var qp *provquery.Processor
+		var ep *transport.Endpoint
+		if cfg.Faults != nil {
+			ep = transport.New(id, cfg.Transport, transport.Hooks{
+				Send: func(to types.NodeID, f *transport.Frame) {
+					nw.Send(id, to, f, f.Size+transport.HeaderBytes)
+				},
+				Deliver: func(from types.NodeID, payload any, size int) {
+					switch m := payload.(type) {
+					case *engine.Message:
+						en.HandleMessage(from, m) // sender releases it on ack
+					case *provquery.Msg:
+						qp.Handle(from, m)
+					default:
+						panic(fmt.Sprintf("core: unknown reliable payload %T", payload))
+					}
+				},
+				Schedule: func(delayNs int64, fn func()) {
+					sim.At(sim.Now()+simnet.Time(delayNs), fn)
+				},
+				Release: func(payload any) {
+					switch m := payload.(type) {
+					case *engine.Message:
+						msgPool.Put(m)
+					case *provquery.Msg:
+						qryPool.Put(m)
+					}
+				},
+			})
+		}
+		var tr engine.Transport = simTransport{nw}
+		if ep != nil {
+			tr = reliableTransport{nw: nw, ep: ep}
+		}
+		en = engine.NewNodeSharded(id, prog, cfg.Mode, tr, alloc, cfg.Shards)
 		en.Central = cfg.Central
 		en.Msgs = msgPool // nil for sharded clusters (see above)
-		qp := provquery.NewProcessor(id, en.Store, udf, func(to types.NodeID, m *provquery.Msg) {
+		qp = provquery.NewProcessor(id, en.Store, udf, func(to types.NodeID, m *provquery.Msg) {
+			if ep != nil && to != id {
+				ep.Send(to, m, m.WireSize())
+				return
+			}
 			nw.Send(id, to, m, m.WireSize())
 		})
 		qp.Strategy = cfg.Strategy
 		qp.Threshold = cfg.Threshold
 		qp.CacheOn = cfg.CacheOn
 		qp.Msgs = qryPool
-		h := &Host{Engine: en, Query: qp, msgs: msgPool, qry: qryPool}
+		h := &Host{Engine: en, Query: qp, Ep: ep, msgs: msgPool, qry: qryPool}
 		nw.Register(id, h)
 		c.Hosts = append(c.Hosts, h)
 	}
@@ -157,7 +240,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	// alternate derivations, deferred aggregate winner promotions) are
 	// released here, in node order, and the simulation resumes until no
 	// host stages further work.
+	//
+	// Under reliable transport "no message events queued" is NOT global
+	// quiescence: a delta the network dropped is still in flight for the
+	// retraction protocol while its sender waits to retransmit. Whenever
+	// any endpoint has unacked payloads, a live retransmission timer
+	// exists (transport invariant), so declining to release here lets Run
+	// pop that timer and drive recovery first.
 	sim.OnIdle = func() bool {
+		if cfg.Faults != nil {
+			for _, h := range c.Hosts {
+				if h.Ep.InFlight() > 0 {
+					return false
+				}
+			}
+		}
 		any := false
 		for _, h := range c.Hosts {
 			if h.Engine.ReleaseAndFlush() {
@@ -191,14 +288,40 @@ func (c *Cluster) RunUntil(t simnet.Time) error {
 	return c.Err()
 }
 
-// Err reports the first engine error across hosts.
+// Err reports the first engine or transport error across hosts.
 func (c *Cluster) Err() error {
 	for _, h := range c.Hosts {
 		if h.Engine.Err != nil {
 			return h.Engine.Err
 		}
+		if h.Ep != nil {
+			if err := h.Ep.Err(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// TransportStats sums the reliable-endpoint counters across hosts. All
+// zeros in fault-free runs (no endpoints exist).
+func (c *Cluster) TransportStats() transport.Stats {
+	var s transport.Stats
+	for _, h := range c.Hosts {
+		if h.Ep == nil {
+			continue
+		}
+		st := h.Ep.Stats
+		s.DataSent += st.DataSent
+		s.Retransmits += st.Retransmits
+		s.AcksSent += st.AcksSent
+		s.Delivered += st.Delivered
+		s.DupsDropped += st.DupsDropped
+		s.OooBuffered += st.OooBuffered
+		s.OooDropped += st.OooDropped
+		s.DeadDropped += st.DeadDropped
+	}
+	return s
 }
 
 // AddLink installs a new physical link and its symmetric base tuples at the

@@ -7,6 +7,7 @@ package deploy
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -18,13 +19,18 @@ import (
 	"repro/internal/provquery"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/transport"
 	"repro/internal/types"
 )
 
-// Datagram type tags.
+// Datagram type tags. tagReliable wraps either of the other two in a
+// reliable frame: tag(1) + from(4) + frame header (transport.HeaderBytes) +
+// [inner tag(1) + payload] — pure acks carry no inner part. The layout is
+// normative in docs/wire-format.md "Reliable frame header".
 const (
-	tagEngine byte = 0
-	tagQuery  byte = 1
+	tagEngine   byte = 0
+	tagQuery    byte = 1
+	tagReliable byte = 2
 )
 
 // ipUDPOverhead is the per-datagram header cost (IPv4 + UDP) added to byte
@@ -45,6 +51,48 @@ type Config struct {
 	// evaluated by the parallel round runtime; fixpoint results match the
 	// serial engine exactly.
 	Shards int
+
+	// Reliable routes all inter-node traffic through ack/retransmit
+	// endpoints (package transport): exactly-once in-order delivery over
+	// the lossy UDP substrate, at the cost of one frame header per
+	// datagram plus ack traffic. Required for fault injection and for
+	// Kill/Restart — a lost or duplicated delta permanently corrupts the
+	// count-based provenance state.
+	Reliable bool
+
+	// Loss and Dup inject per-datagram drop/duplication probabilities at
+	// the send path (self-traffic is exempt: loopback to the own socket is
+	// a local event, as in the simulator). Requires Reliable.
+	Loss, Dup float64
+
+	// FaultSeed seeds the injection RNG, making the drop/dup decision
+	// sequence reproducible (wall-clock interleaving still varies).
+	FaultSeed int64
+
+	// Transport tunes the reliable endpoints (zero value = package
+	// transport defaults).
+	Transport transport.Config
+
+	// FixpointTimeout is the default loss backstop used by WaitFixpoint
+	// when its argument is <= 0 (and itself defaults to
+	// DefaultFixpointTimeout when zero).
+	FixpointTimeout time.Duration
+}
+
+// DefaultFixpointTimeout backstops WaitFixpoint against genuine datagram
+// loss when neither the call site nor Config picks a budget.
+const DefaultFixpointTimeout = 120 * time.Second
+
+// FixpointTimeoutError reports a WaitFixpoint that gave up: work items were
+// still outstanding when the loss backstop elapsed.
+type FixpointTimeoutError struct {
+	Waited          time.Duration
+	Sent, Processed int64
+}
+
+func (e *FixpointTimeoutError) Error() string {
+	return fmt.Sprintf("deploy: no fixpoint after %v (%d of %d work items retired)",
+		e.Waited, e.Processed, e.Sent)
 }
 
 // Cluster is a set of ExSPAN node processes communicating over UDP.
@@ -63,6 +111,15 @@ type Cluster struct {
 	// empty event queue. WaitFixpoint blocks on it instead of sleep-polling,
 	// so convergence detection is driven by work accounting, not timers.
 	quiet chan struct{}
+
+	// Dropped counts every datagram discarded instead of delivered:
+	// injected faults, traffic to/from killed nodes, and malformed or
+	// truncated receives (the socket-overflow analogue of the simulator's
+	// Network.DroppedMsgs).
+	Dropped atomic.Int64
+
+	faultMu  sync.Mutex
+	faultRng *rand.Rand
 }
 
 // NodeProc is one deployed node: an engine + query processor served by a
@@ -81,9 +138,25 @@ type NodeProc struct {
 	// Message free lists. All engine and query activity of a node runs on
 	// its single worker goroutine, so the unsynchronized pools are safe:
 	// outgoing messages are released right after serialization, incoming
-	// ones after their handler returns.
+	// ones after their handler returns. (This holds in reliable mode too:
+	// the endpoint's send queue stores serialized bytes, never the pooled
+	// struct.)
 	engPool *engine.MessagePool
 	qryPool *provquery.MsgPool
+
+	// ep is the reliable-transport endpoint (Config.Reliable). Like the
+	// engine it is confined to the worker goroutine: frames and timer
+	// callbacks are dispatched through the inbox.
+	ep *transport.Endpoint
+
+	// down marks a fail-paused node (Kill/Restart): all its network
+	// traffic is discarded in both directions while engine, endpoint and
+	// socket state survive. Self-datagrams are exempt — they are local
+	// events, as in the simulator's crash windows.
+	down atomic.Bool
+
+	deadMu  sync.Mutex
+	deadErr error
 
 	SentBytes atomic.Int64
 	SentMsgs  atomic.Int64
@@ -95,13 +168,26 @@ type work struct {
 	from    types.NodeID
 	engMsg  *engine.Message
 	qryMsg  *provquery.Msg
+	frame   *transport.Frame
 	command func()
+}
+
+// relPayload is what a reliable endpoint's send queue holds: the inner tag
+// plus the already-serialized message bytes, ready for retransmission long
+// after the originating struct went back to its pool.
+type relPayload struct {
+	tag  byte
+	data []byte
 }
 
 type udpTransport struct{ np *NodeProc }
 
 func (t udpTransport) Send(from, to types.NodeID, m *engine.Message) {
-	t.np.sendDatagram(to, tagEngine, m.Encode(nil))
+	if t.np.ep != nil && to != t.np.ID {
+		t.np.sendReliable(to, tagEngine, m.Encode(nil))
+	} else {
+		t.np.sendDatagram(to, tagEngine, m.Encode(nil))
+	}
 	t.np.engPool.Put(m)
 }
 
@@ -112,7 +198,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if (cfg.Loss > 0 || cfg.Dup > 0) && !cfg.Reliable {
+		return nil, fmt.Errorf("deploy: fault injection requires Config.Reliable — a lost or duplicated delta corrupts provenance counts")
+	}
 	cl := &Cluster{Cfg: cfg, Prog: prog, start: time.Now(), quiet: make(chan struct{}, 1)}
+	if cfg.Loss > 0 || cfg.Dup > 0 {
+		cl.faultRng = rand.New(rand.NewSource(cfg.FaultSeed))
+	}
 	alloc := algebra.NewVarAlloc()
 	udf := cfg.UDF
 	if udf == nil {
@@ -136,6 +228,46 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			engPool:  engine.NewMessagePool(),
 			qryPool:  provquery.NewMsgPool(),
 		}
+		if cfg.Reliable {
+			np.ep = transport.New(np.ID, cfg.Transport, transport.Hooks{
+				Send: func(to types.NodeID, f *transport.Frame) {
+					np.writeDatagram(to, np.frameReliable(f))
+				},
+				Deliver: func(from types.NodeID, payload any, size int) {
+					rp := payload.(relPayload)
+					switch rp.tag {
+					case tagEngine:
+						if m, err := engine.DecodeMessage(rp.data); err == nil {
+							np.Engine.HandleMessage(from, m)
+							np.engPool.Put(m)
+							return
+						}
+					case tagQuery:
+						if m, err := provquery.DecodeMsg(rp.data); err == nil {
+							np.Query.Handle(from, m)
+							np.qryPool.Put(m)
+							return
+						}
+					}
+					cl.Dropped.Add(1)
+				},
+				Schedule: func(delayNs int64, fn func()) {
+					time.AfterFunc(time.Duration(delayNs), func() { np.tryDo(fn) })
+				},
+				// Payload-level work accounting: the item issued at
+				// sendReliable is retired when the peer acks it (or the
+				// peer is declared dead) — a dropped datagram awaiting
+				// retransmission keeps the cluster non-quiescent.
+				Release: func(any) { cl.workDone() },
+				PeerDead: func(err error) {
+					np.deadMu.Lock()
+					if np.deadErr == nil {
+						np.deadErr = err
+					}
+					np.deadMu.Unlock()
+				},
+			})
+		}
 		en := engine.NewNodeSharded(np.ID, prog, cfg.Mode, udpTransport{np}, alloc, cfg.Shards)
 		en.Central = cfg.Central
 		if en.NumShards() > 1 {
@@ -147,7 +279,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		en.Msgs = np.engPool
 		qp := provquery.NewProcessor(np.ID, en.Store, udf, func(to types.NodeID, m *provquery.Msg) {
-			np.sendDatagram(to, tagQuery, m.Encode(nil))
+			if np.ep != nil && to != np.ID {
+				np.sendReliable(to, tagQuery, m.Encode(nil))
+			} else {
+				np.sendDatagram(to, tagQuery, m.Encode(nil))
+			}
 			np.qryPool.Put(m)
 		})
 		qp.CacheOn = cfg.CacheOn
@@ -215,17 +351,70 @@ func (np *NodeProc) Do(fn func()) {
 	np.inbox <- work{command: fn}
 }
 
-func (np *NodeProc) sendDatagram(to types.NodeID, tag byte, payload []byte) {
-	buf := make([]byte, 0, len(payload)+5)
-	buf = append(buf, tag)
-	var idb [4]byte
-	idb[0] = byte(uint32(np.ID) >> 24)
-	idb[1] = byte(uint32(np.ID) >> 16)
-	idb[2] = byte(uint32(np.ID) >> 8)
-	idb[3] = byte(uint32(np.ID))
-	buf = append(buf, idb[:]...)
-	buf = append(buf, payload...)
+// tryDo is Do for callers that must not block forever on a stopped node
+// (retransmission timer callbacks firing after Stop): the issued work item
+// is retired immediately if the node is gone.
+func (np *NodeProc) tryDo(fn func()) {
+	np.cl.sent.Add(1)
+	select {
+	case np.inbox <- work{command: fn}:
+	case <-np.done:
+		np.cl.workDone()
+	}
+}
 
+// header prepends tag + sender id to payload.
+func (np *NodeProc) header(buf []byte, tag byte) []byte {
+	buf = append(buf, tag)
+	id := uint32(np.ID)
+	return append(buf, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+}
+
+// frameReliable serializes one reliable frame into a fresh datagram buffer.
+func (np *NodeProc) frameReliable(f *transport.Frame) []byte {
+	buf := make([]byte, 0, 5+transport.HeaderBytes+1+f.Size)
+	buf = np.header(buf, tagReliable)
+	buf = transport.EncodeHeader(buf, f.Seq, f.Ack)
+	if f.Seq != 0 {
+		rp := f.Payload.(relPayload)
+		buf = append(buf, rp.tag)
+		buf = append(buf, rp.data...)
+	}
+	return buf
+}
+
+// sendReliable queues one payload on the node's endpoint. Work accounting
+// is payload-level here: the item issued now is retired by the Release
+// hook on ack (or peer death), so retransmits and pure acks stay uncounted
+// and quiescence means "everything delivered", not "everything written".
+func (np *NodeProc) sendReliable(to types.NodeID, tag byte, payload []byte) {
+	np.cl.sent.Add(1)
+	np.ep.Send(to, relPayload{tag: tag, data: payload}, len(payload)+1)
+}
+
+// sendDatagram writes one unreliable, work-counted datagram (the classic
+// path; also self-traffic in reliable mode — loopback to the own socket
+// never crosses the faulty wire).
+func (np *NodeProc) sendDatagram(to types.NodeID, tag byte, payload []byte) {
+	buf := np.header(make([]byte, 0, len(payload)+5), tag)
+	buf = append(buf, payload...)
+	np.cl.sent.Add(1)
+	if !np.writeDatagram(to, buf) {
+		// A send that never reaches the peer would stall quiescence;
+		// account it as processed.
+		np.cl.workDone()
+	}
+}
+
+// writeDatagram charges and writes one framed datagram, applying the
+// fail-pause window and injected faults. Reports whether the datagram made
+// it onto the wire.
+func (np *NodeProc) writeDatagram(to types.NodeID, buf []byte) bool {
+	if to != np.ID && np.down.Load() {
+		// A killed node emits nothing; uncharged, as the send never happened.
+		np.cl.Dropped.Add(1)
+		return false
+	}
 	total := int64(len(buf) + ipUDPOverhead)
 	np.SentBytes.Add(total)
 	np.SentMsgs.Add(1)
@@ -233,12 +422,31 @@ func (np *NodeProc) sendDatagram(to types.NodeID, tag byte, payload []byte) {
 	np.Recorder.Record(int64(time.Since(np.cl.start)), total)
 	np.recMu.Unlock()
 
-	np.cl.sent.Add(1)
-	if _, err := np.conn.WriteToUDP(buf, np.cl.addrs[to]); err != nil {
-		// A send that never reaches the peer would stall quiescence;
-		// account it as processed.
-		np.cl.workDone()
+	if to != np.ID && np.cl.rollFault(np.cl.Cfg.Loss) {
+		// Charged, then lost on the wire — as the simulator does it.
+		np.cl.Dropped.Add(1)
+		return false
 	}
+	if _, err := np.conn.WriteToUDP(buf, np.cl.addrs[to]); err != nil {
+		return false
+	}
+	if to != np.ID && np.cl.rollFault(np.cl.Cfg.Dup) {
+		_, _ = np.conn.WriteToUDP(buf, np.cl.addrs[to])
+	}
+	return true
+}
+
+// rollFault draws one seeded fault decision (sends run on many worker
+// goroutines, hence the lock; the decision sequence is reproducible, the
+// goroutine interleaving is not).
+func (c *Cluster) rollFault(prob float64) bool {
+	if prob <= 0 || c.faultRng == nil {
+		return false
+	}
+	c.faultMu.Lock()
+	v := c.faultRng.Float64()
+	c.faultMu.Unlock()
+	return v < prob
 }
 
 func (np *NodeProc) recvLoop() {
@@ -249,31 +457,69 @@ func (np *NodeProc) recvLoop() {
 			return
 		}
 		if n < 5 {
+			np.cl.Dropped.Add(1)
 			np.cl.workDone()
 			continue
 		}
 		tag := buf[0]
 		from := types.NodeID(int32(uint32(buf[1])<<24 | uint32(buf[2])<<16 | uint32(buf[3])<<8 | uint32(buf[4])))
-		payload := make([]byte, n-5)
-		copy(payload, buf[5:n])
+		if from != np.ID && np.down.Load() {
+			// Fail-pause: a killed node hears nothing. Reliable senders
+			// retransmit after Restart; frames were never work-counted.
+			np.cl.Dropped.Add(1)
+			if tag != tagReliable {
+				np.cl.workDone()
+			}
+			continue
+		}
 		var w work
 		w.from = from
 		switch tag {
 		case tagEngine:
+			payload := make([]byte, n-5)
+			copy(payload, buf[5:n])
 			m, err := engine.DecodeMessage(payload)
 			if err != nil {
+				np.cl.Dropped.Add(1)
 				np.cl.workDone()
 				continue
 			}
 			w.engMsg = m
 		case tagQuery:
+			payload := make([]byte, n-5)
+			copy(payload, buf[5:n])
 			m, err := provquery.DecodeMsg(payload)
 			if err != nil {
+				np.cl.Dropped.Add(1)
 				np.cl.workDone()
 				continue
 			}
 			w.qryMsg = m
+		case tagReliable:
+			if np.ep == nil {
+				np.cl.Dropped.Add(1)
+				continue
+			}
+			seq, ack, err := transport.DecodeHeader(buf[5:n])
+			if err != nil {
+				np.cl.Dropped.Add(1)
+				continue
+			}
+			f := &transport.Frame{Seq: seq, Ack: ack}
+			if seq != 0 {
+				inner := buf[5+transport.HeaderBytes : n]
+				if len(inner) < 1 {
+					np.cl.Dropped.Add(1)
+					continue
+				}
+				data := make([]byte, len(inner)-1)
+				copy(data, inner[1:])
+				f.Payload = relPayload{tag: inner[0], data: data}
+				f.Size = len(inner)
+			}
+			w.frame = f
 		default:
+			np.cl.Dropped.Add(1)
 			np.cl.workDone()
 			continue
 		}
@@ -292,6 +538,12 @@ func (np *NodeProc) workLoop() {
 			switch {
 			case w.command != nil:
 				w.command()
+			case w.frame != nil:
+				// Frames carry their own payload-level accounting (issued
+				// at sendReliable, retired by the sender's Release hook on
+				// ack), so no workDone here.
+				np.ep.OnFrame(w.from, w.frame)
+				continue
 			case w.engMsg != nil:
 				np.Engine.HandleMessage(w.from, w.engMsg)
 				np.engPool.Put(w.engMsg)
@@ -304,6 +556,26 @@ func (np *NodeProc) workLoop() {
 			return
 		}
 	}
+}
+
+// Kill fail-pauses a node: from now on all its network traffic is dropped
+// in both directions, while its engine, endpoint, socket and worker state
+// survive (the durable-state story is ROADMAP item 4 — a restarted process
+// with fresh state could not reconcile derivation counts). Requires
+// Config.Reliable: without retransmission the silenced deltas would be
+// lost for good.
+func (c *Cluster) Kill(id types.NodeID) {
+	if !c.Cfg.Reliable {
+		panic("deploy: Kill requires Config.Reliable (lost deltas corrupt provenance counts)")
+	}
+	c.Nodes[id].down.Store(true)
+}
+
+// Restart ends a node's fail-pause window. Peers' retransmission timers
+// (and the node's own) resume every silenced conversation, which stands in
+// for base-tuple re-announcement.
+func (c *Cluster) Restart(id types.NodeID) {
+	c.Nodes[id].down.Store(false)
 }
 
 // workDone retires one work item and pokes WaitFixpoint when the cluster
@@ -322,23 +594,38 @@ func (c *Cluster) workDone() {
 // WaitFixpoint blocks until the cluster is quiescent (every issued work
 // item fully handled and no node staging retraction re-derivations) or the
 // timeout elapses; it returns the elapsed wall-clock time since cluster
-// start and whether a fixpoint was reached. Quiescence is detected from the
-// work accounting itself — workers signal when processed catches up with
-// sent — so a loaded or race-instrumented run converges exactly as fast as
-// it actually processes work, with no sleep-poll granularity in the way.
-// The timeout remains as a backstop for genuine datagram loss.
+// start, and a *FixpointTimeoutError if the budget ran out. A timeout <= 0
+// selects Config.FixpointTimeout (itself defaulting to
+// DefaultFixpointTimeout). Quiescence is detected from the work accounting
+// itself — workers signal when processed catches up with sent — so a
+// loaded or race-instrumented run converges exactly as fast as it actually
+// processes work, with no sleep-poll granularity in the way. The timeout
+// remains as a backstop for genuine, unrecovered datagram loss.
 //
 // Work-accounting quiescence is the deployment's global quiescence point —
 // no deletion datagram can still be in flight — so the retraction
 // protocol's staged phase-2 work is released here (on each node's worker
 // goroutine, where all engine state is confined) and the wait repeats until
-// a quiescent pass releases nothing.
-func (c *Cluster) WaitFixpoint(timeout time.Duration) (time.Duration, bool) {
+// a quiescent pass releases nothing. Under reliable transport a payload
+// only retires on ack (or peer death), so counters-equal also implies no
+// endpoint holds unacked data: a dropped delta awaiting retransmission
+// keeps the cluster non-quiescent and the staged work unreleased.
+func (c *Cluster) WaitFixpoint(timeout time.Duration) (time.Duration, error) {
+	if timeout <= 0 {
+		timeout = c.Cfg.FixpointTimeout
+	}
+	if timeout <= 0 {
+		timeout = DefaultFixpointTimeout
+	}
 	deadline := time.Now().Add(timeout)
 	for {
 		budget := time.Until(deadline)
 		if budget <= 0 || !c.waitQuiet(budget) {
-			return time.Since(c.start), false
+			return time.Since(c.start), &FixpointTimeoutError{
+				Waited:    timeout,
+				Sent:      c.sent.Load(),
+				Processed: c.processed.Load(),
+			}
 		}
 		var released atomic.Bool
 		var wg sync.WaitGroup
@@ -354,7 +641,7 @@ func (c *Cluster) WaitFixpoint(timeout time.Duration) (time.Duration, bool) {
 		}
 		wg.Wait()
 		if !released.Load() {
-			return time.Since(c.start), true
+			return time.Since(c.start), nil
 		}
 	}
 }
@@ -381,14 +668,52 @@ func (c *Cluster) waitQuiet(budget time.Duration) bool {
 	}
 }
 
-// Err reports the first engine error across nodes.
+// Err reports the first engine or transport error across nodes.
 func (c *Cluster) Err() error {
 	for _, np := range c.Nodes {
 		if err := np.Engine.Err; err != nil {
 			return err
 		}
+		np.deadMu.Lock()
+		err := np.deadErr
+		np.deadMu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// TransportStats sums the reliable-endpoint counters across nodes (all
+// zeros in unreliable clusters). Each endpoint is read on its own worker
+// goroutine, so this quiesces in-flight handling like Snapshot does.
+func (c *Cluster) TransportStats() transport.Stats {
+	var mu sync.Mutex
+	var s transport.Stats
+	var wg sync.WaitGroup
+	for _, np := range c.Nodes {
+		np := np
+		if np.ep == nil {
+			continue
+		}
+		wg.Add(1)
+		np.Do(func() {
+			defer wg.Done()
+			st := np.ep.Stats
+			mu.Lock()
+			s.DataSent += st.DataSent
+			s.Retransmits += st.Retransmits
+			s.AcksSent += st.AcksSent
+			s.Delivered += st.Delivered
+			s.DupsDropped += st.DupsDropped
+			s.OooBuffered += st.OooBuffered
+			s.OooDropped += st.OooDropped
+			s.DeadDropped += st.DeadDropped
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	return s
 }
 
 // TotalSentBytes sums bytes sent by all nodes.

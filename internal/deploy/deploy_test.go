@@ -25,8 +25,8 @@ func TestDeployFigure3(t *testing.T) {
 	defer cl.Stop()
 	cl.Start()
 	cl.InsertLinks()
-	if _, ok := cl.WaitFixpoint(10 * time.Second); !ok {
-		t.Fatal("no fixpoint within timeout")
+	if _, err := cl.WaitFixpoint(10 * time.Second); err != nil {
+		t.Fatal(err)
 	}
 	if err := cl.Err(); err != nil {
 		t.Fatal(err)
@@ -64,9 +64,9 @@ func TestDeployRingPathVector(t *testing.T) {
 		}
 		cl.Start()
 		cl.InsertLinks()
-		if _, ok := cl.WaitFixpoint(20 * time.Second); !ok {
+		if _, err := cl.WaitFixpoint(20 * time.Second); err != nil {
 			cl.Stop()
-			t.Fatalf("mode %s: no fixpoint", mode)
+			t.Fatalf("mode %s: %v", mode, err)
 		}
 		if err := cl.Err(); err != nil {
 			cl.Stop()
@@ -100,8 +100,8 @@ func TestDeployMatchesSimulation(t *testing.T) {
 	defer cl.Stop()
 	cl.Start()
 	cl.InsertLinks()
-	if _, ok := cl.WaitFixpoint(10 * time.Second); !ok {
-		t.Fatal("no fixpoint")
+	if _, err := cl.WaitFixpoint(10 * time.Second); err != nil {
+		t.Fatal(err)
 	}
 	deployed := map[string]bool{}
 	for _, tu := range cl.Snapshot("bestPathCost") {

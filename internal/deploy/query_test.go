@@ -28,8 +28,8 @@ func TestDeployedProvenanceQuery(t *testing.T) {
 	defer cl.Stop()
 	cl.Start()
 	cl.InsertLinks()
-	if _, ok := cl.WaitFixpoint(10 * time.Second); !ok {
-		t.Fatal("no protocol fixpoint")
+	if _, err := cl.WaitFixpoint(10 * time.Second); err != nil {
+		t.Fatal(err)
 	}
 	if err := cl.Err(); err != nil {
 		t.Fatal(err)

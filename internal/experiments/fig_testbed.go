@@ -76,10 +76,8 @@ func deployRun(topo *topology.Topology, mode engine.ProvMode) (avgKB float64, fi
 	cl.Start()
 	insertStart := time.Now()
 	cl.InsertLinks()
-	elapsed, ok := cl.WaitFixpoint(60 * time.Second)
-	_ = elapsed
-	if !ok {
-		return 0, 0, fmt.Errorf("no fixpoint within timeout")
+	if _, err := cl.WaitFixpoint(60 * time.Second); err != nil {
+		return 0, 0, err
 	}
 	if err := cl.Err(); err != nil {
 		return 0, 0, err

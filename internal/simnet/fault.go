@@ -1,0 +1,139 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/types"
+)
+
+// FaultPlan is a seeded, deterministic fault schedule applied to a
+// Network: probabilistic per-delivery drop and duplication, uniform
+// latency jitter (which reorders traffic relative to the deterministic
+// path delay), time-windowed partitions with healing, and per-node crash
+// windows (fail-pause: the node's state survives, everything to or from it
+// is lost while it is down).
+//
+// The plan draws from one seeded RNG in event order, so a given (topology,
+// workload, plan) triple replays bit-identically — the property the chaos
+// equivalence fences and the `exspan -fault-seed` flag rely on. A plan is
+// attached with Network.InstallFaults; a nil plan (the default) leaves the
+// fault-free hot path untouched.
+//
+// Lost and duplicated deltas would permanently corrupt the count-based
+// provenance state, so every workload run under a FaultPlan must route its
+// traffic through the reliable transport endpoints (internal/transport);
+// the core driver wires this automatically (core.Config.Faults).
+type FaultPlan struct {
+	// Seed feeds the plan's private RNG.
+	Seed int64
+
+	// Drop and Dup are per-delivery probabilities in [0, 1).
+	Drop, Dup float64
+
+	// Jitter is the maximum extra one-way latency, drawn uniformly per
+	// transmission (and per duplicate). Non-zero jitter reorders messages
+	// of equal path delay.
+	Jitter Time
+
+	// Partitions are scheduled cuts; each drops every delivery crossing
+	// its side boundary during [Start, End).
+	Partitions []Partition
+
+	// Crashes are per-node fail-pause windows.
+	Crashes []Crash
+
+	// Counters (in addition to the Network's total DroppedMsgs).
+	Dropped    int64 // probabilistic drops
+	Duplicated int64
+	Cut        int64 // partition and crash drops
+
+	rng *rand.Rand
+}
+
+// Partition is one scheduled network cut: during [Start, End) every
+// message with exactly one endpoint in Side is dropped. Healing is
+// implicit — past End the cut no longer matches, and the reliable
+// transport's retransmissions re-deliver what was lost.
+type Partition struct {
+	Start, End Time
+	Side       []types.NodeID
+
+	side map[types.NodeID]bool
+}
+
+// Crash is one fail-pause window for a node: while [Start, End) covers the
+// current time, every message to or from the node is dropped. The node's
+// engine and transport state survive (the durable-state story is ROADMAP
+// item 4); on "restart" the reliable transport's retransmit timers resume
+// the conversation, which stands in for base-tuple re-announcement.
+type Crash struct {
+	Node       types.NodeID
+	Start, End Time
+}
+
+func (p *FaultPlan) init() {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	for i := range p.Partitions {
+		pt := &p.Partitions[i]
+		if pt.side == nil {
+			pt.side = make(map[types.NodeID]bool, len(pt.Side))
+			for _, n := range pt.Side {
+				pt.side[n] = true
+			}
+		}
+	}
+}
+
+// AddPartition schedules a cut at run time (tests build churn-phase
+// partitions relative to the current virtual time).
+func (p *FaultPlan) AddPartition(start, end Time, side ...types.NodeID) {
+	p.Partitions = append(p.Partitions, Partition{Start: start, End: end, Side: side})
+	p.init()
+}
+
+// AddCrash schedules a fail-pause window at run time.
+func (p *FaultPlan) AddCrash(node types.NodeID, start, end Time) {
+	p.Crashes = append(p.Crashes, Crash{Node: node, Start: start, End: end})
+}
+
+// Down reports whether a node is inside a crash window at time now.
+func (p *FaultPlan) Down(node types.NodeID, now Time) bool {
+	for i := range p.Crashes {
+		c := &p.Crashes[i]
+		if c.Node == node && now >= c.Start && now < c.End {
+			return true
+		}
+	}
+	return false
+}
+
+// cut reports whether a delivery from->to is severed at time now by a
+// partition or by the receiver being crashed.
+func (p *FaultPlan) cutNow(from, to types.NodeID, now Time) bool {
+	for i := range p.Partitions {
+		pt := &p.Partitions[i]
+		if now >= pt.Start && now < pt.End && pt.side[from] != pt.side[to] {
+			return true
+		}
+	}
+	return p.Down(to, now)
+}
+
+func (p *FaultPlan) dropNow() bool { return p.Drop > 0 && p.rng.Float64() < p.Drop }
+func (p *FaultPlan) dupNow() bool  { return p.Dup > 0 && p.rng.Float64() < p.Dup }
+
+func (p *FaultPlan) jitter() Time {
+	if p.Jitter <= 0 {
+		return 0
+	}
+	return Time(p.rng.Int63n(int64(p.Jitter)))
+}
+
+// String summarizes the schedule for experiment output.
+func (p *FaultPlan) String() string {
+	return fmt.Sprintf("faults(seed=%d drop=%.3f dup=%.3f jitter=%.1fms partitions=%d crashes=%d)",
+		p.Seed, p.Drop, p.Dup, float64(p.Jitter)/float64(Millisecond), len(p.Partitions), len(p.Crashes))
+}

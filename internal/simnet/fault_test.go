@@ -1,0 +1,241 @@
+package simnet
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func twoNodeNet(t *testing.T) (*Sim, *Network) {
+	t.Helper()
+	s := NewSim()
+	nw := NewNetwork(s, 2)
+	nw.MsgOverhead = 0
+	nw.AddLink(0, 1, Link{Latency: Millisecond, Bps: 1e12})
+	return s, nw
+}
+
+// Satellite: the unreachable-destination drop used to be silent; now it is
+// counted, and still charges nothing (pairs with TestUnreachableSendNotCharged).
+func TestUnreachableSendCountsDrop(t *testing.T) {
+	s := NewSim()
+	nw := NewNetwork(s, 3)
+	nw.AddLink(0, 1, Link{Latency: Millisecond, Bps: 1e9})
+	nw.Send(0, 2, "x", 10)
+	nw.Send(0, 2, "y", 10)
+	s.Run()
+	if nw.DroppedMsgs != 2 {
+		t.Errorf("DroppedMsgs = %d, want 2", nw.DroppedMsgs)
+	}
+	if nw.SentBytes[0] != 0 || nw.SentMsgs[0] != 0 {
+		t.Errorf("unreachable drop charged bandwidth: %d bytes, %d msgs", nw.SentBytes[0], nw.SentMsgs[0])
+	}
+}
+
+func TestFaultDropChargesButNeverDelivers(t *testing.T) {
+	s, nw := twoNodeNet(t)
+	plan := &FaultPlan{Seed: 1, Drop: 1}
+	nw.InstallFaults(plan)
+	delivered := 0
+	nw.Register(1, HandlerFunc(func(types.NodeID, any, int) { delivered++ }))
+	for i := 0; i < 5; i++ {
+		nw.Send(0, 1, "x", 100)
+	}
+	s.Run()
+	if delivered != 0 {
+		t.Errorf("delivered %d messages under Drop=1", delivered)
+	}
+	if nw.DroppedMsgs != 5 || plan.Dropped != 5 {
+		t.Errorf("drop counters = (%d, %d), want (5, 5)", nw.DroppedMsgs, plan.Dropped)
+	}
+	// The datagrams left the sender before being lost: bandwidth is spent.
+	if nw.SentBytes[0] != 500 {
+		t.Errorf("sent bytes = %d, want 500 (drops happen on the wire, after charging)", nw.SentBytes[0])
+	}
+}
+
+func TestFaultDuplicateDeliversExtraCopies(t *testing.T) {
+	s, nw := twoNodeNet(t)
+	plan := &FaultPlan{Seed: 2, Dup: 0.4}
+	nw.InstallFaults(plan)
+	delivered := 0
+	nw.Register(1, HandlerFunc(func(types.NodeID, any, int) { delivered++ }))
+	const N = 50
+	for i := 0; i < N; i++ {
+		nw.Send(0, 1, "x", 10)
+	}
+	s.Run()
+	if plan.Duplicated == 0 {
+		t.Fatal("Dup=0.4 over 50 sends duplicated nothing")
+	}
+	if int64(delivered) != N+plan.Duplicated {
+		t.Errorf("delivered = %d, want %d originals + %d duplicates", delivered, N, plan.Duplicated)
+	}
+}
+
+// TestFaultDeterministicReplay is the property the chaos equivalence fences
+// stand on: the same (topology, workload, plan seed) triple produces the
+// identical fault schedule, delivery order included.
+func TestFaultDeterministicReplay(t *testing.T) {
+	run := func() (int64, int64, []int) {
+		s := NewSim()
+		nw := NewNetwork(s, 2)
+		nw.MsgOverhead = 0
+		nw.AddLink(0, 1, Link{Latency: Millisecond, Bps: 1e12})
+		plan := &FaultPlan{Seed: 7, Drop: 0.3, Dup: 0.2, Jitter: 2 * Millisecond}
+		nw.InstallFaults(plan)
+		var order []int
+		nw.Register(1, HandlerFunc(func(_ types.NodeID, payload any, _ int) {
+			order = append(order, payload.(int))
+		}))
+		for i := 0; i < 100; i++ {
+			nw.Send(0, 1, i, 10)
+		}
+		s.Run()
+		return plan.Dropped, plan.Duplicated, order
+	}
+	d1, u1, o1 := run()
+	d2, u2, o2 := run()
+	if d1 != d2 || u1 != u2 {
+		t.Fatalf("fault counters differ across replays: (%d,%d) vs (%d,%d)", d1, u1, d2, u2)
+	}
+	if len(o1) != len(o2) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("delivery order diverges at %d: %d vs %d", i, o1[i], o2[i])
+		}
+	}
+}
+
+func TestJitterReordersEqualPathMessages(t *testing.T) {
+	s, nw := twoNodeNet(t)
+	nw.InstallFaults(&FaultPlan{Seed: 3, Jitter: 5 * Millisecond})
+	var order []int
+	nw.Register(1, HandlerFunc(func(_ types.NodeID, payload any, _ int) {
+		order = append(order, payload.(int))
+	}))
+	const N = 20
+	for i := 0; i < N; i++ {
+		nw.Send(0, 1, i, 10)
+	}
+	s.Run()
+	if len(order) != N {
+		t.Fatalf("delivered %d, want %d (jitter must not lose messages)", len(order), N)
+	}
+	if sort.IntsAreSorted(order) {
+		t.Error("jittered deliveries arrived in send order; no reorder was exercised")
+	}
+	perm := append([]int(nil), order...)
+	sort.Ints(perm)
+	for i, v := range perm {
+		if v != i {
+			t.Fatalf("deliveries are not a permutation of sends: %v", order)
+		}
+	}
+}
+
+func TestPartitionCutsThenHeals(t *testing.T) {
+	s, nw := twoNodeNet(t)
+	plan := &FaultPlan{Seed: 4}
+	plan.AddPartition(10*Millisecond, 20*Millisecond, 0)
+	nw.InstallFaults(plan)
+	delivered := 0
+	nw.Register(1, HandlerFunc(func(types.NodeID, any, int) { delivered++ }))
+	s.At(15*Millisecond, func() { nw.Send(0, 1, "cut", 10) })
+	s.At(25*Millisecond, func() { nw.Send(0, 1, "healed", 10) })
+	s.Run()
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want only the post-heal message", delivered)
+	}
+	if plan.Cut != 1 || nw.DroppedMsgs != 1 {
+		t.Errorf("cut counters = (%d, %d), want (1, 1)", plan.Cut, nw.DroppedMsgs)
+	}
+}
+
+func TestCrashWindowSilencesNodeBothWays(t *testing.T) {
+	s, nw := twoNodeNet(t)
+	plan := &FaultPlan{Seed: 5}
+	plan.AddCrash(1, 10*Millisecond, 20*Millisecond)
+	nw.InstallFaults(plan)
+	got0, got1 := 0, 0
+	nw.Register(0, HandlerFunc(func(types.NodeID, any, int) { got0++ }))
+	nw.Register(1, HandlerFunc(func(types.NodeID, any, int) { got1++ }))
+	s.At(12*Millisecond, func() {
+		nw.Send(0, 1, "to crashed", 10)   // lost at delivery: receiver is down
+		nw.Send(1, 0, "from crashed", 10) // lost at send: a dead node emits nothing
+	})
+	s.At(25*Millisecond, func() {
+		nw.Send(0, 1, "to restarted", 10)
+		nw.Send(1, 0, "from restarted", 10)
+	})
+	s.Run()
+	if got1 != 1 || got0 != 1 {
+		t.Errorf("deliveries = (%d to 1, %d to 0), want (1, 1)", got1, got0)
+	}
+	if plan.Cut != 2 || nw.DroppedMsgs != 2 {
+		t.Errorf("cut counters = (%d, %d), want (2, 2)", plan.Cut, nw.DroppedMsgs)
+	}
+	// The inbound loss was charged (it reached the wire); the outbound
+	// send from the crashed node never was.
+	if nw.SentBytes[1] != 10 {
+		t.Errorf("sent bytes from crashed node = %d, want 10 (post-restart only)", nw.SentBytes[1])
+	}
+}
+
+// TestOnIdleInterleavesWithPendingTimers pins the quiescence contract the
+// reliable transport's retransmit timers rely on: OnIdle fires whenever no
+// message events are queued, even while future timers (retransmissions,
+// scripted churn) remain pending, and traffic produced by a timer defers
+// the next OnIdle until it drains.
+func TestOnIdleInterleavesWithPendingTimers(t *testing.T) {
+	s, nw := twoNodeNet(t)
+	delivered := 0
+	nw.Register(1, HandlerFunc(func(types.NodeID, any, int) { delivered++ }))
+	s.At(10*Millisecond, func() { nw.Send(0, 1, "a", 1) })
+	s.At(30*Millisecond, func() { nw.Send(0, 1, "b", 1) })
+	var idleAt []Time
+	s.OnIdle = func() bool { idleAt = append(idleAt, s.Now()); return false }
+	s.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", delivered)
+	}
+	// Idle points: before the first timer (t=0), after "a" drains but with
+	// the t=30ms timer still queued (t=11ms), and at the end (t=31ms).
+	want := []Time{0, 11 * Millisecond, 31 * Millisecond}
+	if len(idleAt) != len(want) {
+		t.Fatalf("OnIdle fired at %v, want %v", idleAt, want)
+	}
+	for i := range want {
+		if idleAt[i] != want[i] {
+			t.Fatalf("OnIdle fired at %v, want %v", idleAt, want)
+		}
+	}
+}
+
+// TestOnIdleReleasedWorkRunsBeforePendingTimer: work released at an idle
+// point (staged re-derivations in the engine) is processed to completion
+// before the clock advances to the next pending timer.
+func TestOnIdleReleasedWorkRunsBeforePendingTimer(t *testing.T) {
+	s, nw := twoNodeNet(t)
+	var order []string
+	nw.Register(1, HandlerFunc(func(_ types.NodeID, payload any, _ int) {
+		order = append(order, payload.(string))
+	}))
+	s.At(50*Millisecond, func() { order = append(order, "timer") })
+	released := false
+	s.OnIdle = func() bool {
+		if released {
+			return false
+		}
+		released = true
+		nw.Send(0, 1, "released", 1)
+		return true
+	}
+	s.Run()
+	if len(order) != 2 || order[0] != "released" || order[1] != "timer" {
+		t.Fatalf("order = %v, want released work delivered before the pending timer", order)
+	}
+}

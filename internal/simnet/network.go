@@ -62,6 +62,15 @@ type Network struct {
 	TotalBytes  int64
 	Recorder    *stats.Bandwidth // optional time-bucketed recorder
 	MsgOverhead int              // fixed per-message header bytes (UDP-era 28B IP+UDP)
+
+	// DroppedMsgs counts every message the network discarded instead of
+	// delivering: sends to unreachable destinations (churned-away routes),
+	// and — under an installed FaultPlan — injected drops, partition cuts
+	// and crash windows. It was previously a silent code path; experiment
+	// output surfaces it so loss is never invisible in byte accounting.
+	DroppedMsgs int64
+
+	faults *FaultPlan
 }
 
 // DefaultMsgOverhead is the per-datagram header cost charged to every
@@ -90,6 +99,19 @@ func NewNetwork(sim *Sim, n int) *Network {
 
 // Sim returns the simulator driving this network.
 func (nw *Network) Sim() *Sim { return nw.sim }
+
+// InstallFaults attaches a fault schedule to the network (nil removes it).
+// Faults apply only to inter-node traffic; self-deliveries are local
+// events and never touch the wire.
+func (nw *Network) InstallFaults(p *FaultPlan) {
+	if p != nil {
+		p.init()
+	}
+	nw.faults = p
+}
+
+// Faults returns the installed fault schedule, if any.
+func (nw *Network) Faults() *FaultPlan { return nw.faults }
 
 // NumNodes reports the number of nodes.
 func (nw *Network) NumNodes() int { return nw.n }
@@ -182,7 +204,17 @@ func (nw *Network) Send(from, to types.NodeID, payload any, size int) {
 		if bps <= 0 {
 			// Unreachable right now (e.g. under churn): drop, as UDP would.
 			// Nothing was put on the wire, so nothing is charged.
+			nw.DroppedMsgs++
 			return
+		}
+		if f := nw.faults; f != nil {
+			if f.Down(from, nw.sim.now) {
+				// A crashed sender emits nothing: the send never happened.
+				nw.DroppedMsgs++
+				f.Cut++
+				return
+			}
+			delay = f.jitter()
 		}
 		nw.SentBytes[from] += int64(total)
 		nw.SentMsgs[from]++
@@ -190,13 +222,34 @@ func (nw *Network) Send(from, to types.NodeID, payload any, size int) {
 		if nw.Recorder != nil {
 			nw.Recorder.Record(int64(nw.sim.Now()), int64(total))
 		}
-		delay = lat + Time(int64(total)*8*int64(Second)/bps)
+		delay += lat + Time(int64(total)*8*int64(Second)/bps)
 	}
 	nw.sim.scheduleMessage(nw.sim.now+delay, nw, from, to, payload, total)
 }
 
-// deliver hands a scheduled message to its destination handler.
+// deliver hands a scheduled message to its destination handler. Under an
+// installed FaultPlan this is the loss point: the message consumed
+// bandwidth (charged at send time, as on a real wire), and is now dropped,
+// duplicated or delivered according to the schedule.
 func (nw *Network) deliver(from, to types.NodeID, payload any, size int) {
+	if f := nw.faults; f != nil && from != to {
+		if f.cutNow(from, to, nw.sim.now) {
+			nw.DroppedMsgs++
+			f.Cut++
+			return
+		}
+		if f.dropNow() {
+			nw.DroppedMsgs++
+			f.Dropped++
+			return
+		}
+		if f.dupNow() {
+			// The copy re-enters deliver at its own arrival time, where the
+			// schedule rolls for it again (it may be cut, re-duplicated...).
+			f.Duplicated++
+			nw.sim.scheduleMessage(nw.sim.now+Microsecond+f.jitter(), nw, from, to, payload, size)
+		}
+	}
 	h := nw.handlers[to]
 	if h == nil {
 		return

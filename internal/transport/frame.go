@@ -1,0 +1,53 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// The serialized frame header prepended to every reliable datagram (and
+// charged, unserialized, to every simulated frame) — normative layout in
+// docs/wire-format.md "Reliable frame header":
+//
+//	byte  0      flags (bit 0: data frame; all other bits must be zero)
+//	bytes 1..4   seq, big-endian uint32 (0 for pure acks)
+//	bytes 5..8   ack, big-endian uint32 (cumulative: all seqs < ack received)
+
+// HeaderBytes is the serialized frame-header size.
+const HeaderBytes = 9
+
+const flagData = 1 << 0
+
+var errBadHeader = errors.New("transport: malformed frame header")
+
+// EncodeHeader appends the 9-byte frame header for (seq, ack) to dst.
+func EncodeHeader(dst []byte, seq, ack uint32) []byte {
+	var flags byte
+	if seq != 0 {
+		flags = flagData
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint32(dst, seq)
+	dst = binary.BigEndian.AppendUint32(dst, ack)
+	return dst
+}
+
+// DecodeHeader parses a frame header. The flags byte must be consistent
+// with the sequence number (data flag set iff seq != 0) and carry no
+// unknown bits, so a corrupt or hostile datagram cannot smuggle state into
+// the ack/retransmit machine.
+func DecodeHeader(b []byte) (seq, ack uint32, err error) {
+	if len(b) < HeaderBytes {
+		return 0, 0, errBadHeader
+	}
+	flags := b[0]
+	if flags&^byte(flagData) != 0 {
+		return 0, 0, errBadHeader
+	}
+	seq = binary.BigEndian.Uint32(b[1:5])
+	ack = binary.BigEndian.Uint32(b[5:9])
+	if (flags&flagData != 0) != (seq != 0) {
+		return 0, 0, errBadHeader
+	}
+	return seq, ack, nil
+}
