@@ -1,11 +1,11 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml); `make bench` regenerates the machine-readable
-# before/after record in BENCH_PR6.json against the committed PR 5 record,
+# before/after record in BENCH_PR7.json against the committed PR 6 record,
 # and `make bench-compare` prints a benchstat-style delta of a smoke run
-# against the committed BENCH_PR5.json numbers (report-only).
+# against the committed BENCH_PR6.json numbers (report-only).
 
 GO ?= go
-BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkQueryBFS|BenchmarkCacheInvalidation
+BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkPlannerAdversarial|BenchmarkQueryBFS|BenchmarkCacheInvalidation
 # Packages whose tests exercise concurrent code paths (worker shards, the
 # round scheduler, UDP node processes); test-race gates them under the race
 # detector and CI runs it on every push.
@@ -79,27 +79,27 @@ fuzz-smoke:
 check: fmt vet build test test-race chaos-smoke doccheck fuzz-smoke
 
 # Full hot-path benchmark run: three samples of each tracked benchmark with
-# allocation stats, compared against the committed PR 5 record into
-# BENCH_PR6.json. The simnet dispatch micro-benchmark is appended with a
+# allocation stats, compared against the committed PR 6 record into
+# BENCH_PR7.json. The simnet dispatch micro-benchmark is appended with a
 # time-based budget (per-op cost is tens of nanoseconds; 10 iterations
 # would be noise).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=10x -count=3 . | tee bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSimnetDispatch' -benchmem -benchtime=2s . | tee -a bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline-json BENCH_PR5.json -current bench_current.txt \
-		-out BENCH_PR6.json -print \
-		-note "before/after results for the chaos-ready transport (PR 6); baseline is the PR 5 record on the same hardware. Reliability is strictly opt-in (core Faults/deploy Reliable), so the fault-free hot paths measured here are untouched: same dispatch, same alloc fences. Regenerate with make bench"
+	$(GO) run ./cmd/benchjson -baseline-json BENCH_PR6.json -current bench_current.txt \
+		-out BENCH_PR7.json -print \
+		-note "before/after results for the cost-based rule planner (PR 7); baseline is the PR 6 record on the same hardware. The built-in apps have <= 2-atom bodies, so their plans are provably untouched (deltas and wire bytes identical); gains on the fixpoint benchmarks come from the hashed index buckets, and BenchmarkPlannerAdversarial isolates the planner's join-order win on a 3-atom rule. Regenerate with make bench"
 
 # One-iteration smoke run used by CI to catch benchmark bit-rot cheaply.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineFixpoint' -benchtime=1x .
 
 # CI delta report: smoke-run the tracked benchmarks once and print the
-# change against the committed PR 5 record. Report-only — the `-` prefix
+# change against the committed PR 6 record. Report-only — the `-` prefix
 # keeps a regression (or a noisy runner) from failing the job.
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1x . | tee bench_smoke.txt
-	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR5.json -current bench_smoke.txt -print
+	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR6.json -current bench_smoke.txt -print
 
 clean:
 	rm -f bench_current.txt bench_smoke.txt

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/algebra"
@@ -202,6 +203,70 @@ func BenchmarkEngineFixpointSharded(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPlannerAdversarial measures the cost-based planner against an
+// adversarial syntax order: a 3-atom rule whose body lists a 2000-row
+// relation before a 2-row one sharing the same join keys. The syntax-order
+// plan enumerates ~2000 candidates per event before filtering; the planner,
+// fed only live cardinality statistics (no hooks), probes the selective
+// relation first. The fixpoint is identical either way — only work order
+// changes — so ops/sec is a pure measure of join-order quality.
+func BenchmarkPlannerAdversarial(b *testing.B) {
+	prog, err := engine.Compile(ndlog.MustParse(`r1 out(@X,P) :- eGo(@X), big(@X,P), sel(@X,P).`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, planned := range []bool{false, true} {
+		name := "syntax-order"
+		if planned {
+			name = "planned"
+		}
+		b.Run(name, func(b *testing.B) {
+			n := engine.NewNode(0, prog, engine.ProvNone, dropTransport{}, nil)
+			if !planned {
+				n.NoReplan = true
+			}
+			for i := 0; i < 2000; i++ {
+				n.InsertBase(types.NewTuple("big", types.Node(0), types.Int(int64(i))))
+			}
+			for i := 0; i < 2; i++ {
+				n.InsertBase(types.NewTuple("sel", types.Node(0), types.Int(int64(i))))
+			}
+			engine.Settle(n)
+			if planned {
+				// The insert phase crosses the drift gate, so Settle's idle
+				// hook may already have re-planned; force once to be sure and
+				// verify the chosen order probes the selective relation first.
+				n.ForceReplan()
+				var sb strings.Builder
+				n.ExplainPlans(&sb)
+				out := sb.String()
+				if si, bi := strings.Index(out, "join sel"), strings.Index(out, "join big"); si < 0 || (bi >= 0 && bi < si) {
+					b.Fatal("planner kept the syntax order")
+				}
+			}
+			ev := types.NewTuple("eGo", types.Node(0))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.InjectEvent(ev)
+			}
+			b.StopTimer()
+			if n.Err != nil {
+				b.Fatal(n.Err)
+			}
+			if n.TupleCount("out") != 2 {
+				b.Fatalf("out count = %d, want 2", n.TupleCount("out"))
+			}
+		})
+	}
+}
+
+// dropTransport discards sends; the adversarial planner benchmark derives
+// only node-local heads.
+type dropTransport struct{}
+
+func (dropTransport) Send(from, to types.NodeID, m *engine.Message) {}
 
 // BenchmarkQueryBFS measures end-to-end distributed polynomial queries on a
 // converged 100-node network.

@@ -37,6 +37,7 @@ func main() {
 	query := flag.String("query", "", "tuple to query after fixpoint, e.g. 'bestPathCost(@a,c,5)'")
 	udfName := flag.String("udf", "polynomial", "query representation: polynomial, bdd, derivations, nodeset, derivability")
 	dumpProv := flag.Bool("dump-prov", false, "print the prov/ruleExec partitions after fixpoint")
+	explain := flag.Bool("explain", false, "after fixpoint, dump node 0's chosen rule plans (join order, probe\nindexes, pushed predicates) and the statistics snapshot behind them")
 	deployMode := flag.Bool("deploy", false, "run over real UDP sockets (testbed mode) instead of the simulator")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0),
 		"engine worker shards per node (default GOMAXPROCS); with >1 shards a plain\n"+
@@ -89,7 +90,7 @@ func main() {
 	// clock and the query processor, fault schedules need its network, so
 	// those stay on the simnet driver with per-node sharding instead.
 	if *shards > 1 && *query == "" && !*dumpProv && plan == nil {
-		runScheduled(topo, prog, mode, *shards)
+		runScheduled(topo, prog, mode, *shards, *explain)
 		return
 	}
 
@@ -143,6 +144,11 @@ func main() {
 		}
 	}
 
+	if *explain {
+		fmt.Println("plans (node 0):")
+		c.Hosts[0].Engine.ExplainPlans(os.Stdout)
+	}
+
 	if *dumpProv {
 		for _, h := range c.Hosts {
 			for _, row := range h.Engine.Store.ProvRows() {
@@ -163,7 +169,7 @@ func main() {
 // (engine.Scheduler) and prints statistics comparable to the simulator path
 // (identical tuple counts and byte totals; wall-clock time instead of
 // virtual time).
-func runScheduled(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode, shards int) {
+func runScheduled(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode, shards int, explain bool) {
 	compiled, err := engine.Compile(prog)
 	if err != nil {
 		fatal(err)
@@ -195,6 +201,10 @@ func runScheduled(topo *topology.Topology, prog *ndlog.Program, mode engine.Prov
 		if n > 0 {
 			fmt.Printf("  %-14s %6d tuples\n", pred, n)
 		}
+	}
+	if explain {
+		fmt.Println("plans (node 0):")
+		s.Node(0).ExplainPlans(os.Stdout)
 	}
 }
 

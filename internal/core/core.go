@@ -261,6 +261,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				any = true
 			}
 		}
+		if !any {
+			// True global quiescence with nothing staged: the engines may
+			// re-evaluate their plan choices before the simulation parks.
+			for _, h := range c.Hosts {
+				h.Engine.Replan()
+			}
+		}
 		return any
 	}
 	return c, nil

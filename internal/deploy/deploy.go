@@ -641,6 +641,18 @@ func (c *Cluster) WaitFixpoint(timeout time.Duration) (time.Duration, error) {
 		}
 		wg.Wait()
 		if !released.Load() {
+			// Quiescent with nothing staged: let each engine re-evaluate
+			// its plan choices (on its own worker, where engine state is
+			// confined) before reporting the fixpoint.
+			for _, np := range c.Nodes {
+				np := np
+				wg.Add(1)
+				np.Do(func() {
+					defer wg.Done()
+					np.Engine.Replan()
+				})
+			}
+			wg.Wait()
 			return time.Since(c.start), nil
 		}
 	}

@@ -33,7 +33,7 @@ import (
 func (sh *shard) firePlan(rule *CompiledRule, pos int, t types.Tuple, sign int8,
 	deltaEntry *entry, deltaPayload bdd.Ref) {
 
-	pl := rule.plans[pos]
+	pl := sh.n.plans[rule.idx][pos] // the node's ACTIVE plan (planner.go)
 	env := sh.envBuf[:rule.numVars]
 	if !bindTuple(pl.deltaBinds, t, env) {
 		return
@@ -98,7 +98,11 @@ func (sh *shard) execPlan(rule *CompiledRule, pl *plan, step int, sign int8,
 			return
 		}
 		sh.keyBuf = st.appendLookupKey(sh.keyBuf[:0], env)
-		for _, cand := range idx.lookup(sh.keyBuf) {
+		cands := idx.lookup(sh.keyBuf)
+		js := &sh.joinStats[st.joinID]
+		js.probes++
+		js.hits += int64(len(cands))
+		for _, cand := range cands {
 			if !bindTuple(st.binds, cand.tuple, env) {
 				continue
 			}
@@ -126,12 +130,24 @@ func (sh *shard) execJoinRound(rule *CompiledRule, pl *plan, st *planStep, step 
 	// recursion cannot clobber.
 	key := st.appendLookupKey(sh.rs.keyBufs[step][:0], env)
 	sh.rs.keyBufs[step] = key
+	js := &sh.joinStats[st.joinID]
+	js.probes++ // one logical probe per step, not per peer shard
 	for _, peer := range sh.n.shards {
 		idx := peer.joinIdx[st.joinID]
 		if idx == nil {
 			return // event atom: no shard materializes it
 		}
-		for _, cand := range idx.lookup(key) {
+		// Occupancy filter: a partition holding nothing of this predicate
+		// (on these key positions) cannot contribute candidates — skip the
+		// key hash and map probe entirely. Entries awaiting the deferred
+		// merge-barrier unindex are still bucketed, so an emptiness check
+		// can never hide a tuple an OLD-state probe must still admit.
+		if len(idx.buckets) == 0 {
+			continue
+		}
+		cands := idx.lookup(key)
+		js.hits += int64(len(cands))
+		for _, cand := range cands {
 			vis := cand.visible
 			if !admitNew && cand.touchRound == curRound {
 				vis = cand.startVis

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/ndlog"
@@ -198,6 +199,47 @@ func TestSchedulerDeliveryAllocFree(t *testing.T) {
 	}
 	if allocs > 1 {
 		t.Errorf("scheduler send→deliver allocated %.2f objects per run, want ≤ 1", allocs)
+	}
+}
+
+// TestIndexChurnAllocFree is the fence for the PR 3 leftover this PR fixes:
+// indexing an entry under a string-valued key used to copy the key bytes on
+// every first sight. With hashed buckets the index stores only a 64-bit hash
+// and recycles bucket boxes through a free list, so steady-state visibility
+// churn — unindex on hide, reindex on show, string keys included — must not
+// allocate at all.
+func TestIndexChurnAllocFree(t *testing.T) {
+	rel := NewRelation("p")
+	rel.EnsureIndex([]int{1})
+	rel.EnsureIndex([]int{1, 2})
+	var entries []*entry
+	for i := 0; i < 64; i++ {
+		e := rel.getOrCreate(types.NewTuple("p", types.Node(types.NodeID(i)),
+			types.Str(fmt.Sprintf("key-%d", i%8)), types.Int(int64(i%4))))
+		e.addDeriv(types.ID{byte(i)}, 0).count++
+		rel.setVisible(e, true)
+		entries = append(entries, e)
+	}
+	// Warm one full churn cycle so bucket boxes land on the free list.
+	for _, e := range entries {
+		rel.setVisible(e, false)
+	}
+	for _, e := range entries {
+		rel.setVisible(e, true)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, e := range entries {
+			rel.setVisible(e, false)
+		}
+		for _, e := range entries {
+			rel.setVisible(e, true)
+		}
+	})
+	if rel.Len() != len(entries) {
+		t.Fatalf("Len = %d after churn, want %d", rel.Len(), len(entries))
+	}
+	if allocs != 0 {
+		t.Errorf("index churn allocated %.2f objects per cycle, want 0", allocs)
 	}
 }
 

@@ -75,6 +75,30 @@ type Node struct {
 	// data); the node stops deriving after an error.
 	Err error
 
+	// NoReplan pins the node to the compile-time default plans — the
+	// baseline side of planner-equivalence tests and benchmarks.
+	NoReplan bool
+
+	// plans is the node's ACTIVE plan set, indexed [rule.idx][bodyPos].
+	// It starts as the program's compile-time default and is the only
+	// thing Replan swaps; the executor (exec.go) reads plans exclusively
+	// through it. Swaps happen only at driver quiescence points, when no
+	// fire phase is running.
+	plans [][]*plan
+	// joinKeys maps each joinID to the (predicate, index) it currently
+	// probes, for folding shard fan-out tallies into plan-independent
+	// accumulators. Rebuilt on every plan swap. Nil when !Prog.planable.
+	joinKeys []statKey
+	// fanAcc accumulates measured join fan-out across plan generations.
+	fanAcc map[statKey]joinStat
+	// lastReplanDeltas gates re-planning on drift: a re-plan is attempted
+	// only after replanMinDeltas further deltas since the previous one.
+	lastReplanDeltas int64
+	// statHook, when set (tests), perturbs the cost model's fan-out
+	// estimates — the lever planner-equivalence fences use to force
+	// alternative join orders.
+	statHook func(pred, idx string, est float64) float64
+
 	shards   []*shard
 	draining bool
 	// releasing is true while ReleaseStaged re-emits deferred work; on a
@@ -117,6 +141,16 @@ func NewNodeSharded(id types.NodeID, prog *Program, mode ProvMode, tr Transport,
 		if n.Alloc == nil {
 			n.Alloc = algebra.NewVarAlloc()
 		}
+	}
+	// The active plan set starts as the compile-time default; shards bind
+	// their index handles against it (bindPlans), so it must exist first.
+	n.plans = make([][]*plan, len(prog.Rules))
+	for i, cr := range prog.Rules {
+		n.plans[i] = append([]*plan(nil), cr.plans...)
+	}
+	if prog.planable {
+		n.fanAcc = make(map[statKey]joinStat)
+		n.rebuildJoinKeys()
 	}
 	n.shards = make([]*shard, shards)
 	for i := range n.shards {
@@ -392,6 +426,10 @@ func Settle(nodes ...*Node) {
 			}
 		}
 		if !progress {
+			// Global quiescence: the only point where plan swaps are legal.
+			for _, n := range nodes {
+				n.Replan()
+			}
 			return
 		}
 	}

@@ -69,6 +69,7 @@ type planStep struct {
 	// stepAssign / stepCond
 	assignSlot int
 	expr       exprCode
+	srcTxt     string // source text of the term (explain output only)
 }
 
 // plan is a delta-evaluation strategy for one body atom position: bind the
@@ -79,8 +80,28 @@ type plan struct {
 	steps      []planStep
 }
 
-// buildPlan constructs the delta plan for position k.
-func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k int) (*plan, error) {
+// atomCostFn estimates the fan-out of probing atom a with the given
+// bound/const positions — the planner's cost model (planner.go). A nil
+// function selects the compile-time default order (most bound positions
+// first, ties by body position).
+type atomCostFn func(a *ndlog.Atom, boundPos []int) float64
+
+// condSelectivity is the credit the greedy pick grants per pending condition
+// an atom's bindings would make evaluable: each unlocked condition is
+// assumed to filter half the rows it sees. A measured-pass-rate refinement
+// can slot in here without touching the search.
+const condSelectivity = 0.5
+
+// nonAtom is one non-atom body term (assignment or condition) awaiting
+// placement; buildPlan flushes them as soon as their inputs are bound.
+type nonAtom struct {
+	assign *ndlog.Assign
+	cond   *ndlog.Cond
+}
+
+// buildPlan constructs the delta plan for position k, ordering the joined
+// atoms by cost (or the syntax-derived default when cost is nil).
+func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k int, cost atomCostFn) (*plan, error) {
 
 	bound := map[int]bool{}
 	pl := &plan{}
@@ -110,10 +131,6 @@ func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k in
 
 	// Non-atom terms in source order: guards written before an assignment
 	// must execute before it (e.g. f_size(L) > k guarding f_nth(L, k)).
-	type nonAtom struct {
-		assign *ndlog.Assign
-		cond   *ndlog.Cond
-	}
 	var terms []nonAtom
 	for _, t := range cr.source.Body {
 		switch v := t.(type) {
@@ -155,14 +172,19 @@ func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k in
 					if err != nil {
 						return err
 					}
-					pl.steps = append(pl.steps, planStep{kind: stepAssign, assignSlot: slots[tm.assign.Lhs], expr: code})
+					pl.steps = append(pl.steps, planStep{
+						kind: stepAssign, assignSlot: slots[tm.assign.Lhs], expr: code,
+						srcTxt: tm.assign.Lhs + " = " + ndlog.ExprString(tm.assign.Rhs),
+					})
 					bound[slots[tm.assign.Lhs]] = true
 				} else {
 					code, err := compileExpr(tm.cond.Expr, slots)
 					if err != nil {
 						return err
 					}
-					pl.steps = append(pl.steps, planStep{kind: stepCond, expr: code})
+					pl.steps = append(pl.steps, planStep{
+						kind: stepCond, expr: code, srcTxt: ndlog.ExprString(tm.cond.Expr),
+					})
 				}
 				termDone[i] = true
 				progress = true
@@ -189,28 +211,7 @@ func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k in
 		}
 	}
 	for len(remaining) > 0 {
-		// Greedy: pick the remaining atom with the most bound/const
-		// argument positions (ties broken by position for determinism).
-		best, bestScore := -1, -1
-		for i := 0; i < len(atoms); i++ {
-			if !remaining[i] {
-				continue
-			}
-			score := 0
-			for _, arg := range atoms[i].Args {
-				switch v := arg.(type) {
-				case *ndlog.Var:
-					if bound[slots[v.Name]] {
-						score++
-					}
-				case *ndlog.Const:
-					score++
-				}
-			}
-			if score > bestScore {
-				best, bestScore = i, score
-			}
-		}
+		best := pickNextAtom(atoms, slots, remaining, bound, cost, terms, termDone)
 		a := atoms[best]
 		delete(remaining, best)
 
@@ -250,6 +251,96 @@ func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k in
 		}
 	}
 	return pl, nil
+}
+
+// pickNextAtom chooses the next body atom to join. With no cost model the
+// compile-time default applies: most bound/const positions first, ties by
+// body position (the pre-planner behaviour, kept as the deterministic
+// fallback). With a cost model, the estimated fan-out of probing the atom is
+// discounted by condSelectivity for every pending condition the atom's
+// bindings would unlock, and the lowest cost wins; ties break toward more
+// bound positions, then lower body position. The ascending iteration plus
+// strict-improvement replacement makes the choice deterministic for any
+// cost function.
+func pickNextAtom(atoms []*ndlog.Atom, slots map[string]int, remaining map[int]bool,
+	bound map[int]bool, cost atomCostFn, terms []nonAtom, termDone []bool) int {
+
+	best := -1
+	bestCost := 0.0
+	bestBound := -1
+	for i := range atoms {
+		if !remaining[i] {
+			continue
+		}
+		a := atoms[i]
+		var boundPos []int
+		for pos, arg := range a.Args {
+			switch v := arg.(type) {
+			case *ndlog.Var:
+				if bound[slots[v.Name]] {
+					boundPos = append(boundPos, pos)
+				}
+			case *ndlog.Const:
+				boundPos = append(boundPos, pos)
+			}
+		}
+		if cost == nil {
+			if len(boundPos) > bestBound {
+				best, bestBound = i, len(boundPos)
+			}
+			continue
+		}
+		c := cost(a, boundPos)
+		for range readyConds(a, slots, bound, terms, termDone) {
+			c *= condSelectivity
+		}
+		if best == -1 || c < bestCost ||
+			(c == bestCost && len(boundPos) > bestBound) {
+			best, bestCost, bestBound = i, c, len(boundPos)
+		}
+	}
+	return best
+}
+
+// readyConds returns the indexes of pending conditions that would become
+// evaluable if atom a's variables were additionally bound — the pushdown
+// credit for picking a early.
+func readyConds(a *ndlog.Atom, slots map[string]int, bound map[int]bool,
+	terms []nonAtom, termDone []bool) []int {
+
+	var wouldBind map[int]bool
+	var ready []int
+	for i, tm := range terms {
+		if termDone[i] || tm.cond == nil {
+			continue
+		}
+		if wouldBind == nil {
+			wouldBind = make(map[int]bool, len(a.Args))
+			for _, arg := range a.Args {
+				if v, ok := arg.(*ndlog.Var); ok {
+					wouldBind[slots[v.Name]] = true
+				}
+			}
+		}
+		ok := true
+		gains := false
+		for _, dep := range ndlog.Vars(tm.cond.Expr) {
+			s := slots[dep]
+			if bound[s] {
+				continue
+			}
+			if wouldBind[s] {
+				gains = true
+				continue
+			}
+			ok = false
+			break
+		}
+		if ok && gains {
+			ready = append(ready, i)
+		}
+	}
+	return ready
 }
 
 // bindTuple matches a tuple against bind specs, writing new bindings into

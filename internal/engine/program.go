@@ -20,6 +20,12 @@ type Program struct {
 	maxVars   int // widest rule environment
 	maxAtoms  int // widest rule body
 	maxGroup  int // widest aggregate group-by list
+
+	// planable is true when at least one rule has enough body atoms for
+	// join reordering to matter (≥ 3: with two atoms the delta position
+	// fixes the only remaining probe). Nodes skip all planner bookkeeping
+	// — stat folding, drift checks, re-plan attempts — when false.
+	planable bool
 }
 
 type occurrence struct {
@@ -57,10 +63,11 @@ type CompiledRule struct {
 	headCode    []exprCode
 	numVars     int
 	atoms       []*atomSpec
-	plans       []*plan  // one per body atom position
+	plans       []*plan  // one per body atom position (compile-time default order)
 	agg         *AggSpec // non-nil for aggregate rules
 	idx         int      // position in Program.Rules; keys per-rule node state
 	source      *ndlog.Rule
+	slots       map[string]int // variable -> env slot; planner re-plans reuse it
 	// headRecursive mirrors PredInfo.Recursive for the head predicate:
 	// aggregate winner promotions triggered by deletes of such rules are
 	// staged for the re-derivation phase (agg.go).
@@ -151,6 +158,9 @@ func Compile(p *ndlog.Program) (*Program, error) {
 	}
 	for ri, cr := range prog.Rules {
 		cr.idx = ri
+		if cr.planable() {
+			prog.planable = true
+		}
 		if cr.numVars > prog.maxVars {
 			prog.maxVars = cr.numVars
 		}
@@ -245,6 +255,7 @@ func compileRule(r *ndlog.Rule, label string) (*CompiledRule, error) {
 		HeadIsEvent: ndlog.IsEventPred(r.Head.Pred),
 		numVars:     len(slots),
 		source:      r,
+		slots:       slots,
 	}
 	for _, a := range atoms {
 		cr.atoms = append(cr.atoms, &atomSpec{
@@ -317,13 +328,21 @@ func compileRule(r *ndlog.Rule, label string) (*CompiledRule, error) {
 		}
 	}
 
-	// Build one plan per delta position.
+	// Build one plan per delta position (compile-time default order; the
+	// planner may later rebuild these per node from measured statistics).
 	for k := range atoms {
-		pl, err := buildPlan(cr, atoms, slots, k)
+		pl, err := buildPlan(cr, atoms, slots, k, nil)
 		if err != nil {
 			return nil, err
 		}
 		cr.plans = append(cr.plans, pl)
 	}
 	return cr, nil
+}
+
+// planable reports whether the planner can usefully reorder this rule:
+// non-aggregate and at least three body atoms (with two, the delta position
+// fixes the only remaining probe, so every legal plan is the default one).
+func (cr *CompiledRule) planable() bool {
+	return cr.agg == nil && len(cr.atoms) >= 3
 }

@@ -120,6 +120,7 @@ type Relation struct {
 	indexes map[string]*index
 	visible int    // O(1) Len
 	dead    int    // invisible derivation-free entries retained for reuse
+	churn   int64  // total visibility transitions (planner drift signal)
 	scratch []byte // reusable key-encoding buffer
 
 	// deferMaint switches the relation to sharded-round maintenance:
@@ -172,42 +173,78 @@ func (r *Relation) allocDerivs() []deriv {
 }
 
 // index is a hash index over a fixed set of argument positions. Buckets are
-// held by pointer so adding to an existing bucket needs no map re-assignment
-// (and thus no string-key allocation); emptied buckets are deleted eagerly
-// so distinct-key churn cannot grow the map without bound.
+// keyed by a 64-bit FNV-1a hash of the encoded key bytes rather than the
+// bytes themselves: inserting a first-sight key then costs no string copy
+// (the PR 3 leftover this replaced), integer map operations beat string
+// hashing on every probe, and the planner reads len(buckets) as an O(1)
+// distinct-key estimate. A hash collision merges two keys into one bucket;
+// that is sound because every probe site re-verifies candidates against the
+// full bound/const bind specs (bindTuple), so a merged bucket only costs a
+// few filtered candidates. Buckets are held by pointer so adding to an
+// existing bucket needs no map re-assignment; emptied buckets leave the map
+// (bounding distinct-key churn) and recycle their boxes through a free list,
+// so steady-state visibility churn allocates nothing.
 type index struct {
 	positions []int
-	buckets   map[string]*[]*entry
+	buckets   map[uint64]*[]*entry
+	free      []*[]*entry
 }
 
-// lookup returns the visible entries whose indexed values encode to key.
-// The []byte key makes the map access allocation-free.
+// FNV-1a 64-bit, inlined: index bucket keys and the planner's distinct-key
+// scans share it. Process-independent, so sharded runs hash identically.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashIndexKey(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// lookup returns the entries whose indexed values hash like key. Callers
+// must re-verify candidates (bindTuple does): a bucket can hold hash
+// neighbours of the probed key.
 func (idx *index) lookup(key []byte) []*entry {
-	if p := idx.buckets[string(key)]; p != nil {
+	if p := idx.buckets[hashIndexKey(key)]; p != nil {
 		return *p
 	}
 	return nil
 }
 
 func (idx *index) add(key []byte, e *entry) {
-	if p := idx.buckets[string(key)]; p != nil {
+	h := hashIndexKey(key)
+	if p := idx.buckets[h]; p != nil {
 		*p = append(*p, e)
 		return
 	}
-	b := append(make([]*entry, 0, 4), e)
-	idx.buckets[string(key)] = &b
+	var p *[]*entry
+	if n := len(idx.free); n > 0 {
+		p = idx.free[n-1]
+		idx.free[n-1] = nil
+		idx.free = idx.free[:n-1]
+	} else {
+		b := make([]*entry, 0, 4)
+		p = &b
+	}
+	*p = append(*p, e)
+	idx.buckets[h] = p
 }
 
 func (idx *index) remove(key []byte, e *entry) {
-	p := idx.buckets[string(key)]
+	h := hashIndexKey(key)
+	p := idx.buckets[h]
 	if p == nil {
 		return
 	}
 	*p = removeEntry(*p, e)
-	// Drop emptied buckets eagerly: retaining them would leak one map
-	// entry per distinct key ever indexed under churn workloads.
 	if len(*p) == 0 {
-		delete(idx.buckets, string(key))
+		delete(idx.buckets, h)
+		idx.free = append(idx.free, p)
 	}
 }
 
@@ -270,6 +307,7 @@ func (r *Relation) setVisible(e *entry, visible bool) {
 		return
 	}
 	e.visible = visible
+	r.churn++
 	if visible {
 		r.visible++
 	} else {
@@ -402,21 +440,53 @@ func indexID(positions []int) string {
 
 // EnsureIndex creates (and backfills) a hash index over the given argument
 // positions, returning a direct handle usable for probe-time lookups.
+// Backfill inserts visible entries in canonical tuple order: bucket order
+// feeds candidate-enumeration order, which the determinism fences observe
+// through emission order, so index creation over a non-empty relation (the
+// planner does this at re-plan time) must not leak the entries map's
+// iteration order.
 func (r *Relation) EnsureIndex(positions []int) *index {
 	id := indexID(positions)
 	if idx, ok := r.indexes[id]; ok {
 		return idx
 	}
-	idx := &index{positions: append([]int{}, positions...), buckets: make(map[string]*[]*entry)}
-	for _, e := range r.entries {
-		if e.visible {
-			r.scratch = appendIndexKey(r.scratch[:0], e.tuple, idx.positions)
-			idx.add(r.scratch, e)
-			e.indexed = true
+	idx := &index{positions: append([]int{}, positions...), buckets: make(map[uint64]*[]*entry)}
+	if r.visible > 0 {
+		type sortable struct {
+			e   *entry
+			enc string
+		}
+		es := make([]sortable, 0, r.visible)
+		var buf []byte
+		for _, e := range r.entries {
+			if e.visible {
+				buf = e.tuple.Encode(buf[:0])
+				es = append(es, sortable{e: e, enc: string(buf)})
+			}
+		}
+		sort.Slice(es, func(i, j int) bool {
+			return strings.Compare(es[i].enc, es[j].enc) < 0
+		})
+		for _, s := range es {
+			r.scratch = appendIndexKey(r.scratch[:0], s.e.tuple, idx.positions)
+			idx.add(r.scratch, s.e)
+			s.e.indexed = true
 		}
 	}
 	r.indexes[id] = idx
 	return idx
+}
+
+// dropIndexesExcept deletes every index whose ID is not in keep — the
+// planner's index-lifecycle half: when a re-plan stops probing an index, the
+// relation stops paying its per-visibility-change maintenance. Callers must
+// hold quiescence (no probe can be in flight).
+func (r *Relation) dropIndexesExcept(keep map[string]bool) {
+	for id := range r.indexes {
+		if !keep[id] {
+			delete(r.indexes, id)
+		}
+	}
 }
 
 // Index returns the handle of an existing index over positions, or nil. The

@@ -164,6 +164,11 @@ func (s *Scheduler) Run() error {
 				}
 			}
 			if !released {
+				// Global quiescence with nothing staged: the only point a
+				// scheduler-driven node may swap plans.
+				for _, n := range s.nodes {
+					n.Replan()
+				}
 				break
 			}
 			continue

@@ -112,6 +112,10 @@ type shard struct {
 	// Counters.
 	deltasProcessed int64
 	rulesFired      int64
+	// joinStats tallies probes/hits per joinID for the planner's cost
+	// model (stats.go). Owned by this shard's fire phases; folded into the
+	// node accumulator only at quiescence.
+	joinStats []joinStat
 
 	// fireAtomPos/fireIsEvent describe the delta currently being fired
 	// (set by firePlan); round-mode join probes use them to pick the
@@ -147,21 +151,11 @@ func newShard(n *Node, idx int, store *provenance.Partition) *shard {
 		}
 	}
 	sh.joinIdx = make([]*index, prog.numJoins)
+	sh.joinStats = make([]joinStat, prog.numJoins)
 	sh.aggByRule = make([]map[string]*aggGroup, len(prog.Rules))
 	sh.aggBodyRel = make([]*Relation, len(prog.Rules))
+	sh.bindPlans()
 	for _, r := range prog.Rules {
-		for _, pl := range r.plans {
-			for i := range pl.steps {
-				st := &pl.steps[i]
-				if st.kind != stepJoin {
-					continue
-				}
-				a := r.atoms[st.atom]
-				if !a.event {
-					sh.joinIdx[st.joinID] = sh.table(a.pred).EnsureIndex(st.indexPos)
-				}
-			}
-		}
 		if r.agg != nil && !r.atoms[0].event {
 			sh.aggBodyRel[r.idx] = sh.table(r.atoms[0].pred)
 		}
@@ -175,6 +169,28 @@ func newShard(n *Node, idx int, store *provenance.Partition) *shard {
 	sh.groupBuf = make([]types.Value, prog.maxGroup)
 	sh.carryBuf = make([]types.Value, 0, prog.maxVars)
 	return sh
+}
+
+// bindPlans resolves every join step of the node's ACTIVE plan set to this
+// shard's index handles, creating any index a plan needs (EnsureIndex
+// backfills deterministically over live state). Runs at shard construction
+// and again after every plan swap (Node.replan) — always between rounds,
+// never while a fire phase could probe a handle.
+func (sh *shard) bindPlans() {
+	for _, r := range sh.n.Prog.Rules {
+		for _, pl := range sh.n.plans[r.idx] {
+			for i := range pl.steps {
+				st := &pl.steps[i]
+				if st.kind != stepJoin {
+					continue
+				}
+				a := r.atoms[st.atom]
+				if !a.event {
+					sh.joinIdx[st.joinID] = sh.table(a.pred).EnsureIndex(st.indexPos)
+				}
+			}
+		}
+	}
 }
 
 func (sh *shard) table(pred string) *Relation {

@@ -1,0 +1,140 @@
+package engine
+
+// This file is the measurement half of the engine's PLANNER layer (see
+// planner.go for the cost model): live cardinality and selectivity counters
+// maintained allocation-free inside the existing hot paths, and the
+// quiescence-time fold that turns them into the snapshot the cost model
+// reads.
+//
+// Three counter families exist, none adding an allocation or a map access
+// to the hot path:
+//
+//   - Per-relation cardinality and churn: Relation.visible (already the
+//     O(1) Len) and Relation.churn, both bumped inside setVisible.
+//   - Per-index distinct keys: len(index.buckets), maintained by the
+//     ordinary index add/remove that setVisible drives.
+//   - Join-probe fan-out tallies: joinStat{probes, hits} per compiled join
+//     step, owned by the firing shard (sh.joinStats, indexed by joinID) so
+//     parallel fire phases never contend on a counter.
+//
+// Shard-local probe tallies are folded into the node-level accumulator
+// (Node.fanAcc, keyed by the probed predicate and index — a key that stays
+// meaningful across plan swaps, unlike the joinID) only at quiescence, when
+// the planner runs.
+
+// joinStat tallies one compiled join step's probes and returned candidates.
+// probes counts logical probes (one per step execution, not per peer shard),
+// so hits/probes is the step's measured global fan-out.
+type joinStat struct {
+	probes int64
+	hits   int64
+}
+
+// statKey identifies a probe target independently of any particular plan:
+// the probed predicate and the indexID of the probed positions. Measured
+// fan-out keyed this way survives re-plans — a new plan probing the same
+// (predicate, positions) inherits the old plan's measurements.
+type statKey struct {
+	pred string
+	idx  string
+}
+
+// statsSnapshot is the planner's read-only view of the node's statistics at
+// one quiescence point.
+type statsSnapshot struct {
+	card   map[string]int64     // predicate -> visible tuples across shards
+	churn  map[string]int64     // predicate -> total visibility transitions
+	fanout map[statKey]joinStat // accumulated measured probe fan-out
+}
+
+// foldJoinStats drains every shard's probe tallies into the node-level
+// accumulator under the current joinID -> statKey mapping, zeroing the
+// shard counters. Must run before the mapping is rebuilt (a re-plan swap
+// renumbers what each joinID probes) and only at quiescence (the counters
+// are owned by fire phases).
+func (n *Node) foldJoinStats() {
+	// Non-planable programs never fold on the replan path, but ExplainPlans
+	// still wants the tallies; build the mapping lazily there.
+	if n.joinKeys == nil {
+		n.rebuildJoinKeys()
+	}
+	if n.fanAcc == nil {
+		n.fanAcc = make(map[statKey]joinStat)
+	}
+	for _, sh := range n.shards {
+		for id := range sh.joinStats {
+			js := &sh.joinStats[id]
+			if js.probes == 0 {
+				continue
+			}
+			key := n.joinKeys[id]
+			if key.pred != "" {
+				acc := n.fanAcc[key]
+				acc.probes += js.probes
+				acc.hits += js.hits
+				n.fanAcc[key] = acc
+			}
+			*js = joinStat{}
+		}
+	}
+}
+
+// statsSnapshot folds pending tallies and assembles the planner's view.
+func (n *Node) snapshotStats() *statsSnapshot {
+	n.foldJoinStats()
+	snap := &statsSnapshot{
+		card:   make(map[string]int64),
+		churn:  make(map[string]int64),
+		fanout: n.fanAcc,
+	}
+	for _, info := range n.Prog.Preds() {
+		if info.Event {
+			continue
+		}
+		var card, churn int64
+		for _, sh := range n.shards {
+			if rel := sh.tables[info.Name]; rel != nil {
+				card += int64(rel.Len())
+				churn += rel.churn
+			}
+		}
+		snap.card[info.Name] = card
+		snap.churn[info.Name] = churn
+	}
+	return snap
+}
+
+// distinctKeys estimates the number of distinct values the predicate holds
+// over the given positions across all shards: the live bucket count when an
+// index exists, a one-off scan (cold path, quiescence only) otherwise.
+func (n *Node) distinctKeys(pred string, positions []int) int64 {
+	id := indexID(positions)
+	var total int64
+	var scan []*Relation
+	for _, sh := range n.shards {
+		rel := sh.tables[pred]
+		if rel == nil {
+			continue
+		}
+		if idx := rel.indexes[id]; idx != nil {
+			total += int64(len(idx.buckets))
+			continue
+		}
+		scan = append(scan, rel)
+	}
+	if len(scan) > 0 {
+		seen := make(map[uint64]struct{})
+		var buf []byte
+		for _, rel := range scan {
+			for _, e := range rel.entries {
+				if !e.visible {
+					continue
+				}
+				buf = appendIndexKey(buf[:0], e.tuple, positions)
+				seen[hashIndexKey(buf)] = struct{}{}
+			}
+		}
+		total += int64(len(seen))
+	}
+	return total
+}
