@@ -1,17 +1,17 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml); `make bench` regenerates the machine-readable
-# before/after record in BENCH_PR7.json against the committed PR 6 record,
+# before/after record in BENCH_PR8.json against the committed PR 7 record,
 # and `make bench-compare` prints a benchstat-style delta of a smoke run
-# against the committed BENCH_PR6.json numbers (report-only).
+# against the committed BENCH_PR7.json numbers (report-only).
 
 GO ?= go
-BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkPlannerAdversarial|BenchmarkQueryBFS|BenchmarkCacheInvalidation
+BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkPlannerAdversarial|BenchmarkChordLookup|BenchmarkPolicyPathVector|BenchmarkQueryBFS|BenchmarkCacheInvalidation
 # Packages whose tests exercise concurrent code paths (worker shards, the
 # round scheduler, UDP node processes); test-race gates them under the race
 # detector and CI runs it on every push.
 RACE_PKGS := ./internal/engine/... ./internal/provenance/... ./internal/deploy/... ./internal/transport/...
 
-.PHONY: all build fmt vet test test-race chaos-smoke doccheck fuzz-smoke check bench bench-smoke bench-compare clean
+.PHONY: all build fmt vet test test-race chaos-smoke scale-smoke doccheck fuzz-smoke check bench bench-smoke bench-compare clean
 
 all: check
 
@@ -47,6 +47,13 @@ chaos-smoke:
 	GOMAXPROCS=4 $(GO) test -race -run 'Fault|OnIdle|Jitter|Partition|Crash|Unreachable' ./internal/simnet/
 	GOMAXPROCS=4 $(GO) test -race -run 'Chaos' ./internal/core/
 	GOMAXPROCS=4 $(GO) test -race -run 'Chaos|Timeout' ./internal/deploy/
+
+# Scale gate: the 10k-node CHORD determinism smoke — two full sharded runs
+# of the workload suite's largest topology must agree bit for bit (delta
+# counts, wire bytes, sampled relation state). Skipped under -short, so
+# `go test -short ./...` stays fast; this target runs it by name.
+scale-smoke:
+	$(GO) test -run 'TestScaleChordDeterminism10k' -v ./internal/core/
 
 # Documentation link check: every local file referenced from the markdown
 # docs must exist, so ARCHITECTURE.md / docs/wire-format.md / README files
@@ -86,20 +93,20 @@ check: fmt vet build test test-race chaos-smoke doccheck fuzz-smoke
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=10x -count=3 . | tee bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSimnetDispatch' -benchmem -benchtime=2s . | tee -a bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline-json BENCH_PR6.json -current bench_current.txt \
-		-out BENCH_PR7.json -print \
-		-note "before/after results for the cost-based rule planner (PR 7); baseline is the PR 6 record on the same hardware. The built-in apps have <= 2-atom bodies, so their plans are provably untouched (deltas and wire bytes identical); gains on the fixpoint benchmarks come from the hashed index buckets, and BenchmarkPlannerAdversarial isolates the planner's join-order win on a 3-atom rule. Regenerate with make bench"
+	$(GO) run ./cmd/benchjson -baseline-json BENCH_PR7.json -current bench_current.txt \
+		-out BENCH_PR8.json -print \
+		-note "before/after results for the protocol workload suite (PR 8); baseline is the PR 7 record on the same hardware. No engine hot path changed, so the legacy fixpoint benchmarks must sit within noise of PR 7 (deltas and wire bytes identical); BenchmarkChordLookup and BenchmarkPolicyPathVector are new baselines for the CHORD and POLICY workloads across the simnet and sharded drivers. Regenerate with make bench"
 
 # One-iteration smoke run used by CI to catch benchmark bit-rot cheaply.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineFixpoint' -benchtime=1x .
 
 # CI delta report: smoke-run the tracked benchmarks once and print the
-# change against the committed PR 6 record. Report-only — the `-` prefix
+# change against the committed PR 7 record. Report-only — the `-` prefix
 # keeps a regression (or a noisy runner) from failing the job.
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1x . | tee bench_smoke.txt
-	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR6.json -current bench_smoke.txt -print
+	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR7.json -current bench_smoke.txt -print
 
 clean:
 	rm -f bench_current.txt bench_smoke.txt

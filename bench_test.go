@@ -204,6 +204,131 @@ func BenchmarkEngineFixpointSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkChordLookup measures the CHORD workload end to end: overlay
+// election (successor/predecessor/finger fixpoint) on a 64-node ring plus
+// a 32-lookup batch forwarded recursively to resolution. The simnet
+// sub-benchmark pays per-message event dispatch; the sharded ones drive
+// the same workload through the round scheduler, whose batched merge
+// rounds collapse intermediate election updates (hence lower deltas/op at
+// the same fixpoint — each count is deterministic for its driver).
+func BenchmarkChordLookup(b *testing.B) {
+	topo := topology.Ring(64, rand.New(rand.NewSource(8)))
+	base := apps.ChordBase(topo)
+	lookups := apps.ChordLookups(topo, 32, 11)
+	b.Run("simnet", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := core.NewCluster(core.Config{Topo: topo, Prog: apps.Chord(),
+				Mode: engine.ProvReference, NoLinkTuples: true, Base: base})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.RunToFixpoint(); err != nil {
+				b.Fatal(err)
+			}
+			for _, lk := range lookups {
+				c.InsertBase(lk)
+			}
+			if _, err := c.RunToFixpoint(); err != nil {
+				b.Fatal(err)
+			}
+			var deltas int64
+			for _, h := range c.Hosts {
+				deltas += h.Engine.DeltasProcessed()
+			}
+			b.ReportMetric(float64(deltas), "deltas/op")
+		}
+	})
+	prog, err := engine.Compile(apps.Chord())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := engine.NewScheduler(prog, engine.ProvReference, topo.N, shards, 0)
+				for n := 0; n < topo.N; n++ {
+					for _, tup := range base[types.NodeID(n)] {
+						s.InsertBase(types.NodeID(n), tup)
+					}
+				}
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				for _, lk := range lookups {
+					s.InsertBase(lk.Loc(), lk)
+				}
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				var deltas int64
+				for n := 0; n < s.NumNodes(); n++ {
+					deltas += s.Node(n).DeltasProcessed()
+				}
+				b.ReportMetric(float64(deltas), "deltas/op")
+			}
+		})
+	}
+}
+
+// BenchmarkPolicyPathVector measures the POLICY workload: policy-gated
+// path-vector fixpoint on a 16-node ring, with MIN route selection and the
+// AGGLIST Adj-RIB maintained per destination. Heavier per delta than
+// MINCOST — pp2 is a 3-atom join and every route churn rewrites an
+// aggregate group — which is exactly what it is here to measure.
+func BenchmarkPolicyPathVector(b *testing.B) {
+	topo := topology.Ring(16, rand.New(rand.NewSource(8)))
+	base := apps.PolicyTuples(topo)
+	b.Run("simnet", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := core.NewCluster(core.Config{Topo: topo, Prog: apps.Policy(),
+				Mode: engine.ProvReference, Base: base})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.RunToFixpoint(); err != nil {
+				b.Fatal(err)
+			}
+			var deltas int64
+			for _, h := range c.Hosts {
+				deltas += h.Engine.DeltasProcessed()
+			}
+			b.ReportMetric(float64(deltas), "deltas/op")
+		}
+	})
+	prog, err := engine.Compile(apps.Policy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := engine.NewScheduler(prog, engine.ProvReference, topo.N, shards, 0)
+				for _, l := range topo.Links {
+					s.InsertBase(l.U, apps.LinkTuple(l.U, l.V, l.Cost))
+					s.InsertBase(l.V, apps.LinkTuple(l.V, l.U, l.Cost))
+				}
+				for n := 0; n < topo.N; n++ {
+					for _, tup := range base[types.NodeID(n)] {
+						s.InsertBase(types.NodeID(n), tup)
+					}
+				}
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				var deltas int64
+				for n := 0; n < s.NumNodes(); n++ {
+					deltas += s.Node(n).DeltasProcessed()
+				}
+				b.ReportMetric(float64(deltas), "deltas/op")
+			}
+		})
+	}
+}
+
 // BenchmarkPlannerAdversarial measures the cost-based planner against an
 // adversarial syntax order: a 3-atom rule whose body lists a 2000-row
 // relation before a 2-row one sharing the same join keys. The syntax-order

@@ -28,8 +28,42 @@ import (
 	"repro/internal/types"
 )
 
+// appSpec describes how a named program is seeded and reported: its EDB
+// beyond (or instead of) the topology's link tuples, and the derived
+// predicates worth printing after fixpoint.
+type appSpec struct {
+	noLinks  bool
+	base     func(*topology.Topology, int64) map[types.NodeID][]types.Tuple
+	outPreds []string
+}
+
+var defaultSpec = appSpec{outPreds: []string{"bestPathCost", "bestPath", "pathCost", "path"}}
+
+var appSpecs = map[string]appSpec{
+	"mincost":       defaultSpec,
+	"pathvector":    defaultSpec,
+	"packetforward": defaultSpec,
+	"chord": {
+		noLinks: true,
+		base: func(t *topology.Topology, seed int64) map[types.NodeID][]types.Tuple {
+			b := apps.ChordBase(t)
+			for _, lk := range apps.ChordLookups(t, 8, seed) {
+				b[lk.Loc()] = append(b[lk.Loc()], lk)
+			}
+			return b
+		},
+		outPreds: []string{"succ", "pred", "finger", "lookup", "lookupRes"},
+	},
+	"policy": {
+		base: func(t *topology.Topology, seed int64) map[types.NodeID][]types.Tuple {
+			return apps.PolicyTuples(t)
+		},
+		outPreds: []string{"route", "bestRoute", "routeSet", "nextHop"},
+	},
+}
+
 func main() {
-	app := flag.String("app", "mincost", "program: mincost, pathvector, packetforward, or a .ndlog file path")
+	app := flag.String("app", "mincost", "program: mincost, pathvector, packetforward, chord, policy, or a .ndlog file path")
 	topoName := flag.String("topo", "fig3", "topology: fig3, transitstub, ring")
 	nodes := flag.Int("nodes", 100, "node count for generated topologies")
 	modeName := flag.String("mode", "reference", "provenance mode: none, reference, value, centralized")
@@ -53,9 +87,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	spec, ok := appSpecs[*app]
+	if !ok {
+		spec = defaultSpec // .ndlog file: link EDB, classic output preds
+	}
 	topo, err := loadTopology(*topoName, *nodes, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	var base map[types.NodeID][]types.Tuple
+	if spec.base != nil {
+		base = spec.base(topo, *seed)
 	}
 	mode, err := parseMode(*modeName)
 	if err != nil {
@@ -80,7 +122,7 @@ func main() {
 		if *partition != "" {
 			fatal(fmt.Errorf("-partition is simulator-only; -loss/-dup work with -deploy"))
 		}
-		runDeployment(topo, prog, mode, *shards, *loss, *dupP, *faultSeed)
+		runDeployment(topo, prog, mode, spec, base, *shards, *loss, *dupP, *faultSeed)
 		return
 	}
 
@@ -90,11 +132,12 @@ func main() {
 	// clock and the query processor, fault schedules need its network, so
 	// those stay on the simnet driver with per-node sharding instead.
 	if *shards > 1 && *query == "" && !*dumpProv && plan == nil {
-		runScheduled(topo, prog, mode, *shards, *explain)
+		runScheduled(topo, prog, mode, spec, base, *shards, *explain)
 		return
 	}
 
-	cfg := core.Config{Topo: topo, Prog: prog, Mode: mode, Shards: *shards, Faults: plan}
+	cfg := core.Config{Topo: topo, Prog: prog, Mode: mode, Shards: *shards, Faults: plan,
+		Base: base, NoLinkTuples: spec.noLinks}
 	c, err := core.NewCluster(cfg)
 	if err != nil {
 		fatal(err)
@@ -138,7 +181,7 @@ func main() {
 		fired += h.Engine.RulesFired()
 	}
 	fmt.Printf("engine: %d deltas processed, %d rule firings\n", deltas, fired)
-	for _, pred := range []string{"bestPathCost", "bestPath", "pathCost", "path"} {
+	for _, pred := range spec.outPreds {
 		if n := len(c.TuplesOf(pred)); n > 0 {
 			fmt.Printf("  %-14s %6d tuples\n", pred, n)
 		}
@@ -169,16 +212,23 @@ func main() {
 // (engine.Scheduler) and prints statistics comparable to the simulator path
 // (identical tuple counts and byte totals; wall-clock time instead of
 // virtual time).
-func runScheduled(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode, shards int, explain bool) {
+func runScheduled(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode, spec appSpec, base map[types.NodeID][]types.Tuple, shards int, explain bool) {
 	compiled, err := engine.Compile(prog)
 	if err != nil {
 		fatal(err)
 	}
 	s := engine.NewScheduler(compiled, mode, topo.N, shards, 0)
 	startAt := time.Now()
-	for _, l := range topo.Links {
-		s.InsertBase(l.U, apps.LinkTuple(l.U, l.V, l.Cost))
-		s.InsertBase(l.V, apps.LinkTuple(l.V, l.U, l.Cost))
+	if !spec.noLinks {
+		for _, l := range topo.Links {
+			s.InsertBase(l.U, apps.LinkTuple(l.U, l.V, l.Cost))
+			s.InsertBase(l.V, apps.LinkTuple(l.V, l.U, l.Cost))
+		}
+	}
+	for i := 0; i < topo.N; i++ {
+		for _, tup := range base[types.NodeID(i)] {
+			s.InsertBase(types.NodeID(i), tup)
+		}
 	}
 	if err := s.Run(); err != nil {
 		fatal(err)
@@ -193,7 +243,7 @@ func runScheduled(topo *topology.Topology, prog *ndlog.Program, mode engine.Prov
 		fired += s.Node(i).RulesFired()
 	}
 	fmt.Printf("engine: %d deltas processed, %d rule firings\n", deltas, fired)
-	for _, pred := range []string{"bestPathCost", "bestPath", "pathCost", "path"} {
+	for _, pred := range spec.outPreds {
 		n := 0
 		for i := 0; i < s.NumNodes(); i++ {
 			n += s.Node(i).TupleCount(pred)
@@ -212,10 +262,11 @@ func runScheduled(topo *topology.Topology, prog *ndlog.Program, mode engine.Prov
 // (the paper's testbed mode) and prints byte and latency statistics. With
 // loss or duplication injected, traffic runs over the reliable transport
 // and the recovery statistics are reported alongside.
-func runDeployment(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode, shards int, loss, dup float64, faultSeed int64) {
+func runDeployment(topo *topology.Topology, prog *ndlog.Program, mode engine.ProvMode, spec appSpec, base map[types.NodeID][]types.Tuple, shards int, loss, dup float64, faultSeed int64) {
 	faulty := loss > 0 || dup > 0
 	cl, err := deploy.NewCluster(deploy.Config{
 		Topo: topo, Prog: prog, Mode: mode, Shards: shards,
+		Base: base, NoLinkTuples: spec.noLinks,
 		Reliable: faulty, Loss: loss, Dup: dup, FaultSeed: faultSeed,
 	})
 	if err != nil {
@@ -244,7 +295,7 @@ func runDeployment(topo *topology.Topology, prog *ndlog.Program, mode engine.Pro
 		fmt.Printf("transport: %d data frames, %d retransmits, %d pure acks, %d dups absorbed, %d reordered\n",
 			st.DataSent, st.Retransmits, st.AcksSent, st.DupsDropped, st.OooBuffered)
 	}
-	for _, pred := range []string{"bestPathCost", "bestPath"} {
+	for _, pred := range spec.outPreds {
 		if n := len(cl.Snapshot(pred)); n > 0 {
 			fmt.Printf("  %-14s %6d tuples\n", pred, n)
 		}
@@ -328,6 +379,10 @@ func loadProgram(name string) (*ndlog.Program, error) {
 		return apps.PathVector(), nil
 	case "packetforward":
 		return apps.PacketForward(), nil
+	case "chord":
+		return apps.Chord(), nil
+	case "policy":
+		return apps.Policy(), nil
 	}
 	b, err := os.ReadFile(name)
 	if err != nil {

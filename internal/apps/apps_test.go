@@ -14,6 +14,8 @@ func TestProgramsParseValidateCompile(t *testing.T) {
 		"mincost":       MinCost(),
 		"pathvector":    PathVector(),
 		"packetforward": PacketForward(),
+		"chord":         Chord(),
+		"policy":        Policy(),
 	}
 	for name, p := range progs {
 		if err := ndlog.Validate(p); err != nil {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ndlog"
 	"repro/internal/simnet"
 	"repro/internal/topology"
+	"repro/internal/types"
 )
 
 // Chaos equivalence fences: a cluster run under a seeded fault schedule
@@ -50,15 +51,82 @@ func chaosState(t *testing.T, c *Cluster, preds []string) []string {
 	return out
 }
 
+// chaosWorkload is one protocol run through the chaos fences: its program,
+// the predicates compared, optional extra base-tuple seeding beyond links
+// (nil = links only) and a per-step churn action (nil = the classic
+// link-pair retraction).
+type chaosWorkload struct {
+	name    string
+	prog    func() *ndlog.Program
+	preds   []string
+	noLinks bool
+	base    func(*topology.Topology) map[types.NodeID][]types.Tuple
+	churn   func(c *Cluster, topo *topology.Topology, k int)
+}
+
+func chaosLinkChurn(c *Cluster, topo *topology.Topology, k int) {
+	l := topo.Links[(k*3)%len(topo.Links)]
+	c.Hosts[l.U].Engine.DeleteBase(apps.LinkTuple(l.U, l.V, l.Cost))
+	c.Hosts[l.V].Engine.DeleteBase(apps.LinkTuple(l.V, l.U, l.Cost))
+}
+
+// chaosWorkloads is the protocol matrix: the two classic routing programs
+// plus the PR 8 workload suite. CHORD churns soft-state liveness tuples
+// (its link predicate does not exist); POLICY churns links and the policy
+// atoms riding them, so route filtering changes mid-flight.
+var chaosWorkloads = []chaosWorkload{
+	{name: "mincost", prog: apps.MinCost,
+		preds: []string{"link", "pathCost", "bestPathCost"}},
+	{name: "pathvector", prog: apps.PathVector,
+		preds: []string{"link", "path", "bestPath", "bestHop"}},
+	{name: "chord", prog: apps.Chord, noLinks: true,
+		preds: []string{"ident", "peer", "alive", "cand", "bestSucc", "succ",
+			"notify", "candPred", "pred", "finger", "lookup", "lookupRes"},
+		base: func(topo *topology.Topology) map[types.NodeID][]types.Tuple {
+			b := apps.ChordBase(topo)
+			for _, lk := range apps.ChordLookups(topo, 4, 7) {
+				b[lk.Loc()] = append(b[lk.Loc()], lk)
+			}
+			return b
+		},
+		churn: func(c *Cluster, topo *topology.Topology, k int) {
+			l := topo.Links[(k*3)%len(topo.Links)]
+			c.Hosts[l.U].Engine.DeleteBase(apps.AliveTuple(l.U, l.V))
+			c.Hosts[l.V].Engine.DeleteBase(apps.AliveTuple(l.V, l.U))
+		}},
+	{name: "policy", prog: apps.Policy,
+		preds: []string{"link", "policy", "route", "bestRoute", "routeSet", "nextHop"},
+		base: func(topo *topology.Topology) map[types.NodeID][]types.Tuple {
+			return apps.PolicyTuples(topo)
+		},
+		churn: func(c *Cluster, topo *topology.Topology, k int) {
+			l := topo.Links[(k*3)%len(topo.Links)]
+			if w, ok := apps.ExportPolicy(l.U, l.V); ok {
+				c.Hosts[l.U].Engine.DeleteBase(apps.PolicyTuple(l.U, l.V, w))
+			}
+			if w, ok := apps.ExportPolicy(l.V, l.U); ok {
+				c.Hosts[l.V].Engine.DeleteBase(apps.PolicyTuple(l.V, l.U, w))
+			}
+			if k == 1 {
+				c.Hosts[l.U].Engine.DeleteBase(apps.LinkTuple(l.U, l.V, l.Cost))
+				c.Hosts[l.V].Engine.DeleteBase(apps.LinkTuple(l.V, l.U, l.Cost))
+			}
+		}},
+}
+
 // runChaosWorkload runs one cluster to fixpoint, applies deletion churn
 // (base-tuple retractions with interleaved fixpoints; the physical links
 // stay up so retransmissions remain deliverable), and returns the final
 // state. Under a fault plan a second partition is injected mid-churn, so
 // deletion deltas cross a lossy, partitioned wire.
-func runChaosWorkload(t *testing.T, prog *ndlog.Program, preds []string, mode engine.ProvMode, shards int, plan *simnet.FaultPlan) ([]string, *Cluster) {
+func runChaosWorkload(t *testing.T, w chaosWorkload, mode engine.ProvMode, shards int, plan *simnet.FaultPlan) ([]string, *Cluster) {
 	t.Helper()
 	topo := topology.Ring(8, rand.New(rand.NewSource(21)))
-	c, err := NewCluster(Config{Topo: topo, Prog: prog, Mode: mode, Shards: shards, Faults: plan})
+	cfg := Config{Topo: topo, Prog: w.prog(), Mode: mode, Shards: shards, Faults: plan, NoLinkTuples: w.noLinks}
+	if w.base != nil {
+		cfg.Base = w.base(topo)
+	}
+	c, err := NewCluster(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,39 +134,33 @@ func runChaosWorkload(t *testing.T, prog *ndlog.Program, preds []string, mode en
 		t.Fatalf("boot fixpoint: %v", err)
 	}
 	for k := 0; k < 3; k++ {
-		l := topo.Links[(k*3)%len(topo.Links)]
 		if plan != nil && k == 1 {
 			now := c.Sim.Now()
-			plan.AddPartition(now+simnet.Millisecond, now+15*simnet.Millisecond, l.U)
+			plan.AddPartition(now+simnet.Millisecond, now+15*simnet.Millisecond, topo.Links[3].U)
 		}
-		c.Hosts[l.U].Engine.DeleteBase(apps.LinkTuple(l.U, l.V, l.Cost))
-		c.Hosts[l.V].Engine.DeleteBase(apps.LinkTuple(l.V, l.U, l.Cost))
+		if w.churn != nil {
+			w.churn(c, topo, k)
+		} else {
+			chaosLinkChurn(c, topo, k)
+		}
 		if _, err := c.RunToFixpoint(); err != nil {
 			t.Fatalf("churn fixpoint %d: %v", k, err)
 		}
 	}
-	return chaosState(t, c, preds), c
+	return chaosState(t, c, w.preds), c
 }
 
 func TestChaosEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos matrix")
 	}
-	workloads := []struct {
-		name  string
-		prog  *ndlog.Program
-		preds []string
-	}{
-		{"mincost", apps.MinCost(), []string{"link", "pathCost", "bestPathCost"}},
-		{"pathvector", apps.PathVector(), []string{"link", "path", "bestPath", "bestHop"}},
-	}
 	modes := []engine.ProvMode{engine.ProvNone, engine.ProvReference, engine.ProvValue, engine.ProvCentralized}
-	for _, w := range workloads {
+	for _, w := range chaosWorkloads {
 		for _, mode := range modes {
-			want, _ := runChaosWorkload(t, w.prog, w.preds, mode, 0, nil)
+			want, _ := runChaosWorkload(t, w, mode, 0, nil)
 			for _, seed := range []int64{1, 42, 1234} {
 				plan := chaosPlan(seed)
-				got, c := runChaosWorkload(t, w.prog, w.preds, mode, 0, plan)
+				got, c := runChaosWorkload(t, w, mode, 0, plan)
 				if plan.Dropped+plan.Duplicated+plan.Cut == 0 {
 					t.Fatalf("%s %s seed %d: fault schedule injected nothing", w.name, mode, seed)
 				}
@@ -121,16 +183,18 @@ func TestChaosEquivalence(t *testing.T) {
 
 // TestChaosEquivalenceSharded runs the same fence with sharded engine
 // nodes: endpoint sends from merge rounds stay on the simulator goroutine,
-// so the single-threaded transport contract must hold there too.
+// so the single-threaded transport contract must hold there too. All four
+// workloads run, so the new protocols cross the sharded path under faults.
 func TestChaosEquivalenceSharded(t *testing.T) {
-	preds := []string{"link", "pathCost", "bestPathCost"}
-	want, _ := runChaosWorkload(t, apps.MinCost(), preds, engine.ProvReference, 3, nil)
-	for _, seed := range []int64{1, 42, 1234} {
-		got, _ := runChaosWorkload(t, apps.MinCost(), preds, engine.ProvReference, 3, chaosPlan(seed))
-		for i := range want {
-			if want[i] != got[i] {
-				t.Fatalf("seed %d: sharded node %d chaos fixpoint differs\nfault-free:\n%.2000s\nchaos:\n%.2000s",
-					seed, i, want[i], got[i])
+	for _, w := range chaosWorkloads {
+		want, _ := runChaosWorkload(t, w, engine.ProvReference, 3, nil)
+		for _, seed := range []int64{1, 42, 1234} {
+			got, _ := runChaosWorkload(t, w, engine.ProvReference, 3, chaosPlan(seed))
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%s seed %d: sharded node %d chaos fixpoint differs\nfault-free:\n%.2000s\nchaos:\n%.2000s",
+						w.name, seed, i, want[i], got[i])
+				}
 			}
 		}
 	}
@@ -143,13 +207,14 @@ func TestChaosEquivalenceSharded(t *testing.T) {
 // and then drain to nothing under the full-retraction no-leak invariant,
 // still with loss applied.
 func TestChaosCrashRestart(t *testing.T) {
-	preds := []string{"link", "pathCost", "bestPathCost"}
+	w := chaosWorkloads[0] // mincost
+	preds := w.preds
 	topo := topology.Ring(8, rand.New(rand.NewSource(21)))
-	want, _ := runChaosWorkload(t, apps.MinCost(), preds, engine.ProvReference, 0, nil)
+	want, _ := runChaosWorkload(t, w, engine.ProvReference, 0, nil)
 
 	plan := &simnet.FaultPlan{Seed: 9, Drop: 0.1, Jitter: simnet.Millisecond}
 	plan.AddCrash(3, 2*simnet.Millisecond, 40*simnet.Millisecond)
-	got, c := runChaosWorkload(t, apps.MinCost(), preds, engine.ProvReference, 0, plan)
+	got, c := runChaosWorkload(t, w, engine.ProvReference, 0, plan)
 	if plan.Cut == 0 {
 		t.Fatal("crash window silenced nothing")
 	}

@@ -48,6 +48,19 @@ type Config struct {
 	// to one shard (see engine.NewNodeSharded).
 	Shards int
 
+	// Base holds additional base tuples injected at their owning nodes at
+	// virtual time zero, after the topology's link tuples — the seeding
+	// hook for protocol workloads whose EDB is richer than links (CHORD's
+	// ident/peer/alive overlay, the policy atoms of the path-vector
+	// workload). See apps.ChordBase / apps.PolicyTuples.
+	Base map[types.NodeID][]types.Tuple
+
+	// NoLinkTuples suppresses the automatic link-tuple injection for
+	// programs that do not speak the `link` predicate (CHORD). The
+	// physical links still exist — they carry messages — but no base
+	// tuples are derived from them.
+	NoLinkTuples bool
+
 	// Faults, when non-nil, installs the seeded fault schedule on the
 	// simulated network AND routes all inter-node engine and query traffic
 	// through reliable transport endpoints (package transport): lost or
@@ -227,10 +240,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	// "Each node is initialized with a link tuple for each of its
-	// neighbors."
+	// neighbors." — plus whatever extra EDB the workload seeds (node
+	// order, so injection is deterministic).
 	sim.At(0, func() {
-		for _, l := range cfg.Topo.Links {
-			c.insertLinkNow(l.U, l.V, l.Cost)
+		if !cfg.NoLinkTuples {
+			for _, l := range cfg.Topo.Links {
+				c.insertLinkNow(l.U, l.V, l.Cost)
+			}
+		}
+		for i := 0; i < cfg.Topo.N; i++ {
+			for _, tup := range cfg.Base[types.NodeID(i)] {
+				c.Hosts[i].Engine.InsertBase(tup)
+			}
 		}
 	})
 
@@ -344,6 +365,17 @@ func (c *Cluster) RemoveLink(l topology.Link) {
 	c.Net.RemoveLink(l.U, l.V)
 	c.Hosts[l.U].Engine.DeleteBase(linkTuple(l.U, l.V, l.Cost))
 	c.Hosts[l.V].Engine.DeleteBase(linkTuple(l.V, l.U, l.Cost))
+}
+
+// InsertBase injects a base tuple at its location specifier's node at the
+// current virtual time (workload drivers: lookups, policy churn).
+func (c *Cluster) InsertBase(t types.Tuple) {
+	c.Hosts[t.Loc()].Engine.InsertBase(t)
+}
+
+// DeleteBase retracts a base tuple at its location specifier's node.
+func (c *Cluster) DeleteBase(t types.Tuple) {
+	c.Hosts[t.Loc()].Engine.DeleteBase(t)
 }
 
 // InjectEvent fires an event tuple at its location specifier's node.

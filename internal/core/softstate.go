@@ -1,0 +1,176 @@
+package core
+
+import (
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// SoftState manages base tuples with soft-state semantics on a simulated
+// cluster: a tuple is announced once, stays visible while it keeps being
+// refreshed, and is retracted by an expiry timer when refreshes stop —
+// the periodic refresh/timeout discipline of declarative networking
+// protocols (CHORD's alive tuples, route announcements), built on
+// `Sim.After` timers that coexist with the OnIdle-gated DRed release.
+//
+// The discipline is deliberate about counting provenance:
+//
+//   - Announce is the ONLY operation that inserts. A refresh extends the
+//     entry's deadline — pure bookkeeping, no second InsertBase — because
+//     re-inserting would bump the derivation count and a single expiry
+//     could then never fully retract the tuple (a leak the no-leak fence
+//     would catch).
+//   - Expiry is the ONLY timer-driven retraction, and it fires exactly
+//     once per announced entry: the expiry timer re-arms while refreshes
+//     keep moving the deadline, and issues one DeleteBase when the
+//     deadline finally passes. The resulting DRed wave interleaves with
+//     any other timers the driver scheduled; the OnIdle release discipline
+//     keeps staged suspects hidden until global quiescence regardless
+//     (fenced in softstate_test.go).
+//
+// All methods must run inside virtual time (from Sim.At/After callbacks
+// or between Run calls); the simulation is single-threaded, so no locking
+// is needed.
+type SoftState struct {
+	c       *Cluster
+	ttl     simnet.Time
+	entries map[ssKey]*ssEntry
+
+	// Expirations counts expiry-driven DeleteBase calls (vacuousness
+	// guard for tests: a soft-state workload where nothing ever expires
+	// proves nothing).
+	Expirations int
+}
+
+type ssKey struct {
+	node types.NodeID
+	vid  types.ID
+}
+
+type ssEntry struct {
+	tup      types.Tuple
+	node     types.NodeID
+	deadline simnet.Time
+	silenced bool // stop auto-refresh; let the deadline pass
+	expired  bool
+	armed    bool // an expiry timer is scheduled
+	chain    int  // remaining auto-refresh firings
+}
+
+// NewSoftState creates a soft-state manager with the given time-to-live.
+func NewSoftState(c *Cluster, ttl simnet.Time) *SoftState {
+	return &SoftState{c: c, ttl: ttl, entries: make(map[ssKey]*ssEntry)}
+}
+
+func (s *SoftState) key(node types.NodeID, tup types.Tuple) ssKey {
+	return ssKey{node: node, vid: tup.VID()}
+}
+
+// Announce inserts tup as a base tuple at node and starts its TTL clock.
+// Announcing a live entry is a refresh, not a second insert.
+func (s *SoftState) Announce(node types.NodeID, tup types.Tuple) {
+	k := s.key(node, tup)
+	if e, ok := s.entries[k]; ok && !e.expired {
+		s.refresh(e)
+		return
+	}
+	e := &ssEntry{tup: tup, node: node, deadline: s.c.Sim.Now() + s.ttl}
+	s.entries[k] = e
+	s.c.Hosts[node].Engine.InsertBase(tup)
+	s.armExpiry(e)
+}
+
+// Refresh extends a live entry's deadline by one TTL from now. Refreshing
+// an expired or unknown entry is a no-op (the protocol analogue: a
+// refresh datagram that loses the race against the expiry timer does not
+// resurrect state — the peer must re-Announce).
+func (s *SoftState) Refresh(node types.NodeID, tup types.Tuple) {
+	if e, ok := s.entries[s.key(node, tup)]; ok && !e.expired {
+		s.refresh(e)
+	}
+}
+
+func (s *SoftState) refresh(e *ssEntry) {
+	e.deadline = s.c.Sim.Now() + s.ttl
+	e.silenced = false
+	s.armExpiry(e)
+}
+
+// AutoRefresh schedules `times` periodic refreshes of a live entry on the
+// simulator's timer wheel (Sim.After), the protocol's refresh loop. The
+// chain is bounded so a fixpoint run terminates; Silence cuts it short.
+func (s *SoftState) AutoRefresh(node types.NodeID, tup types.Tuple, period simnet.Time, times int) {
+	e, ok := s.entries[s.key(node, tup)]
+	if !ok {
+		return
+	}
+	e.chain = times
+	s.armRefresh(e, period)
+}
+
+func (s *SoftState) armRefresh(e *ssEntry, period simnet.Time) {
+	if e.chain <= 0 || e.expired || e.silenced {
+		return
+	}
+	e.chain--
+	s.c.Sim.After(period, func() {
+		if e.expired || e.silenced {
+			return
+		}
+		s.refresh(e)
+		s.armRefresh(e, period)
+	})
+}
+
+// Silence stops refreshing an entry: its deadline stops moving and the
+// expiry timer retracts the tuple when it passes (a crashed peer, a
+// withdrawn announcement that drains by timeout instead of explicit
+// retraction).
+func (s *SoftState) Silence(node types.NodeID, tup types.Tuple) {
+	if e, ok := s.entries[s.key(node, tup)]; ok {
+		e.silenced = true
+	}
+}
+
+// Withdraw retracts a live entry immediately (explicit retraction — the
+// fast path protocols use when they know state is gone, vs. waiting out
+// the TTL).
+func (s *SoftState) Withdraw(node types.NodeID, tup types.Tuple) {
+	k := s.key(node, tup)
+	e, ok := s.entries[k]
+	if !ok || e.expired {
+		return
+	}
+	e.expired = true
+	delete(s.entries, k)
+	s.c.Hosts[node].Engine.DeleteBase(e.tup)
+}
+
+// Live reports whether an entry is currently announced and unexpired.
+func (s *SoftState) Live(node types.NodeID, tup types.Tuple) bool {
+	e, ok := s.entries[s.key(node, tup)]
+	return ok && !e.expired
+}
+
+// armExpiry keeps exactly one expiry timer per entry in flight, parked on
+// the entry's current deadline. A timer that fires early (the deadline
+// moved while it was queued) re-arms instead of retracting.
+func (s *SoftState) armExpiry(e *ssEntry) {
+	if e.armed || e.expired {
+		return
+	}
+	e.armed = true
+	s.c.Sim.At(e.deadline, func() {
+		e.armed = false
+		if e.expired {
+			return
+		}
+		if s.c.Sim.Now() < e.deadline {
+			s.armExpiry(e)
+			return
+		}
+		e.expired = true
+		delete(s.entries, s.key(e.node, e.tup))
+		s.Expirations++
+		s.c.Hosts[e.node].Engine.DeleteBase(e.tup)
+	})
+}

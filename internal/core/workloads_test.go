@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/engine"
+	"repro/internal/topology"
+	"repro/internal/types"
+)
+
+// Workload-suite fences for the PR 8 protocols (CHORD routing and the
+// policy-constrained path-vector program): serial-vs-sharded bit-identical
+// equivalence and full-retraction no-leak, each across all four provenance
+// modes. The classic routing programs have these fences in sharded_test.go
+// and chaos_test.go; the new protocols exercise multi-rule recursion
+// (lookup forwarding), double aggregation (MIN + AGGLIST) and soft-state
+// liveness predicates through the same invariants.
+
+var provModes = []engine.ProvMode{
+	engine.ProvNone, engine.ProvReference, engine.ProvValue, engine.ProvCentralized,
+}
+
+// suiteWorkloads are the chaosWorkloads rows for the new protocols.
+func suiteWorkloads(t *testing.T) []chaosWorkload {
+	t.Helper()
+	var out []chaosWorkload
+	for _, w := range chaosWorkloads {
+		if w.name == "chord" || w.name == "policy" {
+			out = append(out, w)
+		}
+	}
+	if len(out) != 2 {
+		t.Fatal("workload table lost the PR 8 protocols")
+	}
+	return out
+}
+
+// bootWorkload builds and boots a cluster for one workload row.
+func bootWorkload(t *testing.T, w chaosWorkload, topo *topology.Topology, mode engine.ProvMode, shards int) *Cluster {
+	t.Helper()
+	cfg := Config{Topo: topo, Prog: w.prog(), Mode: mode, Shards: shards, NoLinkTuples: w.noLinks}
+	if w.base != nil {
+		cfg.Base = w.base(topo)
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunToFixpoint(); err != nil {
+		t.Fatalf("boot fixpoint: %v", err)
+	}
+	return c
+}
+
+// TestWorkloadSerialShardedEquivalence pins serial (Shards=0) against
+// sharded (1 and 4) cluster fixpoints for both protocols in every
+// provenance mode: the same tuples, provenance rows and ruleExec rows at
+// every node. Wire-byte totals are deterministic per shard count (sharded
+// merge rounds batch deltas, so totals legitimately shrink with shards —
+// reruns must still reproduce them bit-for-bit).
+func TestWorkloadSerialShardedEquivalence(t *testing.T) {
+	topo := topology.Ring(8, rand.New(rand.NewSource(21)))
+	for _, w := range suiteWorkloads(t) {
+		for _, mode := range provModes {
+			serial := bootWorkload(t, w, topo, mode, 0)
+			want := chaosState(t, serial, w.preds)
+			for _, shards := range []int{1, 4} {
+				c := bootWorkload(t, w, topo, mode, shards)
+				got := chaosState(t, c, w.preds)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s %s shards=%d: node %d differs from serial\nserial:\n%.2000s\nsharded:\n%.2000s",
+							w.name, mode, shards, i, want[i], got[i])
+					}
+				}
+				rerun := bootWorkload(t, w, topo, mode, shards)
+				if rerun.Net.TotalBytes != c.Net.TotalBytes {
+					t.Errorf("%s %s shards=%d: reruns diverge on wire bytes %d/%d",
+						w.name, mode, shards, c.Net.TotalBytes, rerun.Net.TotalBytes)
+				}
+			}
+			if len(serial.TuplesOf(w.preds[len(w.preds)-1])) == 0 {
+				t.Fatalf("%s %s: vacuous — no %s derived", w.name, mode, w.preds[len(w.preds)-1])
+			}
+		}
+	}
+}
+
+// TestWorkloadFullRetraction deletes every base tuple of each protocol —
+// node by node, with interleaved fixpoints so DRed waves overlap — and
+// requires the cluster to drain to nothing: no visible tuples, no
+// aggregate groups, no provenance or ruleExec rows anywhere (including
+// the central server in ProvCentralized mode).
+func TestWorkloadFullRetraction(t *testing.T) {
+	topo := topology.Ring(8, rand.New(rand.NewSource(21)))
+	for _, w := range suiteWorkloads(t) {
+		for _, mode := range provModes {
+			c := bootWorkload(t, w, topo, mode, 0)
+			// Reconstruct the seeded EDB exactly as bootWorkload fed it.
+			base := map[types.NodeID][]types.Tuple{}
+			if !w.noLinks {
+				for _, l := range topo.Links {
+					base[l.U] = append(base[l.U], apps.LinkTuple(l.U, l.V, l.Cost))
+					base[l.V] = append(base[l.V], apps.LinkTuple(l.V, l.U, l.Cost))
+				}
+			}
+			if w.base != nil {
+				for n, tuples := range w.base(topo) {
+					base[n] = append(base[n], tuples...)
+				}
+			}
+			for i := 0; i < topo.N; i++ {
+				for _, tup := range base[types.NodeID(i)] {
+					c.DeleteBase(tup)
+				}
+				if _, err := c.RunToFixpoint(); err != nil {
+					t.Fatalf("%s %s: retraction fixpoint at node %d: %v", w.name, mode, i, err)
+				}
+			}
+			for _, pred := range w.preds {
+				if n := len(c.TuplesOf(pred)); n != 0 {
+					t.Errorf("%s %s: %d %s tuples survive full retraction", w.name, mode, n, pred)
+				}
+			}
+			for i, h := range c.Hosts {
+				if g := h.Engine.AggGroupCount(); g != 0 {
+					t.Errorf("%s %s node %d: %d aggregate groups leak", w.name, mode, i, g)
+				}
+				if n := h.Engine.Store.NumProv(); n != 0 {
+					t.Errorf("%s %s node %d: %d prov rows leak", w.name, mode, i, n)
+				}
+				if n := h.Engine.Store.NumRuleExec(); n != 0 {
+					t.Errorf("%s %s node %d: %d ruleExec rows leak", w.name, mode, i, n)
+				}
+			}
+		}
+	}
+}

@@ -52,6 +52,15 @@ type Config struct {
 	// serial engine exactly.
 	Shards int
 
+	// Base is extra per-node EDB seeded by InsertLinks after (or, with
+	// NoLinkTuples, instead of) the topology's link tuples — the workload
+	// suite's identifier/liveness/policy atoms.
+	Base map[types.NodeID][]types.Tuple
+
+	// NoLinkTuples suppresses the automatic link tuples for programs whose
+	// EDB does not include a link predicate (CHORD).
+	NoLinkTuples bool
+
 	// Reliable routes all inter-node traffic through ack/retransmit
 	// endpoints (package transport): exactly-once in-order delivery over
 	// the lossy UDP substrate, at the cost of one frame header per
@@ -326,20 +335,35 @@ func (c *Cluster) Stop() {
 // wall-clock luck.
 const insertLinkBatch = 4
 
-// InsertLinks injects the topology's symmetric link tuples at their owning
-// nodes, pacing injection by cluster quiescence (never by wall-clock
-// sleeps).
+// InsertLinks injects the workload's EDB at its owning nodes: the
+// topology's symmetric link tuples (unless Config.NoLinkTuples) followed
+// by Config.Base in node order, pacing injection by cluster quiescence
+// (never by wall-clock sleeps).
 func (c *Cluster) InsertLinks() {
-	for i, l := range c.Cfg.Topo.Links {
-		u, v, cost := l.U, l.V, l.Cost
-		c.Nodes[u].Do(func() {
-			c.Nodes[u].Engine.InsertBase(types.NewTuple("link", types.Node(u), types.Node(v), types.Int(cost)))
-		})
-		c.Nodes[v].Do(func() {
-			c.Nodes[v].Engine.InsertBase(types.NewTuple("link", types.Node(v), types.Node(u), types.Int(cost)))
-		})
-		if i%insertLinkBatch == insertLinkBatch-1 {
+	batch := 0
+	pace := func() {
+		batch++
+		if batch%insertLinkBatch == 0 {
 			c.waitQuiet(10 * time.Second)
+		}
+	}
+	if !c.Cfg.NoLinkTuples {
+		for _, l := range c.Cfg.Topo.Links {
+			u, v, cost := l.U, l.V, l.Cost
+			c.Nodes[u].Do(func() {
+				c.Nodes[u].Engine.InsertBase(types.NewTuple("link", types.Node(u), types.Node(v), types.Int(cost)))
+			})
+			c.Nodes[v].Do(func() {
+				c.Nodes[v].Engine.InsertBase(types.NewTuple("link", types.Node(v), types.Node(u), types.Int(cost)))
+			})
+			pace()
+		}
+	}
+	for i := 0; i < c.Cfg.Topo.N; i++ {
+		for _, tup := range c.Cfg.Base[types.NodeID(i)] {
+			np, t := c.Nodes[i], tup
+			np.Do(func() { np.Engine.InsertBase(t) })
+			pace()
 		}
 	}
 }

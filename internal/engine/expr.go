@@ -281,6 +281,52 @@ var builtins = map[string]func(args []types.Value) (types.Value, error){
 		}
 		return types.Int(prod), nil
 	},
+	// f_ringdist(a, b, space) is the clockwise distance from identifier a
+	// to identifier b on a ring of the given size. A zero distance (a == b)
+	// is reported as the full ring size so that, under a MIN aggregate, a
+	// node's own identifier always loses to any real peer — the CHORD
+	// successor election relies on this.
+	"f_ringdist": func(args []types.Value) (types.Value, error) {
+		if len(args) != 3 || args[0].Kind() != types.KindInt ||
+			args[1].Kind() != types.KindInt || args[2].Kind() != types.KindInt {
+			return types.Nil(), fmt.Errorf("want (from, to, space)")
+		}
+		space := args[2].AsInt()
+		if space <= 0 {
+			return types.Nil(), fmt.Errorf("bad ring size %d", space)
+		}
+		d := (args[1].AsInt() - args[0].AsInt()) % space
+		if d < 0 {
+			d += space
+		}
+		if d == 0 {
+			d = space
+		}
+		return types.Int(d), nil
+	},
+	// f_between(k, a, b) reports 1 when identifier k lies in the clockwise
+	// half-open ring interval (a, b], else 0. a == b denotes the full ring
+	// (a lone node owns every key). This is CHORD's ownership test.
+	"f_between": func(args []types.Value) (types.Value, error) {
+		if len(args) != 3 || args[0].Kind() != types.KindInt ||
+			args[1].Kind() != types.KindInt || args[2].Kind() != types.KindInt {
+			return types.Nil(), fmt.Errorf("want (key, lo, hi)")
+		}
+		k, a, b := args[0].AsInt(), args[1].AsInt(), args[2].AsInt()
+		var in bool
+		switch {
+		case a == b:
+			in = true
+		case a < b:
+			in = a < k && k <= b
+		default: // interval wraps past zero
+			in = k > a || k <= b
+		}
+		if in {
+			return types.Int(1), nil
+		}
+		return types.Int(0), nil
+	},
 	// f_pad(n) returns a synthetic payload string of n bytes; the
 	// PACKETFORWARD workload uses it for its 1024-byte packets.
 	"f_pad": func(args []types.Value) (types.Value, error) {

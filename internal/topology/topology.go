@@ -106,11 +106,13 @@ func TransitStub(p TransitStubParams, rng *rand.Rand) *Topology {
 	next := types.NodeID(0)
 	alloc := func() types.NodeID { id := next; next++; return id }
 
+	seen := make(linkSet)
 	addLink := func(u, v types.NodeID, class LinkClass) {
 		if u == v {
 			return
 		}
 		t.Links = append(t.Links, Link{U: u, V: v, Class: class, Cost: 1})
+		seen.add(u, v)
 		if class == ClassStub {
 			t.StubStubLinks = append(t.StubStubLinks, len(t.Links)-1)
 		}
@@ -161,7 +163,7 @@ func TransitStub(p TransitStubParams, rng *rand.Rand) *Topology {
 					for attempt := 0; attempt < 10; attempt++ {
 						u := stub[rng.Intn(len(stub))]
 						v := stub[rng.Intn(len(stub))]
-						if u != v && !hasLink(t, u, v) {
+						if u != v && !seen.has(u, v) {
 							addLink(u, v, ClassStub)
 							break
 						}
@@ -174,13 +176,23 @@ func TransitStub(p TransitStubParams, rng *rand.Rand) *Topology {
 	return t
 }
 
-func hasLink(t *Topology, u, v types.NodeID) bool {
-	for _, l := range t.Links {
-		if (l.U == u && l.V == v) || (l.U == v && l.V == u) {
-			return true
-		}
+// linkSet is an O(1) membership index over normalized node pairs, so the
+// generators stay linear at 10k-node scale (the previous linear scan over
+// t.Links made extra-edge placement quadratic).
+type linkSet map[[2]types.NodeID]struct{}
+
+func normPair(u, v types.NodeID) [2]types.NodeID {
+	if u > v {
+		u, v = v, u
 	}
-	return false
+	return [2]types.NodeID{u, v}
+}
+
+func (s linkSet) add(u, v types.NodeID) { s[normPair(u, v)] = struct{}{} }
+
+func (s linkSet) has(u, v types.NodeID) bool {
+	_, ok := s[normPair(u, v)]
+	return ok
 }
 
 // Ring generates the testbed overlay of §7.4: nodes arranged in a ring,
@@ -189,8 +201,10 @@ func hasLink(t *Topology, u, v types.NodeID) bool {
 func Ring(n int, rng *rand.Rand) *Topology {
 	t := &Topology{N: n}
 	deg := make([]int, n)
+	seen := make(linkSet)
 	add := func(u, v types.NodeID) {
 		t.Links = append(t.Links, Link{U: u, V: v, Class: ClassStub, Cost: 1})
+		seen.add(u, v)
 		deg[u]++
 		deg[v]++
 	}
@@ -209,7 +223,7 @@ func Ring(n int, rng *rand.Rand) *Topology {
 			if j == i || deg[j] >= 3 {
 				continue
 			}
-			if j == (i+1)%n || j == (i-1+n)%n || hasLink(t, types.NodeID(i), types.NodeID(j)) {
+			if j == (i+1)%n || j == (i-1+n)%n || seen.has(types.NodeID(i), types.NodeID(j)) {
 				continue
 			}
 			add(types.NodeID(i), types.NodeID(j))
