@@ -1,11 +1,11 @@
 # Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml); `make bench` regenerates the machine-readable
-# before/after record in BENCH_PR8.json against the committed PR 7 record,
+# before/after record in BENCH_PR9.json against the committed PR 8 record,
 # and `make bench-compare` prints a benchstat-style delta of a smoke run
-# against the committed BENCH_PR7.json numbers (report-only).
+# against the committed BENCH_PR8.json numbers (report-only).
 
 GO ?= go
-BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkPlannerAdversarial|BenchmarkChordLookup|BenchmarkPolicyPathVector|BenchmarkQueryBFS|BenchmarkCacheInvalidation
+BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkPlannerAdversarial|BenchmarkChordLookup|BenchmarkPolicyPathVector|BenchmarkDRedChurn|BenchmarkQueryBFS|BenchmarkCacheInvalidation
 # Packages whose tests exercise concurrent code paths (worker shards, the
 # round scheduler, UDP node processes); test-race gates them under the race
 # detector and CI runs it on every push.
@@ -30,12 +30,18 @@ test:
 	$(GO) test ./...
 
 # Race-detector gate over the concurrently-evaluated packages — mandatory
-# since the sharded runtime fires rules across worker goroutines. GOMAXPROCS
-# is pinned ≥ 4 so the gate exercises the parallel phases even on single-core
-# runners (the runtime falls back to inline execution at GOMAXPROCS=1, which
-# would make the gate vacuous).
+# since the sharded runtime fires rules and merges rounds across worker
+# goroutines. Runs at both ends of the adaptive runtime's range: GOMAXPROCS=4
+# exercises the parallel fire and merge phases, GOMAXPROCS=1 exercises the
+# inline fallback those phases compile down to (and proves nothing races on
+# the way into it).
+# -count=1 on both legs: the test cache does not key on GOMAXPROCS (the
+# runtime reads it, not os.Getenv), so without it the second leg would
+# silently reuse the first leg's cached result and the parallel merge
+# fan-out would never run under the race detector.
 test-race:
-	GOMAXPROCS=4 $(GO) test -race $(RACE_PKGS)
+	GOMAXPROCS=1 $(GO) test -race -count=1 $(RACE_PKGS)
+	GOMAXPROCS=4 $(GO) test -race -count=1 $(RACE_PKGS)
 
 # Chaos gate: the seeded fault-schedule matrix under the race detector — the
 # transport state machine end to end, simnet fault injection and timer
@@ -43,10 +49,10 @@ test-race:
 # crash vs the fault-free fixpoint, all provenance modes), and the deploy
 # loss + kill/restart reconvergence tests over real UDP sockets.
 chaos-smoke:
-	GOMAXPROCS=4 $(GO) test -race ./internal/transport/
-	GOMAXPROCS=4 $(GO) test -race -run 'Fault|OnIdle|Jitter|Partition|Crash|Unreachable' ./internal/simnet/
-	GOMAXPROCS=4 $(GO) test -race -run 'Chaos' ./internal/core/
-	GOMAXPROCS=4 $(GO) test -race -run 'Chaos|Timeout' ./internal/deploy/
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/transport/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'Fault|OnIdle|Jitter|Partition|Crash|Unreachable' ./internal/simnet/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'Chaos' ./internal/core/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'Chaos|Timeout' ./internal/deploy/
 
 # Scale gate: the 10k-node CHORD determinism smoke — two full sharded runs
 # of the workload suite's largest topology must agree bit for bit (delta
@@ -86,27 +92,27 @@ fuzz-smoke:
 check: fmt vet build test test-race chaos-smoke doccheck fuzz-smoke
 
 # Full hot-path benchmark run: three samples of each tracked benchmark with
-# allocation stats, compared against the committed PR 6 record into
-# BENCH_PR7.json. The simnet dispatch micro-benchmark is appended with a
+# allocation stats, compared against the committed PR 8 record into
+# BENCH_PR9.json. The simnet dispatch micro-benchmark is appended with a
 # time-based budget (per-op cost is tens of nanoseconds; 10 iterations
 # would be noise).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=10x -count=3 . | tee bench_current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSimnetDispatch' -benchmem -benchtime=2s . | tee -a bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline-json BENCH_PR7.json -current bench_current.txt \
-		-out BENCH_PR8.json -print \
-		-note "before/after results for the protocol workload suite (PR 8); baseline is the PR 7 record on the same hardware. No engine hot path changed, so the legacy fixpoint benchmarks must sit within noise of PR 7 (deltas and wire bytes identical); BenchmarkChordLookup and BenchmarkPolicyPathVector are new baselines for the CHORD and POLICY workloads across the simnet and sharded drivers. Regenerate with make bench"
+	$(GO) run ./cmd/benchjson -baseline-json BENCH_PR8.json -current bench_current.txt \
+		-out BENCH_PR9.json -print \
+		-note "before/after results for the parallel merge pipeline, batched DRed release waves and adaptive shard runtime (PR 9); baseline is the PR 8 record on the same hardware. The legacy fixpoint benchmarks must keep deltas and wire bytes bit-identical to PR 8 (work order changes, fixpoints do not); BenchmarkDRedChurn is the new deletion-churn baseline, whose batched/* variants must beat per-suspect/* on the mincost grid. Regenerate with make bench"
 
 # One-iteration smoke run used by CI to catch benchmark bit-rot cheaply.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineFixpoint' -benchtime=1x .
 
 # CI delta report: smoke-run the tracked benchmarks once and print the
-# change against the committed PR 7 record. Report-only — the `-` prefix
+# change against the committed PR 8 record. Report-only — the `-` prefix
 # keeps a regression (or a noisy runner) from failing the job.
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1x . | tee bench_smoke.txt
-	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR7.json -current bench_smoke.txt -print
+	-$(GO) run ./cmd/benchjson -baseline-json BENCH_PR8.json -current bench_smoke.txt -print
 
 clean:
 	rm -f bench_current.txt bench_smoke.txt

@@ -176,6 +176,14 @@ func BenchmarkEngineFixpoint(b *testing.B) {
 // simulated fixpoint (see core.TestSchedulerMatchesSimnet); wall-clock gains
 // come from batched rounds (no per-message event dispatch) and, on
 // multi-core hosts, from running shards in parallel.
+//
+// Shard counts are *requested*, resolved through the adaptive selection
+// production front-ends apply (engine.EffectiveShards): on a host with
+// fewer cores than the request, the node collapses to the core count —
+// shards=4 on a single-core machine runs the serial path instead of paying
+// partition routing for parallelism it cannot have. MINCOST delta counts
+// are shard-invariant, so the recorded deltas/op metric is identical
+// however the request resolves.
 func BenchmarkEngineFixpointSharded(b *testing.B) {
 	topo := topology.TransitStub(topology.DefaultTransitStub(1), rand.New(rand.NewSource(1)))
 	prog, err := engine.Compile(apps.MinCost())
@@ -186,7 +194,7 @@ func BenchmarkEngineFixpointSharded(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				s := engine.NewScheduler(prog, engine.ProvReference, topo.N, shards, 0)
+				s := engine.NewScheduler(prog, engine.ProvReference, topo.N, engine.EffectiveShards(shards), 0)
 				for _, l := range topo.Links {
 					s.InsertBase(l.U, apps.LinkTuple(l.U, l.V, l.Cost))
 					s.InsertBase(l.V, apps.LinkTuple(l.V, l.U, l.Cost))
@@ -270,6 +278,140 @@ func BenchmarkChordLookup(b *testing.B) {
 			}
 		})
 	}
+}
+
+// churnOp pairs a base tuple with its home node for delete/re-insert churn.
+type churnOp struct {
+	at  types.NodeID
+	tup types.Tuple
+}
+
+// benchDRedChurn drives one deletion-churn workload through the scheduler:
+// converge once outside the timer, then per iteration retract the churn set,
+// run to fixpoint, restore it and run to fixpoint again. Each iteration ends
+// at the same fixpoint it started from, so every sample does identical work.
+func benchDRedChurn(b *testing.B, prog *engine.Program, nNodes int,
+	setup func(*engine.Scheduler), churn []churnOp) {
+	b.Helper()
+	for _, perSuspect := range []bool{false, true} {
+		release := "batched"
+		if perSuspect {
+			release = "per-suspect"
+		}
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", release, shards), func(b *testing.B) {
+				s := engine.NewScheduler(prog, engine.ProvReference, nNodes, shards, 0)
+				if perSuspect {
+					for n := 0; n < s.NumNodes(); n++ {
+						s.Node(n).PerSuspectRelease = true
+					}
+				}
+				setup(s)
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, op := range churn {
+						s.DeleteBase(op.at, op.tup)
+					}
+					if err := s.Run(); err != nil {
+						b.Fatal(err)
+					}
+					for _, op := range churn {
+						s.InsertBase(op.at, op.tup)
+					}
+					if err := s.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				var deltas int64
+				for n := 0; n < s.NumNodes(); n++ {
+					deltas += s.Node(n).DeltasProcessed()
+				}
+				if deltas == 0 {
+					b.Fatal("churn produced no work")
+				}
+				b.ReportMetric(float64(deltas)/float64(b.N), "deltas/op")
+			})
+		}
+	}
+}
+
+// BenchmarkDRedChurn measures the deletion path of the two-phase retraction
+// protocol under steady churn. MINCOST retracts and restores one ring link —
+// the count-to-infinity trigger, chasing re-derivations around the cycle;
+// CHORD fails and rejoins one overlay node by churning its soft-state alive
+// tuples, retracting successor/finger chains through it. "batched" is the
+// default release discipline (staged suspects and aggregate promotions go
+// out in stratified per-SCC waves, one rederive batch per wave);
+// "per-suspect" caps every release wave at a single item — the pre-batching
+// baseline kept behind Node.PerSuspectRelease — paying one full
+// release/fixpoint round trip per suspect.
+func BenchmarkDRedChurn(b *testing.B) {
+	b.Run("mincost", func(b *testing.B) {
+		// A unit-cost grid is the adversarial deletion workload: every
+		// shortest path has equal-cost alternates, so retracting a central
+		// link over-deletes many tuples that survive with another
+		// derivation — each one a staged suspect the release phase must
+		// validate and re-derive.
+		const side = 6
+		grid := &topology.Topology{N: side * side}
+		id := func(r, c int) types.NodeID { return types.NodeID(r*side + c) }
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				if c+1 < side {
+					grid.Links = append(grid.Links, topology.Link{U: id(r, c), V: id(r, c+1), Class: topology.ClassStub, Cost: 1})
+				}
+				if r+1 < side {
+					grid.Links = append(grid.Links, topology.Link{U: id(r, c), V: id(r+1, c), Class: topology.ClassStub, Cost: 1})
+				}
+			}
+		}
+		prog, err := engine.Compile(apps.MinCost())
+		if err != nil {
+			b.Fatal(err)
+		}
+		u, v := id(side/2, side/2-1), id(side/2, side/2)
+		churn := []churnOp{
+			{u, apps.LinkTuple(u, v, 1)},
+			{v, apps.LinkTuple(v, u, 1)},
+		}
+		benchDRedChurn(b, prog, grid.N, func(s *engine.Scheduler) {
+			for _, l := range grid.Links {
+				s.InsertBase(l.U, apps.LinkTuple(l.U, l.V, l.Cost))
+				s.InsertBase(l.V, apps.LinkTuple(l.V, l.U, l.Cost))
+			}
+		}, churn)
+	})
+	b.Run("chord", func(b *testing.B) {
+		topo := topology.Ring(32, rand.New(rand.NewSource(8)))
+		prog, err := engine.Compile(apps.Chord())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := apps.ChordBase(topo)
+		// Node 5 fails and rejoins: its neighbors lose their alive soft
+		// state for it, and it loses its own view of them.
+		const down = types.NodeID(5)
+		var churn []churnOp
+		for _, l := range topo.Links {
+			if l.U == down || l.V == down {
+				churn = append(churn,
+					churnOp{l.U, apps.AliveTuple(l.U, l.V)},
+					churnOp{l.V, apps.AliveTuple(l.V, l.U)})
+			}
+		}
+		benchDRedChurn(b, prog, topo.N, func(s *engine.Scheduler) {
+			for n := 0; n < topo.N; n++ {
+				for _, tup := range base[types.NodeID(n)] {
+					s.InsertBase(types.NodeID(n), tup)
+				}
+			}
+		}, churn)
+	})
 }
 
 // BenchmarkPolicyPathVector measures the POLICY workload: policy-gated

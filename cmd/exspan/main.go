@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,6 +62,24 @@ var appSpecs = map[string]appSpec{
 	},
 }
 
+// parseShards resolves the -shards flag: "auto" sizes the per-node shard
+// count for this host, and an explicit positive integer requests that
+// count. Both go through engine.EffectiveShards, which caps the result at
+// GOMAXPROCS — shards beyond the core count only add partition routing
+// without parallelism — and the round runtime further collapses thin
+// rounds to the serial path. (The engine API itself honors explicit counts
+// verbatim; tests pin shard counts through it directly.)
+func parseShards(s string) (int, error) {
+	if s == "auto" {
+		return engine.EffectiveShards(engine.AutoShards), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("-shards must be a positive integer or 'auto' (got %q)", s)
+	}
+	return engine.EffectiveShards(n), nil
+}
+
 func main() {
 	app := flag.String("app", "mincost", "program: mincost, pathvector, packetforward, chord, policy, or a .ndlog file path")
 	topoName := flag.String("topo", "fig3", "topology: fig3, transitstub, ring")
@@ -73,15 +91,22 @@ func main() {
 	dumpProv := flag.Bool("dump-prov", false, "print the prov/ruleExec partitions after fixpoint")
 	explain := flag.Bool("explain", false, "after fixpoint, dump node 0's chosen rule plans (join order, probe\nindexes, pushed predicates) and the statistics snapshot behind them")
 	deployMode := flag.Bool("deploy", false, "run over real UDP sockets (testbed mode) instead of the simulator")
-	shards := flag.Int("shards", runtime.GOMAXPROCS(0),
-		"engine worker shards per node (default GOMAXPROCS); with >1 shards a plain\n"+
-			"fixpoint run uses the parallel round scheduler, while -query/-dump-prov/-deploy\n"+
-			"runs keep their driver and shard each node's evaluation internally")
+	shardsFlag := flag.String("shards", "auto",
+		"engine worker shards per node: a positive integer, or 'auto' to size for this\n"+
+			"host (either way capped at GOMAXPROCS; thin rounds additionally collapse to\n"+
+			"the serial path at runtime). With >1 shards a plain fixpoint run uses the parallel round\n"+
+			"scheduler, while -query/-dump-prov/-deploy runs keep their driver and shard\n"+
+			"each node's evaluation internally")
 	faultSeed := flag.Int64("fault-seed", 0, "seed of the injected fault schedule (with -loss/-dup/-partition)")
 	loss := flag.Float64("loss", 0, "per-datagram drop probability in [0,1); traffic then runs over the\nreliable ack/retransmit transport so the fixpoint is unchanged")
 	dupP := flag.Float64("dup", 0, "per-datagram duplication probability in [0,1) (reliable transport, as -loss)")
 	partition := flag.String("partition", "", "scheduled healing partition 'startMs:endMs:n1,n2,...' (simulator only)")
 	flag.Parse()
+
+	shards, err := parseShards(*shardsFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	prog, err := loadProgram(*app)
 	if err != nil {
@@ -122,7 +147,7 @@ func main() {
 		if *partition != "" {
 			fatal(fmt.Errorf("-partition is simulator-only; -loss/-dup work with -deploy"))
 		}
-		runDeployment(topo, prog, mode, spec, base, *shards, *loss, *dupP, *faultSeed)
+		runDeployment(topo, prog, mode, spec, base, shards, *loss, *dupP, *faultSeed)
 		return
 	}
 
@@ -131,12 +156,12 @@ func main() {
 	// simulator in the way. Queries and dumps need the simulator's virtual
 	// clock and the query processor, fault schedules need its network, so
 	// those stay on the simnet driver with per-node sharding instead.
-	if *shards > 1 && *query == "" && !*dumpProv && plan == nil {
-		runScheduled(topo, prog, mode, spec, base, *shards, *explain)
+	if shards > 1 && *query == "" && !*dumpProv && plan == nil {
+		runScheduled(topo, prog, mode, spec, base, shards, *explain)
 		return
 	}
 
-	cfg := core.Config{Topo: topo, Prog: prog, Mode: mode, Shards: *shards, Faults: plan,
+	cfg := core.Config{Topo: topo, Prog: prog, Mode: mode, Shards: shards, Faults: plan,
 		Base: base, NoLinkTuples: spec.noLinks}
 	c, err := core.NewCluster(cfg)
 	if err != nil {

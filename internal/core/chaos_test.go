@@ -200,6 +200,76 @@ func TestChaosEquivalenceSharded(t *testing.T) {
 	}
 }
 
+// runReleaseWaveChaos is runChaosWorkload with the fault schedule aimed at
+// phase 2 of the retraction protocol: after every churn step it stripes
+// short healing partitions across the whole upcoming fixpoint, so windows
+// land not just on the deletion wave but on the stratified release waves
+// the idle hook fires afterwards — rederive batches are dropped, queued
+// behind partitions and retransmitted mid-wave.
+func runReleaseWaveChaos(t *testing.T, w chaosWorkload, shards int, plan *simnet.FaultPlan) ([]string, *Cluster) {
+	t.Helper()
+	topo := topology.Ring(8, rand.New(rand.NewSource(21)))
+	cfg := Config{Topo: topo, Prog: w.prog(), Mode: engine.ProvReference, Shards: shards, Faults: plan, NoLinkTuples: w.noLinks}
+	if w.base != nil {
+		cfg.Base = w.base(topo)
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunToFixpoint(); err != nil {
+		t.Fatalf("boot fixpoint: %v", err)
+	}
+	for k := 0; k < 3; k++ {
+		if w.churn != nil {
+			w.churn(c, topo, k)
+		} else {
+			chaosLinkChurn(c, topo, k)
+		}
+		now := c.Sim.Now()
+		for i := 0; i < 24; i++ {
+			start := now + simnet.Time(6*i)*simnet.Millisecond
+			plan.AddPartition(start, start+4*simnet.Millisecond, topo.Links[(k+i)%len(topo.Links)].U)
+		}
+		if _, err := c.RunToFixpoint(); err != nil {
+			t.Fatalf("churn fixpoint %d: %v", k, err)
+		}
+	}
+	return chaosState(t, c, w.preds), c
+}
+
+// TestChaosReleaseWavePartition pins the batched-release path under faults:
+// deletion churn stages suspects cluster-wide, and the stratified release
+// waves that re-derive them must cross a wire that keeps partitioning and
+// healing in stripes for the whole churn window. The fixpoint must still
+// match the fault-free run — serial and sharded, for both the MINCOST link
+// churn and the POLICY link+policy churn (whose filtered-route retractions
+// push the longest release waves of the suite; CHORD's alive churn is
+// nearly all-local, so it never reliably crosses a partition window).
+func TestChaosReleaseWavePartition(t *testing.T) {
+	for _, w := range []chaosWorkload{chaosWorkloads[0], chaosWorkloads[3]} {
+		for _, shards := range []int{0, 3} {
+			want, _ := runChaosWorkload(t, w, engine.ProvReference, shards, nil)
+			for _, seed := range []int64{7, 99} {
+				plan := &simnet.FaultPlan{Seed: seed, Drop: 0.1, Jitter: simnet.Millisecond}
+				got, c := runReleaseWaveChaos(t, w, shards, plan)
+				if plan.Cut == 0 {
+					t.Fatalf("%s shards=%d seed %d: no message crossed a release-wave partition", w.name, shards, seed)
+				}
+				if st := c.TransportStats(); st.Retransmits == 0 {
+					t.Errorf("%s shards=%d seed %d: transport recovered nothing (stats %+v)", w.name, shards, seed, st)
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s shards=%d seed %d: node %d fixpoint differs from fault-free run\nfault-free:\n%.2000s\nchaos:\n%.2000s",
+							w.name, shards, seed, i, want[i], got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestChaosCrashRestart crashes a node mid-churn (fail-pause: its engine
 // and transport state survive, all its traffic is lost while down). After
 // the window closes, retransmission timers resume the conversation in both

@@ -47,9 +47,10 @@ type Config struct {
 	CacheOn bool
 
 	// Shards is the number of engine worker shards per node process (0 or
-	// 1 = classic serial evaluation). Each UDP datagram batch is then
-	// evaluated by the parallel round runtime; fixpoint results match the
-	// serial engine exactly.
+	// 1 = classic serial evaluation; engine.AutoShards sizes the count for
+	// the host via engine.EffectiveShards). Each UDP datagram batch is
+	// then evaluated by the parallel round runtime; fixpoint results match
+	// the serial engine exactly.
 	Shards int
 
 	// Base is extra per-node EDB seeded by InsertLinks after (or, with

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/apps"
@@ -26,6 +28,147 @@ func dredSquare() (edges [][2]int, costs map[[2]int]int64) {
 		{0, 1}: 1, {1, 2}: 1, {2, 3}: 1, {0, 3}: 1, {0, 2}: 5,
 	}
 	return edges, costs
+}
+
+// releaseRandom releases a random slice of this node's staged retraction
+// work — shuffled staged lists, a randomly chosen occupied stratum, a small
+// random item budget, sometimes stopping with work still staged —
+// deliberately violating the ascending stratified wave order that
+// Node.ReleaseStaged uses. Release-time validation must make the fixpoint
+// identical anyway.
+func (n *Node) releaseRandom(rng *rand.Rand) bool {
+	n.releasing = true
+	defer func() { n.releasing = false }()
+	any := false
+	for _, sh := range n.shards {
+		rng.Shuffle(len(sh.stagedEnts), func(i, j int) {
+			sh.stagedEnts[i], sh.stagedEnts[j] = sh.stagedEnts[j], sh.stagedEnts[i]
+		})
+		rng.Shuffle(len(sh.stagedGroups), func(i, j int) {
+			sh.stagedGroups[i], sh.stagedGroups[j] = sh.stagedGroups[j], sh.stagedGroups[i]
+		})
+		for {
+			occupied := map[int]bool{}
+			for _, e := range sh.stagedEnts {
+				occupied[sh.stratumOf(e.tuple.Pred)] = true
+			}
+			for i := range sh.stagedGroups {
+				occupied[sh.stagedGroups[i].rule.headStratum] = true
+			}
+			if len(occupied) == 0 {
+				break
+			}
+			strata := make([]int, 0, len(occupied))
+			for s := range occupied {
+				strata = append(strata, s)
+			}
+			sort.Ints(strata)
+			lim := 1 + rng.Intn(3)
+			if sh.releaseStratum(strata[rng.Intn(len(strata))], &lim) {
+				any = true
+			}
+			if rng.Intn(2) == 0 {
+				break // leave the rest staged for a later pass
+			}
+		}
+	}
+	return any
+}
+
+// anyStaged reports whether any node still holds staged retraction work.
+func anyStaged(nodes []*Node) bool {
+	for _, n := range nodes {
+		for _, sh := range n.shards {
+			if len(sh.stagedEnts) > 0 || len(sh.stagedGroups) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// settleRandomized is Settle with releaseRandom in place of ReleaseStaged:
+// nodes release in a random order, each a random subset of its staged work,
+// looping until nothing is staged anywhere and no release produced work.
+func settleRandomized(rng *rand.Rand, nodes []*Node) {
+	for {
+		released := false
+		for _, i := range rng.Perm(len(nodes)) {
+			n := nodes[i]
+			if n.Err == nil && n.releaseRandom(rng) {
+				n.Flush()
+				released = true
+			}
+		}
+		if !released && !anyStaged(nodes) {
+			return
+		}
+	}
+}
+
+// TestReleaseOrderIndependence is the confluence property test behind the
+// stratified batched release: driving the dredSquare churn script while
+// releasing staged suspects and aggregate promotions in random permutations
+// (random node order, shuffled lists, random strata, random batch sizes)
+// must reach exactly the fixpoint of the batched stratified order, in all
+// four provenance modes, on serial and multi-shard nodes. The wave order of
+// Node.ReleaseStaged is a round-trip optimization, never a correctness
+// requirement.
+func TestReleaseOrderIndependence(t *testing.T) {
+	prog, err := Compile(apps.MinCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, costs := dredSquare()
+	churn := [][2]int{{0, 3}, {0, 1}}
+	preds := []string{"link", "pathCost", "bestPathCost"}
+
+	runRandom := func(t *testing.T, mode ProvMode, shards int, seed int64) []*Node {
+		t.Helper()
+		rng := rand.New(rand.NewSource(seed))
+		tr := &refTransport{}
+		nodes := make([]*Node, 4)
+		for i := range nodes {
+			nodes[i] = NewNodeSharded(types.NodeID(i), prog, mode, tr, nil, shards)
+		}
+		tr.nodes = nodes
+		for _, e := range edges {
+			cost := edgeCost(e, costs)
+			nodes[e[0]].InsertBase(linkTup(e[0], e[1], cost))
+			nodes[e[1]].InsertBase(linkTup(e[1], e[0], cost))
+		}
+		settleRandomized(rng, nodes)
+		for i, e := range churn {
+			cost := edgeCost(e, costs)
+			nodes[e[0]].DeleteBase(linkTup(e[0], e[1], cost))
+			nodes[e[1]].DeleteBase(linkTup(e[1], e[0], cost))
+			settleRandomized(rng, nodes)
+			if i%2 == 0 {
+				nodes[e[0]].InsertBase(linkTup(e[0], e[1], cost))
+				nodes[e[1]].InsertBase(linkTup(e[1], e[0], cost))
+				settleRandomized(rng, nodes)
+			}
+		}
+		for _, n := range nodes {
+			if n.Err != nil {
+				t.Fatalf("randomized run (seed %d): %v", seed, n.Err)
+			}
+		}
+		return nodes
+	}
+
+	for _, mode := range []ProvMode{ProvNone, ProvReference, ProvValue, ProvCentralized} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ref := runSerialRef(t, prog, mode, 4, edges, churn, costs)
+			for _, shards := range []int{1, 3} {
+				for seed := int64(1); seed <= 4; seed++ {
+					got := runRandom(t, mode, shards, seed)
+					diffStates(t, fmt.Sprintf("%s shards=%d seed=%d", mode, shards, seed), 4, preds,
+						func(i int) *Node { return ref[i] }, func(i int) *Node { return got[i] })
+				}
+			}
+		})
+	}
 }
 
 func TestConvergentDeletionCyclicMinCost(t *testing.T) {

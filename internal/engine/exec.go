@@ -80,7 +80,12 @@ func (sh *shard) execPlan(rule *CompiledRule, pl *plan, step int, sign int8,
 			sh.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
 			return
 		}
+		// Pass/fail tally for the planner's measured selectivity (an index
+		// bump on shard-owned counters; folded at quiescence, stats.go).
+		cs := &sh.condStats[rule.condBase+st.condID]
+		cs.evals++
 		if v.Truthy() {
+			cs.passes++
 			sh.execPlan(rule, pl, step+1, sign, env, matched, ments, payloads)
 		}
 	case stepJoin:
@@ -305,7 +310,8 @@ func (sh *shard) route(head types.Tuple, dst types.NodeID, sign int8, rid types.
 		d := localDelta{tuple: head, sign: sign, rid: rid, rloc: n.ID, payload: payload}
 		switch {
 		case n.rounds() && !n.releasing:
-			sh.rs.outLocal = append(sh.rs.outLocal, d)
+			dst := n.ownerIdx(d.tuple)
+			sh.rs.outLocal[dst] = append(sh.rs.outLocal[dst], d)
 		case n.rounds():
 			n.ownerShard(d.tuple).enqueue(d)
 		default:

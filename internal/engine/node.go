@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/algebra"
 	"repro/internal/bdd"
@@ -79,6 +80,13 @@ type Node struct {
 	// baseline side of planner-equivalence tests and benchmarks.
 	NoReplan bool
 
+	// PerSuspectRelease degrades ReleaseStaged to one staged item per wave
+	// — the maximally incremental baseline that BenchmarkDRedChurn measures
+	// the batched stratum waves against. Correctness is unaffected (release
+	// order is confluent); only the number of release/flush round trips
+	// changes.
+	PerSuspectRelease bool
+
 	// plans is the node's ACTIVE plan set, indexed [rule.idx][bodyPos].
 	// It starts as the program's compile-time default and is the only
 	// thing Replan swaps; the executor (exec.go) reads plans exclusively
@@ -91,6 +99,9 @@ type Node struct {
 	joinKeys []statKey
 	// fanAcc accumulates measured join fan-out across plan generations.
 	fanAcc map[statKey]joinStat
+	// condAcc accumulates measured condition pass/fail tallies, indexed by
+	// program-wide condition slot (stats.go condStat).
+	condAcc []condStat
 	// lastReplanDeltas gates re-planning on drift: a re-plan is attempted
 	// only after replanMinDeltas further deltas since the previous one.
 	lastReplanDeltas int64
@@ -120,11 +131,37 @@ func NewNode(id types.NodeID, prog *Program, mode ProvMode, tr Transport, alloc 
 	return NewNodeSharded(id, prog, mode, tr, alloc, 1)
 }
 
+// AutoShards is a sentinel shard count meaning "size for this host":
+// NewNodeSharded (and the drivers that forward a Shards config to it)
+// resolve it through EffectiveShards at construction time.
+const AutoShards = -1
+
+// EffectiveShards resolves a requested worker-shard count to the count
+// adaptive selection runs: capped at GOMAXPROCS — partitions beyond the
+// host's parallelism only pay merge-barrier tax — with AutoShards (or any
+// non-positive request) meaning "as many as the host runs in parallel".
+// NewNodeSharded applies this only to the AutoShards sentinel: explicit
+// counts are honored as configured, so equivalence fences can pin shards=4
+// regardless of host.
+func EffectiveShards(requested int) int {
+	max := runtime.GOMAXPROCS(0)
+	if requested <= 0 || requested > max {
+		requested = max
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
 // NewNodeSharded creates an engine node whose state is hash-partitioned
 // across the given number of worker shards. Value-based and centralized
 // provenance share mutable cluster-wide structures (the BDD manager, the
 // relayed meta-rows), so those modes clamp to one shard.
 func NewNodeSharded(id types.NodeID, prog *Program, mode ProvMode, tr Transport, alloc *algebra.VarAlloc, shards int) *Node {
+	if shards == AutoShards {
+		shards = EffectiveShards(shards)
+	}
 	if shards < 1 || mode == ProvValue || mode == ProvCentralized {
 		shards = 1
 	}
@@ -152,6 +189,7 @@ func NewNodeSharded(id types.NodeID, prog *Program, mode ProvMode, tr Transport,
 		n.fanAcc = make(map[statKey]joinStat)
 		n.rebuildJoinKeys()
 	}
+	n.condAcc = make([]condStat, prog.numConds)
 	n.shards = make([]*shard, shards)
 	for i := range n.shards {
 		n.shards[i] = newShard(n, i, n.Store.Part(i))
@@ -171,10 +209,17 @@ func (n *Node) rounds() bool { return len(n.shards) > 1 }
 // ownerShard returns the worker shard owning a tuple: a content-derived
 // hash, so the assignment is reproducible across processes.
 func (n *Node) ownerShard(t types.Tuple) *shard {
+	return n.shards[n.ownerIdx(t)]
+}
+
+// ownerIdx returns the owning shard's index; the round runtime buckets
+// cross-shard deltas by it at emit time so the merge barrier can commit
+// per-destination in parallel.
+func (n *Node) ownerIdx(t types.Tuple) int {
 	if len(n.shards) == 1 {
-		return n.shards[0]
+		return 0
 	}
-	return n.shards[t.ContentHash()%uint64(len(n.shards))]
+	return int(t.ContentHash() % uint64(len(n.shards)))
 }
 
 // Table exposes a single-shard node's relation for inspection (nil when
@@ -375,6 +420,18 @@ func (n *Node) syncErr() {
 // the node (Flush) — and the whole cluster — to quiescence again, repeating
 // until no node stages further work.
 //
+// Release proceeds in stratified waves: each call releases the lowest
+// occupied SCC stratum (PredInfo.Stratum) across all shards as one batch of
+// rederive deltas, so a suspect's supports re-derive before the suspects
+// that consume them validate, and the driver pays one release/flush round
+// trip per stratum instead of one per suspect. Strata that release only
+// stale stagings (no-ops under release-time validation) are consumed within
+// the same call, so a true return always carries actionable work and a
+// false return means nothing is staged. The wave order is purely a
+// round-trip optimization — release order cannot affect the fixpoint
+// (engine/dred_test.go proves order independence) — and PerSuspectRelease
+// degrades the wave to single items for baseline measurement.
+//
 // Correctness requires the cluster-wide deletion wave to have quiesced
 // first: releasing while delete messages are still in flight re-creates the
 // race between deletion and re-derivation that diverges on cyclic
@@ -385,13 +442,34 @@ func (n *Node) syncErr() {
 func (n *Node) ReleaseStaged() bool {
 	n.releasing = true
 	defer func() { n.releasing = false }()
-	any := false
-	for _, sh := range n.shards {
-		if sh.releaseStaged() {
-			any = true
+	for {
+		stratum := -1
+		for _, sh := range n.shards {
+			if s := sh.minStagedStratum(); s >= 0 && (stratum < 0 || s < stratum) {
+				stratum = s
+			}
+		}
+		if stratum < 0 {
+			return false
+		}
+		var limit *int
+		if n.PerSuspectRelease {
+			one := 1
+			limit = &one
+		}
+		any := false
+		for _, sh := range n.shards {
+			if sh.releaseStratum(stratum, limit) {
+				any = true
+			}
+			if limit != nil && *limit == 0 {
+				break
+			}
+		}
+		if any {
+			return true
 		}
 	}
-	return any
 }
 
 // Flush runs any pending deposited work to local quiescence under the

@@ -70,6 +70,12 @@ type planStep struct {
 	assignSlot int
 	expr       exprCode
 	srcTxt     string // source text of the term (explain output only)
+	// condID is the term's rule-local index (its position among the rule's
+	// non-atom body terms in source order); stepCond executions tally
+	// pass/fail into shard.condStats[rule.condBase+condID]. Stable across
+	// re-plans: rebuilt plans re-derive the same term numbering from the
+	// rule source.
+	condID int
 }
 
 // plan is a delta-evaluation strategy for one body atom position: bind the
@@ -86,10 +92,12 @@ type plan struct {
 // first, ties by body position).
 type atomCostFn func(a *ndlog.Atom, boundPos []int) float64
 
-// condSelectivity is the credit the greedy pick grants per pending condition
-// an atom's bindings would make evaluable: each unlocked condition is
-// assumed to filter half the rows it sees. A measured-pass-rate refinement
-// can slot in here without touching the search.
+// condSelectivity is the default credit the greedy pick grants per pending
+// condition an atom's bindings would make evaluable: each unlocked
+// condition is assumed to filter half the rows it sees. Once a condition
+// has been executed condMinEvals times, the planner substitutes its
+// measured pass rate (Node.condSelFor, planner.go) through the condSel
+// lookup buildPlan threads into the search.
 const condSelectivity = 0.5
 
 // nonAtom is one non-atom body term (assignment or condition) awaiting
@@ -100,8 +108,12 @@ type nonAtom struct {
 }
 
 // buildPlan constructs the delta plan for position k, ordering the joined
-// atoms by cost (or the syntax-derived default when cost is nil).
-func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k int, cost atomCostFn) (*plan, error) {
+// atoms by cost (or the syntax-derived default when cost is nil). condSel,
+// when non-nil, maps a rule-local term index to that condition's measured
+// selectivity for the pushdown credit; nil applies the flat
+// condSelectivity default.
+func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k int,
+	cost atomCostFn, condSel func(int) float64) (*plan, error) {
 
 	bound := map[int]bool{}
 	pl := &plan{}
@@ -184,6 +196,7 @@ func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k in
 					}
 					pl.steps = append(pl.steps, planStep{
 						kind: stepCond, expr: code, srcTxt: ndlog.ExprString(tm.cond.Expr),
+						condID: i,
 					})
 				}
 				termDone[i] = true
@@ -211,7 +224,7 @@ func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k in
 		}
 	}
 	for len(remaining) > 0 {
-		best := pickNextAtom(atoms, slots, remaining, bound, cost, terms, termDone)
+		best := pickNextAtom(atoms, slots, remaining, bound, cost, condSel, terms, termDone)
 		a := atoms[best]
 		delete(remaining, best)
 
@@ -256,14 +269,16 @@ func buildPlan(cr *CompiledRule, atoms []*ndlog.Atom, slots map[string]int, k in
 // pickNextAtom chooses the next body atom to join. With no cost model the
 // compile-time default applies: most bound/const positions first, ties by
 // body position (the pre-planner behaviour, kept as the deterministic
-// fallback). With a cost model, the estimated fan-out of probing the atom is
-// discounted by condSelectivity for every pending condition the atom's
-// bindings would unlock, and the lowest cost wins; ties break toward more
-// bound positions, then lower body position. The ascending iteration plus
-// strict-improvement replacement makes the choice deterministic for any
-// cost function.
+// fallback). With a cost model, the estimated fan-out of probing the atom
+// is discounted by each pending condition the atom's bindings would unlock
+// — its measured selectivity through condSel when available, the flat
+// condSelectivity otherwise — and the lowest cost wins; ties break toward
+// more bound positions, then lower body position. The ascending iteration
+// plus strict-improvement replacement makes the choice deterministic for
+// any cost function.
 func pickNextAtom(atoms []*ndlog.Atom, slots map[string]int, remaining map[int]bool,
-	bound map[int]bool, cost atomCostFn, terms []nonAtom, termDone []bool) int {
+	bound map[int]bool, cost atomCostFn, condSel func(int) float64,
+	terms []nonAtom, termDone []bool) int {
 
 	best := -1
 	bestCost := 0.0
@@ -291,8 +306,12 @@ func pickNextAtom(atoms []*ndlog.Atom, slots map[string]int, remaining map[int]b
 			continue
 		}
 		c := cost(a, boundPos)
-		for range readyConds(a, slots, bound, terms, termDone) {
-			c *= condSelectivity
+		for _, ci := range readyConds(a, slots, bound, terms, termDone) {
+			if condSel != nil {
+				c *= condSel(ci)
+			} else {
+				c *= condSelectivity
+			}
 		}
 		if best == -1 || c < bestCost ||
 			(c == bestCost && len(boundPos) > bestBound) {

@@ -32,9 +32,11 @@ import (
 // The cost model is deliberately simple: the estimated fan-out of probing
 // an atom on its bound positions, preferring measured hits/probes once a
 // join step has seen enough probes and falling back to card/distinct-keys
-// before that, with a condSelectivity credit per condition the pick would
-// unlock (plan.go pickNextAtom). Greedy min-fan-out with deterministic
-// tie-breaks keeps planning O(atoms²) per rule and reproducible.
+// before that, with a per-condition credit for each condition the pick
+// would unlock (plan.go pickNextAtom) — the condition's measured pass rate
+// once it has executed condMinEvals times, the flat condSelectivity before
+// that. Greedy min-fan-out with deterministic tie-breaks keeps planning
+// O(atoms²) per rule and reproducible.
 
 // replanMinDeltas gates re-planning on drift: a node re-plans only after
 // this many further deltas since its last attempt, so quiescence points in
@@ -44,6 +46,10 @@ const replanMinDeltas = 1024
 // fanoutMinProbes is the confidence threshold for preferring a join step's
 // measured fan-out over the cardinality estimate.
 const fanoutMinProbes = 16
+
+// condMinEvals is the confidence threshold for preferring a condition's
+// measured pass rate over the flat condSelectivity credit.
+const condMinEvals = 16
 
 // Replan re-evaluates the node's plan choices against current statistics,
 // swapping the active plan set when the cost model prefers a different join
@@ -78,8 +84,9 @@ func (n *Node) replan(force bool) bool {
 			continue
 		}
 		atoms := cr.source.BodyAtoms()
+		condSel := n.condSelFor(cr)
 		for k := range atoms {
-			pl, err := buildPlan(cr, atoms, cr.slots, k, cost)
+			pl, err := buildPlan(cr, atoms, cr.slots, k, cost, condSel)
 			if err != nil {
 				// The default plan compiled, so a rebuild cannot fail; treat
 				// a failure defensively by keeping the current plan.
@@ -108,6 +115,28 @@ func (n *Node) costPicker(snap *statsSnapshot) atomCostFn {
 			est = n.statHook(a.Pred, indexID(boundPos), est)
 		}
 		return est
+	}
+}
+
+// condSelFor returns the measured-selectivity lookup for one rule: term
+// index -> the condition's accumulated pass rate once condMinEvals
+// evaluations have been tallied, the flat condSelectivity before that.
+// Rates clamp to [0.01, 1] so a never-passing condition cannot zero a
+// plan's cost and erase every other factor from the comparison.
+func (n *Node) condSelFor(cr *CompiledRule) func(int) float64 {
+	return func(term int) float64 {
+		cs := n.condAcc[cr.condBase+term]
+		if cs.evals < condMinEvals {
+			return condSelectivity
+		}
+		sel := float64(cs.passes) / float64(cs.evals)
+		if sel < 0.01 {
+			sel = 0.01
+		}
+		if sel > 1 {
+			sel = 1
+		}
+		return sel
 	}
 }
 
@@ -265,7 +294,7 @@ func (n *Node) ExplainPlans(w io.Writer) {
 					fmt.Fprintf(w, "    join %s idx[%s] est=%.3g\n",
 						a.pred, indexID(st.indexPos), n.estFanout(snap, a.pred, st.indexPos))
 				case stepCond:
-					fmt.Fprintf(w, "    cond %s\n", st.srcTxt)
+					fmt.Fprintf(w, "    cond %s sel=%.3g\n", st.srcTxt, n.condSelFor(cr)(st.condID))
 				case stepAssign:
 					fmt.Fprintf(w, "    assign %s\n", st.srcTxt)
 				}

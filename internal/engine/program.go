@@ -17,6 +17,7 @@ type Program struct {
 	// index handles and allocate scratch arenas before evaluation starts.
 	numJoins  int // total stepJoin steps across all plans; joinIDs are [0,numJoins)
 	numTables int // stored (non-event) predicates; tableIDs are [0,numTables)
+	numConds  int // non-atom body terms across all rules; sizes shard.condStats
 	maxVars   int // widest rule environment
 	maxAtoms  int // widest rule body
 	maxGroup  int // widest aggregate group-by list
@@ -44,6 +45,12 @@ type PredInfo struct {
 	// so retraction follows the two-phase over-delete/re-derive protocol
 	// instead of exact derivation counting.
 	Recursive bool
+	// Stratum is the predicate's SCC number in reverse topological order
+	// of the head→body condensation: a predicate's bodies never live in a
+	// higher stratum. The retraction protocol releases staged suspects in
+	// ascending stratum waves (Node.ReleaseStaged), so supports re-derive
+	// before their dependents validate.
+	Stratum int
 
 	// tableID is a dense index over the program's stored (non-event)
 	// predicates, assigned at compile time so nodes can keep relations in
@@ -72,6 +79,17 @@ type CompiledRule struct {
 	// aggregate winner promotions triggered by deletes of such rules are
 	// staged for the re-derivation phase (agg.go).
 	headRecursive bool
+	// headStratum mirrors PredInfo.Stratum for the head predicate; staged
+	// aggregate groups release in its wave.
+	headStratum int
+	// condBase offsets this rule's non-atom body terms into the program-
+	// wide condition-statistics space [condBase, condBase+numTerms):
+	// stepCond steps carry the term's rule-local index (planStep.condID),
+	// and the measured pass/fail tallies (shard.condStats) are keyed by
+	// condBase+condID — stable across plan swaps, because rebuilt plans
+	// re-derive the same term indexing from the rule source.
+	condBase int
+	numTerms int
 }
 
 // AggSpec describes an aggregate rule head.
@@ -158,6 +176,8 @@ func Compile(p *ndlog.Program) (*Program, error) {
 	}
 	for ri, cr := range prog.Rules {
 		cr.idx = ri
+		cr.condBase = prog.numConds
+		prog.numConds += cr.numTerms
 		if cr.planable() {
 			prog.planable = true
 		}
@@ -265,6 +285,15 @@ func compileRule(r *ndlog.Rule, label string) (*CompiledRule, error) {
 			args:  a.Args,
 		})
 	}
+	// numTerms mirrors buildPlan's non-atom term enumeration (assignments
+	// and conditions in source order): term i there is condition slot
+	// condBase+i in the program-wide statistics space.
+	for _, t := range r.Body {
+		switch t.(type) {
+		case *ndlog.Assign, *ndlog.Cond:
+			cr.numTerms++
+		}
+	}
 
 	// Aggregate rules: this engine evaluates aggregates over a single
 	// body atom (MIN/MAX provenance traces to one winning input tuple);
@@ -331,7 +360,7 @@ func compileRule(r *ndlog.Rule, label string) (*CompiledRule, error) {
 	// Build one plan per delta position (compile-time default order; the
 	// planner may later rebuild these per node from measured statistics).
 	for k := range atoms {
-		pl, err := buildPlan(cr, atoms, slots, k, nil)
+		pl, err := buildPlan(cr, atoms, slots, k, nil, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -7,7 +7,6 @@ import (
 	"sync"
 
 	"repro/internal/bdd"
-	"repro/internal/provenance"
 	"repro/internal/types"
 )
 
@@ -25,17 +24,30 @@ import (
 //     read-only under the batched semi-naïve old/new discipline (exec.go).
 //     Derivations are buffered: local head deltas, aggregate updates for
 //     other shards' groups, outbound messages, deferred ruleExec rows.
-//  3. MERGE (serial). Buffers drain in shard-index order — so the next
-//     round's rings, the transport and the store see one deterministic
-//     sequence regardless of goroutine scheduling — deferred index
-//     removals and tombstone sweeps run, and deferred provenance-change
-//     notifications flush.
+//  3. MERGE (parallel over destinations). Fire-phase buffers are bucketed
+//     by destination shard at emit time, so the barrier commits
+//     per-destination: one worker per shard d runs d's deferred index
+//     removals and tombstone sweeps, replays every source's ruleExec ops
+//     homed in partition d, and drains every source's d-destined deltas
+//     and aggregate updates into d's next-round rings — always visiting
+//     sources in shard-index order, so each destination sees exactly the
+//     sequence the old serial barrier produced. Destinations own disjoint
+//     state (their relations, store partition, rings), so the workers
+//     cannot race; the transport flush and deferred provenance-change
+//     notifications stay serial, in shard order, after the workers join.
 //
 // Rounds repeat until no shard has pending work. For a fixed shard count
 // the execution is fully deterministic; across shard counts the fixpoint
 // state (relations, provenance rows, counters of net derivations) is
 // identical, while transient aggregate outputs may be elided by batching
 // (see ARCHITECTURE.md "Sharded runtime").
+//
+// All three phases run inline, in shard order, when the host has no
+// parallelism (GOMAXPROCS=1) or the round's occupancy is below
+// minFanOutWork — the adaptive gate: parallel and inline execution are
+// bit-identical by construction, so thin rounds skip the goroutine handoff
+// and small nodes collapse to the serial path regardless of the configured
+// shard count.
 
 // fireItem is one deferred firing: either an event delta (fires with its
 // own sign) or a stored entry touched this round (fires with its net
@@ -59,12 +71,6 @@ type aggItem struct {
 	sign      int8
 }
 
-// routedAgg pairs an aggregate update with its destination shard.
-type routedAgg struct {
-	dst int
-	it  aggItem
-}
-
 // outMsg is one buffered cross-node message.
 type outMsg struct {
 	to types.NodeID
@@ -85,14 +91,18 @@ type reOp struct {
 	vidLen int
 }
 
-// roundShard is the per-shard slice of round-runtime state.
+// roundShard is the per-shard slice of round-runtime state. outLocal,
+// outAgg and reOps are bucketed by destination shard (respectively the head
+// tuple's owner, the aggregate group's owner, and the RID's home partition)
+// at emit time, so the merge barrier can commit each destination's stream
+// on its own worker without re-routing.
 type roundShard struct {
 	fires    []fireItem
-	outLocal []localDelta
-	outAgg   []routedAgg
+	outLocal [][]localDelta
+	outAgg   [][]aggItem
 	outMsgs  []outMsg
 	aggIn    []aggItem
-	reOps    []reOp
+	reOps    [][]reOp
 	reVIDs   []types.ID
 	keyBufs  [][]byte // per-plan-step probe keys (exec.go round probing)
 }
@@ -109,6 +119,9 @@ func (n *Node) initRounds() {
 	}
 	for _, sh := range n.shards {
 		sh.rs.keyBufs = make([][]byte, maxSteps)
+		sh.rs.outLocal = make([][]localDelta, len(n.shards))
+		sh.rs.outAgg = make([][]aggItem, len(n.shards))
+		sh.rs.reOps = make([][]reOp, len(n.shards))
 	}
 }
 
@@ -206,9 +219,9 @@ func (sh *shard) fireAggRound(rule *CompiledRule, t types.Tuple, sign int8) {
 	cv := sh.allocArgs(len(carried))
 	copy(cv, carried)
 	dst := int(types.HashValues(gv) % uint64(len(sh.n.shards)))
-	sh.rs.outAgg = append(sh.rs.outAgg, routedAgg{dst: dst, it: aggItem{
+	sh.rs.outAgg[dst] = append(sh.rs.outAgg[dst], aggItem{
 		rule: rule, groupVals: gv, sortVal: sortVal, carried: cv, input: t, sign: sign,
-	}})
+	})
 }
 
 // applyAggItem applies one routed aggregate update to this shard's group
@@ -234,31 +247,35 @@ func (sh *shard) applyAggItem(it *aggItem) {
 	}
 }
 
-// deferRuleExecRow buffers a ruleExec-row change for the merge barrier.
+// deferRuleExecRow buffers a ruleExec-row change for the merge barrier,
+// bucketed by the RID's home partition.
 func (sh *shard) deferRuleExecRow(ridh types.IDHandle, rid types.ID, label string, inputVIDs []types.ID, sign int8) {
 	off := len(sh.rs.reVIDs)
 	if sign == Insert { // deletes never materialize a new row; skip the copy
 		sh.rs.reVIDs = append(sh.rs.reVIDs, inputVIDs...)
 	}
-	sh.rs.reOps = append(sh.rs.reOps, reOp{
+	dst := sh.n.ridHomeIdx(rid)
+	sh.rs.reOps[dst] = append(sh.rs.reOps[dst], reOp{
 		ridh: ridh, rid: rid, label: label, sign: sign, vidOff: off, vidLen: len(inputVIDs),
 	})
 }
 
-// ridHome maps an RID to the partition its ruleExec row lives in: a
-// content-derived hash so add/del pairs always meet, whatever shards they
+// ridHomeIdx maps an RID to the partition index its ruleExec row lives in:
+// a content-derived hash so add/del pairs always meet, whatever shards they
 // fired on.
-func (n *Node) ridHome(rid types.ID) *provenance.Partition {
-	return n.Store.Part(int(binary.BigEndian.Uint64(rid[:8]) % uint64(len(n.shards))))
+func (n *Node) ridHomeIdx(rid types.ID) int {
+	return int(binary.BigEndian.Uint64(rid[:8]) % uint64(len(n.shards)))
 }
 
-// replayRuleExecOps applies this shard's deferred ruleExec ops (merge
-// barrier, serial).
-func (sh *shard) replayRuleExecOps() {
-	n := sh.n
-	for i := range sh.rs.reOps {
-		op := &sh.rs.reOps[i]
-		part := n.ridHome(op.rid)
+// replayRuleExecOpsTo applies this shard's deferred ruleExec ops homed in
+// partition d (merge barrier; called only by destination d's merge worker).
+// The shared reVIDs arena is read-only here and truncated by the serial
+// merge epilogue once every destination has replayed.
+func (sh *shard) replayRuleExecOpsTo(d int) {
+	part := sh.n.Store.Part(d)
+	ops := sh.rs.reOps[d]
+	for i := range ops {
+		op := &ops[i]
 		switch {
 		case op.sign == Insert && op.ridh != 0:
 			part.AddRuleExecH(op.ridh, op.rid, op.label, sh.rs.reVIDs[op.vidOff:op.vidOff+op.vidLen])
@@ -269,52 +286,76 @@ func (sh *shard) replayRuleExecOps() {
 		default:
 			part.DelRuleExec(op.rid)
 		}
+		ops[i] = reOp{}
 	}
-	sh.rs.reOps = sh.rs.reOps[:0]
-	sh.rs.reVIDs = sh.rs.reVIDs[:0]
+	sh.rs.reOps[d] = ops[:0]
 }
 
-// mergeRound is the serial barrier closing one round: deferred index
-// removals and sweeps, deferred ruleExec rows, redistribution of buffered
-// local deltas and aggregate updates into the next round's rings, and the
-// transport flush — all in shard-index order, so the sequence feeding the
-// next round (and the wire) is deterministic.
-func (n *Node) mergeRound() {
+// mergeShard commits destination d's slice of the merge barrier: shard d's
+// deferred index removals and tombstone sweeps, the replay of every source
+// shard's ruleExec ops homed in partition d, and the drain of every
+// source's d-destined local deltas and aggregate updates into d's
+// next-round rings. Sources are visited in shard-index order, so the
+// per-destination sequence is exactly the subsequence the old serial
+// barrier fed this destination — bit-identity across worker schedules is
+// by construction. Every structure touched is owned by destination d
+// (its relations and entries, its store partition, its rings) or is a
+// d-indexed bucket of a source's emit buffers, so concurrent mergeShard
+// calls for different destinations never share mutable state.
+func (n *Node) mergeShard(d int) {
+	sh := n.shards[d]
 	// Deferred index maintenance: entries whose net transition was to
 	// invisible leave the indexes now that no probe can be in flight.
-	for _, sh := range n.shards {
-		for i := range sh.rs.fires {
-			it := &sh.rs.fires[i]
-			if it.ent != nil && !it.ent.visible && it.ent.indexed {
-				it.rel.unindex(it.ent)
-			}
-			sh.rs.fires[i] = fireItem{}
+	for i := range sh.rs.fires {
+		it := &sh.rs.fires[i]
+		if it.ent != nil && !it.ent.visible && it.ent.indexed {
+			it.rel.unindex(it.ent)
 		}
-		sh.rs.fires = sh.rs.fires[:0]
-		for _, rel := range sh.tablesByID {
-			rel.maybeSweepRound()
-		}
-		for _, rel := range sh.extraTables {
-			rel.maybeSweepRound()
-		}
+		sh.rs.fires[i] = fireItem{}
 	}
-	for _, sh := range n.shards {
-		sh.replayRuleExecOps()
+	sh.rs.fires = sh.rs.fires[:0]
+	for _, rel := range sh.tablesByID {
+		rel.maybeSweepRound()
 	}
-	for _, sh := range n.shards {
-		for i := range sh.rs.outLocal {
-			d := sh.rs.outLocal[i]
-			n.ownerShard(d.tuple).enqueue(d)
-			sh.rs.outLocal[i] = localDelta{}
+	for _, rel := range sh.extraTables {
+		rel.maybeSweepRound()
+	}
+	for _, src := range n.shards {
+		src.replayRuleExecOpsTo(d)
+	}
+	for _, src := range n.shards {
+		bucket := src.rs.outLocal[d]
+		for i := range bucket {
+			sh.enqueue(bucket[i])
+			bucket[i] = localDelta{}
 		}
-		sh.rs.outLocal = sh.rs.outLocal[:0]
-		for i := range sh.rs.outAgg {
-			ra := &sh.rs.outAgg[i]
-			dst := &n.shards[ra.dst].rs
-			dst.aggIn = append(dst.aggIn, ra.it)
-			sh.rs.outAgg[i] = routedAgg{}
+		src.rs.outLocal[d] = bucket[:0]
+		ab := src.rs.outAgg[d]
+		sh.rs.aggIn = append(sh.rs.aggIn, ab...)
+		clearAggItems(ab)
+		src.rs.outAgg[d] = ab[:0]
+	}
+}
+
+// mergeRound is the barrier closing one round. Destination commits fan out
+// across workers (or run inline in shard order — identical results either
+// way); the transport flush stays serial in shard-index order, so the wire
+// sees one deterministic sequence regardless of goroutine scheduling.
+func (n *Node) mergeRound(fanOut bool) {
+	if fanOut {
+		var wg sync.WaitGroup
+		wg.Add(len(n.shards))
+		for d := range n.shards {
+			go func(d int) {
+				defer wg.Done()
+				n.mergeShard(d)
+			}(d)
 		}
-		sh.rs.outAgg = sh.rs.outAgg[:0]
+		wg.Wait()
+	} else {
+		for d := range n.shards {
+			n.mergeShard(d)
+		}
 	}
 	for _, sh := range n.shards {
 		for i := range sh.rs.outMsgs {
@@ -323,6 +364,7 @@ func (n *Node) mergeRound() {
 			n.Transport.Send(n.ID, om.to, om.m)
 		}
 		sh.rs.outMsgs = sh.rs.outMsgs[:0]
+		sh.rs.reVIDs = sh.rs.reVIDs[:0]
 	}
 	n.syncErr()
 }
@@ -344,6 +386,24 @@ func (n *Node) anyPending() bool {
 	return false
 }
 
+// minFanOutWork is the adaptive gate's occupancy threshold: rounds opening
+// with fewer pending deltas and aggregate updates than this run all three
+// phases inline — the goroutine handoff would cost more than the round's
+// work. Safe at any value because inline and fanned-out execution are
+// bit-identical by construction.
+const minFanOutWork = 64
+
+// roundWork counts the deltas and aggregate updates pending at a round
+// boundary — the occupancy the adaptive gate compares against
+// minFanOutWork.
+func (n *Node) roundWork() int {
+	w := 0
+	for _, sh := range n.shards {
+		w += len(sh.queue) - sh.qhead + len(sh.rs.aggIn)
+	}
+	return w
+}
+
 // runRounds executes batched rounds until the node is locally quiescent.
 // Apply and fire phases fan out across shard goroutines; merge runs on the
 // calling goroutine. Re-entrant calls (a synchronous transport delivering a
@@ -357,10 +417,12 @@ func (n *Node) runRounds() {
 	defer func() { n.inRounds = false }()
 	// Phase results are goroutine-schedule-independent by construction, so
 	// on a single-CPU host the fan-out is pure overhead and the phases run
-	// inline in shard order instead.
-	fanOut := runtime.GOMAXPROCS(0) > 1
+	// inline in shard order instead; parallel hosts make the same inline
+	// collapse per round when occupancy is below minFanOutWork.
+	parallel := runtime.GOMAXPROCS(0) > 1
 	var wg sync.WaitGroup
 	for n.Err == nil && n.anyPending() {
+		fanOut := parallel && n.roundWork() >= minFanOutWork
 		n.curRound++
 		n.Store.DeferChanges()
 		for _, sh := range n.shards {
@@ -393,7 +455,7 @@ func (n *Node) runRounds() {
 			}(sh)
 		}
 		wg.Wait()
-		n.mergeRound()
+		n.mergeRound(fanOut)
 		n.Store.FlushDeferred()
 	}
 }

@@ -114,8 +114,11 @@ type shard struct {
 	rulesFired      int64
 	// joinStats tallies probes/hits per joinID for the planner's cost
 	// model (stats.go). Owned by this shard's fire phases; folded into the
-	// node accumulator only at quiescence.
+	// node accumulator only at quiescence. condStats does the same for
+	// condition pass/fail tallies, keyed by program-wide condition slot
+	// (CompiledRule.condBase + planStep.condID).
 	joinStats []joinStat
+	condStats []condStat
 
 	// fireAtomPos/fireIsEvent describe the delta currently being fired
 	// (set by firePlan); round-mode join probes use them to pick the
@@ -152,6 +155,7 @@ func newShard(n *Node, idx int, store *provenance.Partition) *shard {
 	}
 	sh.joinIdx = make([]*index, prog.numJoins)
 	sh.joinStats = make([]joinStat, prog.numJoins)
+	sh.condStats = make([]condStat, prog.numConds)
 	sh.aggByRule = make([]map[string]*aggGroup, len(prog.Rules))
 	sh.aggBodyRel = make([]*Relation, len(prog.Rules))
 	sh.bindPlans()
@@ -478,28 +482,82 @@ func (sh *shard) stageEntry(e *entry) {
 	sh.stagedEnts = append(sh.stagedEnts, e)
 }
 
-// releaseStaged moves this shard's staged re-derivations into actionable
-// work: suspects whose alternate derivations survived the deletion wave are
-// enqueued as rederive deltas, and staged aggregate groups re-refresh,
-// emitting their deferred winner. It reports whether any work was produced
-// (the driver then runs the node to quiescence again). Staging is validated
-// here, not at staging time — a suspect re-shown by a genuine insert, or a
-// group whose output was already rebuilt, releases as a no-op — so release
-// order across shards and nodes cannot affect the fixpoint.
-func (sh *shard) releaseStaged() bool {
+// stratumOf returns the release stratum of a predicate (0 for predicates
+// the program never mentions; those can only be staged via relayed meta
+// rows, which are never recursive in practice).
+func (sh *shard) stratumOf(pred string) int {
+	if info := sh.n.Prog.Pred(pred); info != nil {
+		return info.Stratum
+	}
+	return 0
+}
+
+// minStagedStratum returns the lowest occupied release stratum on this
+// shard, or -1 when nothing is staged.
+func (sh *shard) minStagedStratum() int {
+	min := -1
+	for _, e := range sh.stagedEnts {
+		if s := sh.stratumOf(e.tuple.Pred); min < 0 || s < min {
+			min = s
+		}
+	}
+	for i := range sh.stagedGroups {
+		if s := sh.stagedGroups[i].rule.headStratum; min < 0 || s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// releaseStratum moves the given stratum's staged re-derivations into
+// actionable work: suspects whose alternate derivations survived the
+// deletion wave are enqueued as rederive deltas, and staged aggregate
+// groups re-refresh, emitting their deferred winner. Items in other strata
+// stay staged. It reports whether any work was produced (the driver then
+// runs the node to quiescence again). Staging is validated here, not at
+// staging time — a suspect re-shown by a genuine insert, or a group whose
+// output was already rebuilt, releases as a no-op — so release order across
+// shards and nodes cannot affect the fixpoint (the stratified wave order in
+// Node.ReleaseStaged is a round-trip optimization, not a correctness
+// requirement; engine/dred_test.go proves order independence).
+//
+// limit, when non-nil, caps how many staged items this call may release
+// (shared across shards by Node.ReleaseStaged's per-suspect baseline mode);
+// nil releases the whole stratum as one batch.
+func (sh *shard) releaseStratum(stratum int, limit *int) bool {
 	any := false
-	for i, e := range sh.stagedEnts {
-		sh.stagedEnts[i] = nil
+	ents := sh.stagedEnts
+	kept := ents[:0]
+	for _, e := range ents {
+		if limit != nil && *limit == 0 || sh.stratumOf(e.tuple.Pred) != stratum {
+			kept = append(kept, e)
+			continue
+		}
+		if limit != nil {
+			*limit--
+		}
 		e.staged = false
 		if !e.visible && len(e.derivs) > 0 {
 			sh.enqueue(localDelta{tuple: e.tuple, sign: rederive})
 			any = true
 		}
 	}
-	sh.stagedEnts = sh.stagedEnts[:0]
-	for i := range sh.stagedGroups {
-		sg := sh.stagedGroups[i]
-		sh.stagedGroups[i] = stagedGroup{}
+	for i := len(kept); i < len(ents); i++ {
+		ents[i] = nil
+	}
+	sh.stagedEnts = kept
+
+	groups := sh.stagedGroups
+	keptG := groups[:0]
+	for i := range groups {
+		sg := groups[i]
+		if limit != nil && *limit == 0 || sg.rule.headStratum != stratum {
+			keptG = append(keptG, sg)
+			continue
+		}
+		if limit != nil {
+			*limit--
+		}
 		sg.g.staged = false
 		for _, em := range sg.g.refresh(sh, sg.rule, sg.groupVals, false) {
 			out := em.tuple
@@ -508,7 +566,10 @@ func (sh *shard) releaseStaged() bool {
 			any = true
 		}
 	}
-	sh.stagedGroups = sh.stagedGroups[:0]
+	for i := len(keptG); i < len(groups); i++ {
+		groups[i] = stagedGroup{}
+	}
+	sh.stagedGroups = keptG
 	return any
 }
 

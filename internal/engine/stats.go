@@ -30,6 +30,17 @@ type joinStat struct {
 	hits   int64
 }
 
+// condStat tallies one body condition's evaluations and passes: passes/evals
+// is the condition's measured selectivity, replacing the planner's flat 0.5
+// credit once enough evaluations accumulate (condMinEvals). Slot-indexed by
+// CompiledRule.condBase + planStep.condID — a keying that survives plan
+// swaps, because rebuilt plans re-derive the same term numbering from the
+// rule source.
+type condStat struct {
+	evals  int64
+	passes int64
+}
+
 // statKey identifies a probe target independently of any particular plan:
 // the probed predicate and the indexID of the probed positions. Measured
 // fan-out keyed this way survives re-plans — a new plan probing the same
@@ -75,6 +86,15 @@ func (n *Node) foldJoinStats() {
 				n.fanAcc[key] = acc
 			}
 			*js = joinStat{}
+		}
+		for id := range sh.condStats {
+			cs := &sh.condStats[id]
+			if cs.evals == 0 {
+				continue
+			}
+			n.condAcc[id].evals += cs.evals
+			n.condAcc[id].passes += cs.passes
+			*cs = condStat{}
 		}
 	}
 }

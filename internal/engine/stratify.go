@@ -1,5 +1,7 @@
 package engine
 
+import "sort"
+
 // This file computes the program's predicate dependency structure at
 // compile time. The retraction discipline (see shard.go and
 // ARCHITECTURE.md "Deletion semantics") needs to know which predicates can
@@ -16,18 +18,33 @@ package engine
 // plain rules: MINCOST's sp2/sp3 put pathCost and bestPathCost in one SCC,
 // which is exactly the count-to-infinity loop the retraction protocol must
 // break.
+//
+// The SCC pass also yields the release stratification: Tarjan identifies
+// components in reverse topological order of the condensation, and with
+// edges pointing head→body a component is popped only after every
+// component it depends on (its bodies) has been popped. The component
+// number is therefore a stratum: releasing staged retraction work in
+// ascending stratum order re-derives a suspect's supports before any
+// suspect that consumes them (Node.ReleaseStaged).
 
-// markRecursive computes the recursive flag of every predicate (and the
-// headRecursive flag of every rule) via Tarjan's SCC algorithm over the
-// head→body predicate graph. Called once at the end of Compile.
+// markRecursive computes the recursive flag and release stratum of every
+// predicate (and the headRecursive/headStratum of every rule) via Tarjan's
+// SCC algorithm over the head→body predicate graph. Called once at the end
+// of Compile.
 func (p *Program) markRecursive() {
 	// Dense predicate numbering for the walk (events included: a cycle
-	// through an event predicate still re-derives stored tuples).
-	idx := make(map[string]int, len(p.preds))
+	// through an event predicate still re-derives stored tuples). The
+	// numbering iterates names in sorted order so component numbers — and
+	// with them the release strata — are a pure function of the program,
+	// not of map iteration order.
 	names := make([]string, 0, len(p.preds))
 	for name := range p.preds {
-		idx[name] = len(names)
 		names = append(names, name)
+	}
+	sort.Strings(names)
+	idx := make(map[string]int, len(names))
+	for i, name := range names {
+		idx[name] = i
 	}
 	adj := make([][]int, len(names))
 	selfLoop := make([]bool, len(names))
@@ -114,8 +131,11 @@ func (p *Program) markRecursive() {
 	for name, info := range p.preds {
 		i := idx[name]
 		info.Recursive = selfLoop[i] || compSize[comp[i]] > 1
+		info.Stratum = comp[i]
 	}
 	for _, cr := range p.Rules {
-		cr.headRecursive = p.preds[cr.HeadPred].Recursive
+		hi := p.preds[cr.HeadPred]
+		cr.headRecursive = hi.Recursive
+		cr.headStratum = hi.Stratum
 	}
 }
