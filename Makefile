@@ -11,7 +11,7 @@ BENCHES := BenchmarkEngineFixpoint|BenchmarkEngineFixpointSharded|BenchmarkPlann
 # detector and CI runs it on every push.
 RACE_PKGS := ./internal/engine/... ./internal/provenance/... ./internal/deploy/... ./internal/transport/...
 
-.PHONY: all build fmt vet test test-race chaos-smoke scale-smoke doccheck fuzz-smoke check bench bench-smoke bench-compare clean
+.PHONY: all build fmt vet lint lint-extra test test-race chaos-smoke scale-smoke doccheck fuzz-smoke check bench bench-smoke bench-compare clean
 
 all: check
 
@@ -25,6 +25,27 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Invariant lint gate: the exspanlint suite (internal/lint) machine-checks
+# bit-exact determinism, zero-alloc hot paths, interned-value identity and
+# shard phase ownership over the whole tree, tests included. Blocking — a
+# finding fails the build; suppress individual findings only with a reasoned
+# //exspanlint:<key> comment (see ARCHITECTURE.md "Static analysis").
+lint:
+	$(GO) run ./cmd/exspanlint ./...
+
+# Report-only extras: third-party linters when the toolchain has them
+# installed (they are not vendored — the module pins no dependencies).
+# Detect-and-skip keeps this target green on minimal containers; the `-`
+# prefix keeps real findings advisory, as bench-compare does.
+lint-extra:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck $$(staticcheck -version 2>/dev/null)"; \
+		staticcheck ./... || true; \
+	else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || true; \
+	else echo "govulncheck not installed; skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -89,7 +110,9 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTuple$$' -fuzztime 10s ./internal/types
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrameHeader$$' -fuzztime 10s ./internal/transport
 
-check: fmt vet build test test-race chaos-smoke doccheck fuzz-smoke
+# lint sits before test-race: a lint finding is seconds to surface, the race
+# legs are minutes — fail fast on the cheap gate.
+check: fmt vet build lint test test-race chaos-smoke doccheck fuzz-smoke
 
 # Full hot-path benchmark run: three samples of each tracked benchmark with
 # allocation stats, compared against the committed PR 8 record into

@@ -30,6 +30,8 @@ import (
 
 // firePlan evaluates the delta plan of (rule, pos) for tuple t and emits
 // head derivations.
+//
+//exspan:hotpath
 func (sh *shard) firePlan(rule *CompiledRule, pos int, t types.Tuple, sign int8,
 	deltaEntry *entry, deltaPayload bdd.Ref) {
 
@@ -54,6 +56,8 @@ func (sh *shard) firePlan(rule *CompiledRule, pos int, t types.Tuple, sign int8,
 
 // execPlan runs plan steps from step onward. It is a plain recursive method
 // rather than a closure so the recursion allocates nothing.
+//
+//exspan:hotpath
 func (sh *shard) execPlan(rule *CompiledRule, pl *plan, step int, sign int8,
 	env []types.Value, matched []types.Tuple, ments []*entry, payloads []bdd.Ref) {
 
@@ -69,6 +73,7 @@ func (sh *shard) execPlan(rule *CompiledRule, pl *plan, step int, sign int8,
 	case stepAssign:
 		v, err := st.expr(env)
 		if err != nil {
+			//exspanlint:alloc-ok error path: evaluation aborts on the first failure
 			sh.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
 			return
 		}
@@ -77,6 +82,7 @@ func (sh *shard) execPlan(rule *CompiledRule, pl *plan, step int, sign int8,
 	case stepCond:
 		v, err := st.expr(env)
 		if err != nil {
+			//exspanlint:alloc-ok error path: evaluation aborts on the first failure
 			sh.fail(fmt.Errorf("rule %s: %w", rule.Label, err))
 			return
 		}
@@ -125,6 +131,8 @@ func (sh *shard) execPlan(rule *CompiledRule, pl *plan, step int, sign int8,
 // candidate enumeration deterministic), and candidates are admitted against
 // NEW or OLD visibility depending on the probed atom's position relative to
 // the firing delta (see the file comment).
+//
+//exspan:hotpath
 func (sh *shard) execJoinRound(rule *CompiledRule, pl *plan, st *planStep, step int, sign int8,
 	env []types.Value, matched []types.Tuple, ments []*entry, payloads []bdd.Ref) {
 
@@ -175,6 +183,8 @@ func (sh *shard) execJoinRound(rule *CompiledRule, pl *plan, st *planStep, step 
 // routes the delta (locally or over the transport), maintaining provenance
 // per the configured mode. Input VIDs come from the matched entries' caches;
 // only tuples never stored on this node (event inputs) are hashed here.
+//
+//exspan:hotpath
 func (sh *shard) emitDerivation(rule *CompiledRule, env []types.Value,
 	matched []types.Tuple, ments []*entry, payloads []bdd.Ref, sign int8) {
 
@@ -184,6 +194,7 @@ func (sh *shard) emitDerivation(rule *CompiledRule, env []types.Value,
 	for i, code := range rule.headCode {
 		v, err := code(env)
 		if err != nil {
+			//exspanlint:alloc-ok error path: evaluation aborts on the first failure
 			sh.fail(fmt.Errorf("rule %s head: %w", rule.Label, err))
 			return
 		}
@@ -192,6 +203,7 @@ func (sh *shard) emitDerivation(rule *CompiledRule, env []types.Value,
 	head := types.Tuple{Pred: rule.HeadPred, Args: args}
 	dst := args[rule.HeadLocPos].AsNode()
 	if dst < 0 {
+		//exspanlint:alloc-ok error path: evaluation aborts on the first failure
 		sh.fail(fmt.Errorf("rule %s: head location is not a node", rule.Label))
 		return
 	}
@@ -250,6 +262,8 @@ func (sh *shard) emitDerivation(rule *CompiledRule, env []types.Value,
 // shards (whichever shard owned the triggering delta), so the ops are
 // buffered and replayed at the merge barrier into the RID's home partition,
 // keeping each add/del pair in one map.
+//
+//exspan:hotpath
 func (sh *shard) ruleExecRow(ridh types.IDHandle, rid types.ID, label string, inputVIDs []types.ID, sign int8) {
 	if sh.n.rounds() {
 		sh.deferRuleExecRow(ridh, rid, label, inputVIDs, sign)
@@ -279,6 +293,8 @@ type ridCacheVal struct {
 // and replaying it from the memo afterwards. The memo key is the rule index
 // followed by the inputs' interned VID handles — equal handles mean equal
 // VIDs, and the node's own ID (part of the hash) is constant per node.
+//
+//exspan:hotpath
 func (sh *shard) ruleExecID(rule *CompiledRule, ments []*entry, inputVIDs []types.ID) (types.ID, types.IDHandle) {
 	k := sh.ridKey[:0]
 	k = append(k, byte(rule.idx), byte(rule.idx>>8), byte(rule.idx>>16), byte(rule.idx>>24))
@@ -293,6 +309,7 @@ func (sh *shard) ruleExecID(rule *CompiledRule, ments []*entry, inputVIDs []type
 	var rid types.ID
 	rid, sh.ridBuf = types.RuleExecIDBuf(rule.Label, sh.n.ID, inputVIDs, sh.ridBuf)
 	c := ridCacheVal{id: rid, h: types.InternID(rid)}
+	//exspanlint:alloc-ok memo miss: the key string is copied once per distinct (rule, inputs)
 	sh.ridCache[string(k)] = c
 	return c.id, c.h
 }
@@ -304,6 +321,8 @@ func (sh *shard) ruleExecID(rule *CompiledRule, ments []*entry, inputVIDs []type
 // staged re-derivations, which happens between rounds: those deltas go
 // straight to their owner shard's ring (and the transport), where the next
 // round picks them up.
+//
+//exspan:hotpath
 func (sh *shard) route(head types.Tuple, dst types.NodeID, sign int8, rid types.ID, payload bdd.Ref) {
 	n := sh.n
 	if dst == n.ID {

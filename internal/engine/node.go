@@ -264,6 +264,8 @@ func (n *Node) TupleCount(pred string) int {
 }
 
 // DeltasProcessed reports the number of deltas the node has applied.
+//
+//exspan:merge-phase
 func (n *Node) DeltasProcessed() int64 {
 	var c int64
 	for _, sh := range n.shards {
@@ -291,6 +293,8 @@ func (n *Node) AggGroupCount() int {
 }
 
 // RulesFired reports the number of rule firings the node has executed.
+//
+//exspan:merge-phase
 func (n *Node) RulesFired() int64 {
 	var c int64
 	for _, sh := range n.shards {
@@ -401,6 +405,8 @@ func (n *Node) fail(err error) {
 }
 
 // syncErr propagates the first shard error (in shard order) to Err.
+//
+//exspan:merge-phase
 func (n *Node) syncErr() {
 	if n.Err != nil {
 		return
@@ -515,6 +521,8 @@ func Settle(nodes ...*Node) {
 
 // drain processes queued deltas FIFO until quiescent — the serial PSN
 // pipeline of a single-shard node.
+//
+//exspan:merge-phase
 func (n *Node) drain() {
 	if n.draining {
 		return

@@ -108,6 +108,8 @@ type roundShard struct {
 }
 
 // initRounds sizes the per-shard round state once the shard set is final.
+//
+//exspan:merge-phase
 func (n *Node) initRounds() {
 	maxSteps := 0
 	for _, cr := range n.Prog.Rules {
@@ -128,6 +130,8 @@ func (n *Node) initRounds() {
 // markTouched records a stored entry's first touch of the round: its
 // start-of-round visibility (against which the net transition and the
 // old-state probe admissions are decided) and a fire-list slot.
+//
+//exspan:hotpath
 func (sh *shard) markTouched(rel *Relation, e *entry, occs []occurrence) {
 	if e.touchRound == sh.n.curRound {
 		return
@@ -139,6 +143,8 @@ func (sh *shard) markTouched(rel *Relation, e *entry, occs []occurrence) {
 
 // applyPhase drains the shard's delta ring and applies aggregate updates
 // routed to this shard's groups. Only owner-local state is mutated.
+//
+//exspan:hotpath
 func (sh *shard) applyPhase() {
 	for sh.qhead < len(sh.queue) && sh.err == nil {
 		sh.process(sh.popDelta(), true)
@@ -160,6 +166,8 @@ func (sh *shard) applyPhase() {
 // firePhase evaluates the deferred firings against the frozen post-apply
 // state. Stored entries whose batch netted to zero are skipped; the rest
 // fire once with their net sign.
+//
+//exspan:hotpath
 func (sh *shard) firePhase() {
 	for i := range sh.rs.fires {
 		if sh.err != nil {
@@ -198,6 +206,8 @@ func (sh *shard) firePhase() {
 // the group update to the group's owner shard (applied in its next apply
 // phase). Group values and carried values are copied out of scratch into
 // the shard's chunked value arena.
+//
+//exspan:hotpath
 func (sh *shard) fireAggRound(rule *CompiledRule, t types.Tuple, sign int8) {
 	env, ok := sh.evalAggBody(rule, t)
 	if !ok {
@@ -208,6 +218,7 @@ func (sh *shard) fireAggRound(rule *CompiledRule, t types.Tuple, sign int8) {
 	for i, code := range spec.groupCode {
 		v, err := code(env)
 		if err != nil {
+			//exspanlint:alloc-ok error path: evaluation aborts on the first failure
 			sh.fail(fmt.Errorf("rule %s group: %w", rule.Label, err))
 			return
 		}
@@ -302,6 +313,8 @@ func (sh *shard) replayRuleExecOpsTo(d int) {
 // (its relations and entries, its store partition, its rings) or is a
 // d-indexed bucket of a source's emit buffers, so concurrent mergeShard
 // calls for different destinations never share mutable state.
+//
+//exspan:merge-phase
 func (n *Node) mergeShard(d int) {
 	sh := n.shards[d]
 	// Deferred index maintenance: entries whose net transition was to
@@ -341,6 +354,8 @@ func (n *Node) mergeShard(d int) {
 // across workers (or run inline in shard order — identical results either
 // way); the transport flush stays serial in shard-index order, so the wire
 // sees one deterministic sequence regardless of goroutine scheduling.
+//
+//exspan:merge-phase
 func (n *Node) mergeRound(fanOut bool) {
 	if fanOut {
 		var wg sync.WaitGroup
@@ -396,6 +411,8 @@ const minFanOutWork = 64
 // roundWork counts the deltas and aggregate updates pending at a round
 // boundary — the occupancy the adaptive gate compares against
 // minFanOutWork.
+//
+//exspan:merge-phase
 func (n *Node) roundWork() int {
 	w := 0
 	for _, sh := range n.shards {
@@ -409,6 +426,8 @@ func (n *Node) roundWork() int {
 // calling goroutine. Re-entrant calls (a synchronous transport delivering a
 // message back to this node mid-merge) just deposit and return — the outer
 // loop picks the work up next round.
+//
+//exspan:merge-phase
 func (n *Node) runRounds() {
 	if n.inRounds {
 		return

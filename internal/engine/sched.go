@@ -97,6 +97,7 @@ func NewScheduler(prog *Program, mode ProvMode, nNodes, shardsPerNode, workers i
 // tasks never contend.
 type schedTransport struct{ s *Scheduler }
 
+//exspan:hotpath
 func (t schedTransport) Send(from, to types.NodeID, m *Message) {
 	t.s.staged[from] = append(t.s.staged[from], outMsg{to: to, m: m})
 }
@@ -235,6 +236,8 @@ func (n *Node) localFixpoint() {
 // message struct is released back to its sender's pool (a no-op for sharded
 // senders, which allocate plainly): deliver runs serially between rounds,
 // so the unsynchronized pools see one goroutine.
+//
+//exspan:hotpath
 func (s *Scheduler) deliver() {
 	for src := range s.staged {
 		msgs := s.staged[src]

@@ -21,14 +21,17 @@ import (
 // writer of the tuple's relation entry, index postings and prov rows; any
 // shard may read them during the frozen fire phase.
 
-// localDelta is one unit of PSN work in a shard's FIFO queue.
+// localDelta is one unit of PSN work in a shard's FIFO queue. Field order
+// is alignment-packed (exspanlint -fieldalign): the 1-byte sign/isBase pair
+// trails the word- and 4-byte-aligned fields, saving 8 bytes per queued
+// delta (72 vs 80).
 type localDelta struct {
 	tuple   types.Tuple
-	sign    int8
 	rid     types.ID
 	rloc    types.NodeID
-	isBase  bool
 	payload bdd.Ref // value mode: decoded provenance of this derivation
+	sign    int8
+	isBase  bool
 }
 
 // shard is one worker partition of a Node.
@@ -41,12 +44,16 @@ type shard struct {
 	store *provenance.Partition
 
 	tables map[string]*Relation
-	queue  []localDelta
-	qhead  int // drain ring head: queue[qhead:] is pending work
+
+	// owned by: the owner shard's apply phase (merge deposits at the barrier)
+	queue []localDelta
+	qhead int // drain ring head: queue[qhead:] is pending work
 
 	// Compiled access paths: each stepJoin's index handle, resolved once
 	// at plan-bind time (newShard) and indexed by joinID, so a join probe
 	// never re-derives the index from its position list.
+	//
+	// owned by: any
 	joinIdx []*index
 	// tablesByID mirrors tables for the program's stored predicates,
 	// indexed by PredInfo.tableID (one map lookup per delta instead of
@@ -64,6 +71,8 @@ type shard struct {
 	// across rule firings. Safe because firing never re-enters the
 	// evaluator: derived deltas are enqueued and processed by drain (or
 	// buffered for the next round).
+	//
+	// owned by: the owner shard's rule firing
 	envBuf     []types.Value
 	matchedBuf []types.Tuple
 	entBuf     []*entry
@@ -102,14 +111,20 @@ type shard struct {
 	// derivations, and aggregate groups whose winner promotion was
 	// deferred. Both lists are drained by releaseStaged once the driver
 	// detects that the cluster-wide deletion wave has quiesced.
+	//
+	// owned by: the owner shard; released between waves at quiescence
 	stagedEnts   []*entry
 	stagedGroups []stagedGroup
 
 	// err records the first evaluation error raised on this shard; the
 	// merge barrier (or serial drain) propagates it to Node.Err.
+	//
+	// owned by: the owner shard; folded into Node.Err at the barrier
 	err error
 
 	// Counters.
+	//
+	// owned by: the owner shard; folded into node accumulators at quiescence
 	deltasProcessed int64
 	rulesFired      int64
 	// joinStats tallies probes/hits per joinID for the planner's cost
@@ -123,15 +138,21 @@ type shard struct {
 	// fireAtomPos/fireIsEvent describe the delta currently being fired
 	// (set by firePlan); round-mode join probes use them to pick the
 	// old/new admission side.
+	//
+	// owned by: the owner shard's fire phase
 	fireAtomPos int
 	fireIsEvent bool
 
 	// Round-mode state; see rounds.go.
+	//
+	// owned by: the owner shard's phases and the merge workers
 	rs roundShard
 }
 
 // newShard creates one worker partition, binding the program's join steps to
 // this shard's index handles.
+//
+//exspan:merge-phase
 func newShard(n *Node, idx int, store *provenance.Partition) *shard {
 	prog := n.Prog
 	sh := &shard{
@@ -214,12 +235,15 @@ func (sh *shard) fail(err error) {
 	}
 }
 
+//exspan:hotpath
 func (sh *shard) enqueue(d localDelta) { sh.queue = append(sh.queue, d) }
 
 // popDelta removes and returns the next pending delta of the drain ring.
 // The queue is a head-index ring over one slice: popping advances qhead
 // instead of re-slicing, and the slice capacity is reused across bursts
 // rather than re-allocated per enqueue wave.
+//
+//exspan:hotpath
 func (sh *shard) popDelta() localDelta {
 	// Compact once the consumed prefix dominates so a long-lived burst
 	// cannot grow the slice without bound.
@@ -248,6 +272,8 @@ func (sh *shard) pending() bool { return sh.qhead < len(sh.queue) || len(sh.rs.a
 // fires the triggered rules inline. In round mode (rm true) firing is
 // deferred: the delta's net visibility effect is recorded via markTouched
 // and evaluated by the fire phase (rounds.go).
+//
+//exspan:hotpath
 func (sh *shard) process(d localDelta, rm bool) {
 	n := sh.n
 	sh.deltasProcessed++
@@ -594,6 +620,8 @@ func (sh *shard) recomputePayload(e *entry) bool {
 // fireAll runs every rule occurrence triggered by a delta of this
 // predicate. deltaEntry may be nil (events); payload is the tuple's current
 // provenance payload in value mode.
+//
+//exspan:hotpath
 func (sh *shard) fireAll(occs []occurrence, t types.Tuple, sign int8, deltaEntry *entry, payload bdd.Ref) {
 	for _, occ := range occs {
 		if occ.rule.agg != nil {

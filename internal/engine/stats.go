@@ -63,6 +63,8 @@ type statsSnapshot struct {
 // shard counters. Must run before the mapping is rebuilt (a re-plan swap
 // renumbers what each joinID probes) and only at quiescence (the counters
 // are owned by fire phases).
+//
+//exspan:merge-phase
 func (n *Node) foldJoinStats() {
 	// Non-planable programs never fold on the replan path, but ExplainPlans
 	// still wants the tallies; build the mapping lazily there.

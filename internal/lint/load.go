@@ -1,0 +1,170 @@
+package lint
+
+// Package loading for the analyzers. The tree pins no third-party modules
+// (go.mod is dependency-free by policy), so instead of
+// golang.org/x/tools/go/packages this loader shells out to `go list -export`
+// for package metadata plus compiled export data, parses the target
+// packages' sources itself, and type-checks them with the standard
+// library's gc-export-data importer. The result carries everything an
+// analyzer needs: syntax with comments, *types.Package, and a fully
+// populated types.Info.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path (test variants keep go list's bracketed form)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Name       string
+	ForTest    string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses and type-checks the packages matched by patterns,
+// rooted at dir (the module root). With includeTests, each matched
+// package's test variant (package sources plus in-package _test.go files)
+// replaces the plain package, and external _test packages are loaded too.
+func Load(dir string, includeTests bool, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,Name,ForTest,GoFiles,CgoFiles,ImportMap,DepOnly,Error"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+		}
+		q := p
+		targets = append(targets, &q)
+	}
+
+	if includeTests {
+		// The test variant "pkg [pkg.test]" contains the plain package's
+		// files plus its in-package tests; analyzing both would double
+		// every plain-package diagnostic.
+		variants := map[string]bool{}
+		for _, t := range targets {
+			if t.ForTest != "" && strings.HasPrefix(t.ImportPath, t.ForTest+" ") {
+				variants[t.ForTest] = true
+			}
+		}
+		kept := targets[:0]
+		for _, t := range targets {
+			if !variants[t.ImportPath] {
+				kept = append(kept, t)
+			}
+		}
+		targets = kept
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	var pkgs []*Package
+	for _, t := range targets {
+		lookup := func(path string) (io.ReadCloser, error) {
+			if m, ok := t.ImportMap[path]; ok {
+				path = m
+			}
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}
+		var files []*ast.File
+		for _, gf := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{
+			Importer: importer.ForCompiler(fset, "gc", lookup),
+			Sizes:    sizes,
+		}
+		// go list's bracketed test-variant paths are not valid import
+		// paths for the checker; check under the plain path.
+		checkPath := strings.Fields(t.ImportPath)[0]
+		tp, err := conf.Check(checkPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  t.ImportPath,
+			Dir:   t.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tp,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,190 @@
+package lint
+
+// The phaseown analyzer machine-checks the shard-state ownership contract
+// that today only the (timing-dependent) race detector can see violated.
+// A struct opts in by carrying `// owned by: <phase>` comments inside its
+// field list: each comment starts a group of protected fields (`// owned
+// by: any` ends protection). A protected field may then only be touched
+//
+//   - from a method whose receiver is that struct type (shards touch their
+//     own — and, read-only during the frozen fire phase, their siblings' —
+//     state from shard methods), or
+//   - from a function annotated //exspan:merge-phase: a barrier-time
+//     function that runs when no apply or fire phase is in flight
+//     (constructors, the merge workers, quiescence-time release and
+//     stats folds), or
+//   - through a parameter of the protected struct type: a helper handed
+//     the owner explicitly (aggGroup.update(sh, ...)) acts on the
+//     caller's behalf, and the caller is where the contract is checked.
+//
+// Any other access is the cross-shard-write race class PR 9's merge
+// pipeline was built to exclude. Escape hatch: //exspanlint:phase-ok
+// <reason>.
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var PhaseOwnAnalyzer = &Analyzer{
+	Name:     "phaseown",
+	Doc:      "flags access to `// owned by:` struct fields from outside owner methods and //exspan:merge-phase functions",
+	Suppress: "phase-ok",
+	Run:      runPhaseOwn,
+}
+
+const mergePhaseMarker = "//exspan:merge-phase"
+
+var ownedByRe = regexp.MustCompile(`^//\s*owned by:\s*(.+?)\s*$`)
+
+// ownedFields maps a protected struct's named type to field name -> owning
+// phase label.
+type ownedFields map[*types.Named]map[string]string
+
+func runPhaseOwn(p *Pass) {
+	info := p.Pkg.Info
+	owned := collectOwnedFields(p.Pkg)
+	if len(owned) == 0 {
+		return
+	}
+
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		if funcAnnotated(fd, mergePhaseMarker) {
+			return
+		}
+		// Tests are exempt: they inspect shard internals at quiescence from
+		// one goroutine by construction — the contract protects the
+		// concurrent apply/fire/merge machinery.
+		if strings.HasSuffix(p.Pkg.Fset.Position(fd.Pos()).Filename, "_test.go") {
+			return
+		}
+		recv := receiverNamed(fd, info)
+		params := paramObjs(fd, info)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			named := namedOf(s.Recv())
+			if named == nil {
+				return true
+			}
+			fields := owned[named]
+			if fields == nil {
+				return true
+			}
+			owner, protected := fields[sel.Sel.Name]
+			if !protected || named == recv {
+				return true
+			}
+			// Access through an explicitly-passed owner parameter: the
+			// caller delegated its phase, and is itself checked.
+			if root := rootIdent(sel.X); root != nil {
+				obj := info.Uses[root]
+				if obj == nil {
+					obj = info.Defs[root]
+				}
+				if v, ok := obj.(*types.Var); ok && params[v] && namedOf(v.Type()) == named {
+					return true
+				}
+			}
+			p.Reportf(sel.Sel.Pos(), "field %s.%s is owned by %q: touch it only from %s methods or //exspan:merge-phase functions",
+				named.Obj().Name(), sel.Sel.Name, owner, named.Obj().Name())
+			return true
+		})
+	})
+}
+
+// collectOwnedFields scans the package's struct declarations for
+// `// owned by:` field groups.
+func collectOwnedFields(pkg *Package) ownedFields {
+	owned := ownedFields{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				fields := structOwnedFields(st)
+				if len(fields) > 0 {
+					owned[named] = fields
+				}
+			}
+		}
+	}
+	return owned
+}
+
+// structOwnedFields walks a struct's field list in order, assigning fields
+// to the current `// owned by:` group. A field's doc comment can change
+// the group; "any" ends protection.
+func structOwnedFields(st *ast.StructType) map[string]string {
+	fields := map[string]string{}
+	current := ""
+	for _, field := range st.Fields.List {
+		if field.Doc != nil {
+			for _, c := range field.Doc.List {
+				if m := ownedByRe.FindStringSubmatch(c.Text); m != nil {
+					current = m[1]
+					if current == "any" {
+						current = ""
+					}
+				}
+			}
+		}
+		if current == "" {
+			continue
+		}
+		for _, name := range field.Names {
+			fields[name.Name] = current
+		}
+	}
+	return fields
+}
+
+// paramObjs collects the parameter variables of a function declaration.
+func paramObjs(fd *ast.FuncDecl, info *types.Info) map[*types.Var]bool {
+	params := map[*types.Var]bool{}
+	if fd.Type.Params == nil {
+		return params
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				params[v] = true
+			}
+		}
+	}
+	return params
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

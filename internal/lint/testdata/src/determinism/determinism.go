@@ -1,0 +1,108 @@
+// Package determinism is the golden fixture for the determinism analyzer.
+// Every want comment pins a diagnostic on its line; a violation class with
+// no want comment must stay silent. lint_test.go loads this
+// package (explicitly — testdata is invisible to ./... patterns) and
+// compares.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// --- source class: wall clock, environment, global rand ---
+
+func sources() int64 {
+	t := time.Now()             // want "wall-clock read time.Now"
+	_ = time.Since(t)           // want "wall-clock read time.Since"
+	_ = os.Getenv("HOME")       // want "environment read os.Getenv"
+	return int64(rand.Intn(10)) // want "process-global rand.Intn"
+}
+
+// seededOK: a seeded source is the sanctioned way to randomize.
+func seededOK() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10)
+}
+
+// suppressedOK: the escape hatch with a reason silences the finding.
+func suppressedOK() time.Time {
+	//exspanlint:nondeterministic-ok fixture: demonstrates a justified suppression
+	return time.Now()
+}
+
+// --- map-range classes ---
+
+func rangeSend(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "channel send inside a map range"
+	}
+}
+
+func rangeGo(m map[string]int) {
+	for _, v := range m {
+		go func(int) {}(v) // want "goroutine launched inside a map range"
+	}
+}
+
+// appendNoSort mirrors the PR 2 regression class: rewrite-time rule
+// generation ranged an atoms-by-predicate map and appended rules in
+// iteration order, so the rewritten program's rule order varied run to run.
+func appendNoSort(byPred map[string]int) []int {
+	var out []int
+	for _, v := range byPred {
+		out = append(out, v) // want "append to out inside a map range without sorting"
+	}
+	return out
+}
+
+// appendThenSort is the canonical fix: collect, then order.
+func appendThenSort(byPred map[string]int) []int {
+	var out []int
+	for _, v := range byPred {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// appendSortedOuterBlock: the sort may legally sit after an enclosing
+// block, not just immediately after the range.
+func appendSortedOuterBlock(ms []map[string]int) []int {
+	var out []int
+	for _, m := range ms {
+		for _, v := range m {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func stringConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string built up across a map range"
+	}
+	return s
+}
+
+func printInRange(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "Println inside a map range"
+	}
+}
+
+// mapWriteOK: keyed writes and commutative numeric updates are order-free.
+func mapWriteOK(m map[string]int) (map[string]int, int) {
+	out := map[string]int{}
+	sum := 0
+	for k, v := range m {
+		out[k] = v
+		sum += v
+	}
+	return out, sum
+}

@@ -1,0 +1,57 @@
+// Package interning is the golden fixture for the interning analyzer. The
+// violations mirror the real regression class PR 7 removed: building string
+// identities (Sprintf, .String(), canonical encodings) for values that are
+// already canonical handles.
+package interning
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/types"
+)
+
+func use(...any) {}
+
+// stringKeys builds map keys by rendering interned values.
+func stringKeys(m map[string]int, v types.Value, t types.Tuple) {
+	k := v.String()
+	m[k]++                      // want "keyed by types.Value.String"
+	m[fmt.Sprintf("%v", v)] = 1 // want "keyed by fmt.Sprintf\(types.Value\)"
+
+	// The pre-PR 7 class exactly: a map keyed by the canonical encoding.
+	ek := string(t.Encode(nil))
+	m[ek] = 2 // want "keyed by types.Tuple.Encode"
+}
+
+// renderedCompare compares derived strings instead of the values.
+func renderedCompare(a, b types.Value) bool {
+	return a.String() == b.String() // want "comparing types.Value.String"
+}
+
+func deepEqual(a, b []types.Value) bool {
+	return reflect.DeepEqual(a, b) // want "reflect.DeepEqual over \[\]types.Value"
+}
+
+// directOK shows the sanctioned idioms: values as map keys, == equality,
+// and the AppendKey fixed-width handle-key family.
+func directOK(a, b types.Value, t types.Tuple) {
+	m := map[types.Value]int{}
+	m[a]++
+	if a == b {
+		m[b]++
+	}
+	var buf []byte
+	buf = a.AppendKey(buf)
+	buf = t.AppendArgsKey(buf)
+	idx := map[string][]int{}
+	idx[string(buf)] = append(idx[string(buf)], 1)
+	use(m, idx)
+}
+
+// suppressedOK: rendering with a recorded justification stays legal.
+func suppressedOK(m map[string]int, v types.Value) {
+	k := v.String()
+	//exspanlint:intern-ok fixture: demonstrates a justified suppression
+	m[k] = 1
+}

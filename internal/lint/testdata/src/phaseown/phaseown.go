@@ -1,0 +1,57 @@
+// Package phaseown is the golden fixture for the phase-ownership analyzer:
+// a worker struct opts in with `// owned by:` field groups, and the
+// functions below cover every access class — owner methods, merge-phase
+// barrier functions, explicit owner parameters, and the violation.
+package phaseown
+
+type worker struct {
+	id int
+
+	// owned by: the apply phase
+	queue []int
+	qhead int
+
+	// owned by: any
+	name string
+
+	// owned by: the fire phase
+	scratch []byte
+}
+
+type pool struct{ workers []*worker }
+
+// methods of the owning struct touch protected state freely.
+func (w *worker) drain() int {
+	w.qhead++
+	return w.queue[w.qhead-1]
+}
+
+// mergeAll runs at the round barrier: annotated, so allowed.
+//
+//exspan:merge-phase
+func (p *pool) mergeAll() {
+	for _, w := range p.workers {
+		w.queue = w.queue[:0]
+		w.qhead = 0
+	}
+}
+
+// helper is handed the owner explicitly: delegation from a checked caller.
+func helper(w *worker, d int) {
+	w.queue = append(w.queue, d)
+}
+
+// steal is the violation class: a foreign struct reaching into protected
+// fields outside any barrier.
+func (p *pool) steal(i int) []byte {
+	w := p.workers[i]
+	_ = w.name       // unprotected group: fine
+	_ = w.id         // fine: declared before any owned group
+	return w.scratch // want "field worker.scratch is owned by"
+}
+
+// suppressedOK: a justified suppression keeps the access legal.
+func (p *pool) depth(i int) int {
+	//exspanlint:phase-ok fixture: demonstrates a justified suppression
+	return len(p.workers[i].queue)
+}

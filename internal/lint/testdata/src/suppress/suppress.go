@@ -1,0 +1,22 @@
+// Package suppress is the fixture for suppression-comment handling, checked
+// directly by TestSuppressionHandling (not via want comments): a justified
+// suppression silences its finding, an empty-reason suppression is itself a
+// finding, and an unused suppression is a finding.
+package suppress
+
+import "time"
+
+func justified() time.Time {
+	//exspanlint:nondeterministic-ok replay tooling: wall time feeds a log line only
+	return time.Now()
+}
+
+func emptyReason() time.Time {
+	//exspanlint:nondeterministic-ok
+	return time.Now()
+}
+
+func unused() int {
+	//exspanlint:nondeterministic-ok nothing on the next line needs this
+	return 42
+}

@@ -2,6 +2,7 @@ package ndlog
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/types"
@@ -95,10 +96,19 @@ func ProvenanceRewriteOpts(p *Program, opts RewriteOptions) (*Program, error) {
 		}
 		out.Rules = append(out.Rules, rules...)
 	}
-	// Base-tuple provenance: one rule per EDB predicate. Determine arity
-	// from its first occurrence in a body or fact.
-	for pred, atom := range basePredAtoms(p) {
-		out.Rules = append(out.Rules, baseProvRule(pred, atom))
+	// Base-tuple provenance: one rule per EDB predicate, in sorted predicate
+	// order — rule order is program structure (rule indexes, occurrence
+	// order, firing order), so appending in map-iteration order would make
+	// the rewritten program differ run to run. Determine arity from the
+	// predicate's first occurrence in a body or fact.
+	baseAtoms := basePredAtoms(p)
+	basePreds := make([]string, 0, len(baseAtoms))
+	for pred := range baseAtoms {
+		basePreds = append(basePreds, pred)
+	}
+	sort.Strings(basePreds)
+	for _, pred := range basePreds {
+		out.Rules = append(out.Rules, baseProvRule(pred, baseAtoms[pred]))
 	}
 	return out, nil
 }

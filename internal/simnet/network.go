@@ -192,6 +192,8 @@ func (nw *Network) NumLinks() int { return len(nw.links) }
 // Send transmits payload (with modelled size bytes) from one node to
 // another, delivering it after the path's propagation and transmission
 // delay. Messages to self are delivered after a fixed small local delay.
+//
+//exspan:hotpath
 func (nw *Network) Send(from, to types.NodeID, payload any, size int) {
 	total := size + nw.MsgOverhead
 	var delay Time
@@ -231,6 +233,8 @@ func (nw *Network) Send(from, to types.NodeID, payload any, size int) {
 // installed FaultPlan this is the loss point: the message consumed
 // bandwidth (charged at send time, as on a real wire), and is now dropped,
 // duplicated or delivered according to the schedule.
+//
+//exspan:hotpath
 func (nw *Network) deliver(from, to types.NodeID, payload any, size int) {
 	if f := nw.faults; f != nil && from != to {
 		if f.cutNow(from, to, nw.sim.now) {

@@ -97,6 +97,8 @@ func (s *Sim) Now() Time { return s.now }
 func (s *Sim) Steps() int64 { return s.steps }
 
 // push inserts e into the 4-ary heap, sifting up.
+//
+//exspan:hotpath
 func (s *Sim) push(e event) {
 	s.events = append(s.events, e)
 	i := len(s.events) - 1
@@ -112,6 +114,8 @@ func (s *Sim) push(e event) {
 
 // pop removes and returns the minimum event. The vacated tail slot is
 // zeroed so the backing array never pins payloads or closures.
+//
+//exspan:hotpath
 func (s *Sim) pop() event {
 	ev := s.events
 	top := ev[0]
@@ -160,6 +164,8 @@ func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
 // scheduleMessage enqueues a message-delivery event with its fields inline:
 // no closure, no boxing (payload is a pointer in every production caller).
+//
+//exspan:hotpath
 func (s *Sim) scheduleMessage(t Time, nw *Network, from, to types.NodeID, payload any, size int) {
 	if t < s.now {
 		t = s.now
@@ -170,6 +176,8 @@ func (s *Sim) scheduleMessage(t Time, nw *Network, from, to types.NodeID, payloa
 }
 
 // dispatch executes one popped event.
+//
+//exspan:hotpath
 func (s *Sim) dispatch(e *event) {
 	if e.kind == evMessage {
 		e.nw.deliver(e.from, e.to, e.payload, int(e.size))

@@ -56,6 +56,8 @@ type chunkStore[T any] struct {
 }
 
 // get returns the entry for handle h. h must have been returned by a put.
+//
+//exspan:hotpath
 func (c *chunkStore[T]) get(h uint32) *T {
 	i := h - 1
 	sp := *c.spine.Load()
@@ -141,6 +143,11 @@ var (
 	}{lookup: make(map[string]uint32), next: 1}
 )
 
+// internStr returns the canonical handle for s. The warm path (the string
+// is already interned) is two map reads under an RLock and allocates
+// nothing; the fenced paths only ever take it.
+//
+//exspan:hotpath
 func internStr(s string) uint32 {
 	strTab.RLock()
 	h, ok := strTab.lookup[s]
@@ -156,6 +163,7 @@ func internStr(s string) uint32 {
 	// Clone so the table never pins a larger buffer the caller sliced s out
 	// of (e.g. a decode scratch buffer).
 	s = strings.Clone(s)
+	//exspanlint:alloc-ok first sight of this string: the table row is built once
 	enc := make([]byte, 0, 1+uvarintLen(uint64(len(s)))+len(s))
 	enc = append(enc, byte(KindStr))
 	enc = binary.AppendUvarint(enc, uint64(len(s)))
@@ -167,6 +175,9 @@ func internStr(s string) uint32 {
 	return h
 }
 
+// internID returns the canonical handle for id; warm path as internStr.
+//
+//exspan:hotpath
 func internID(id ID) uint32 {
 	idTab.RLock()
 	h, ok := idTab.lookup[id]
@@ -179,6 +190,7 @@ func internID(id ID) uint32 {
 	if h, ok := idTab.lookup[id]; ok {
 		return h
 	}
+	//exspanlint:alloc-ok first sight of this ID: the table row is built once
 	enc := make([]byte, 0, 1+IDLen)
 	enc = append(enc, byte(KindID))
 	enc = append(enc, id[:]...)
@@ -193,6 +205,11 @@ func internID(id ID) uint32 {
 // elements into, keeping repeat List construction allocation-free.
 var listKeyScratch = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
 
+// internList returns the canonical handle for a list by its elements'
+// canonical encoding; the key is built in pooled scratch, so the warm path
+// allocates nothing.
+//
+//exspan:hotpath
 func internList(elems []Value) uint32 {
 	bp := listKeyScratch.Get().(*[]byte)
 	b := (*bp)[:0]
@@ -215,9 +232,11 @@ func internList(elems []Value) uint32 {
 		listKeyScratch.Put(bp)
 		return h
 	}
+	//exspanlint:alloc-ok first sight of this list: the dedup key is copied once
 	key := string(b)
 	*bp = b
 	listKeyScratch.Put(bp)
+	//exspanlint:alloc-ok first sight of this list: the table row is built once
 	enc := make([]byte, 0, 1+len(key))
 	enc = append(enc, byte(KindList))
 	enc = append(enc, key...)
@@ -274,6 +293,8 @@ func InternID(id ID) IDHandle { return IDHandle(internID(id)) }
 // LookupID returns the handle for an already-interned id without interning
 // it. Read-only query paths use it so probing for an unknown ID does not
 // grow the table.
+//
+//exspan:hotpath
 func LookupID(id ID) (IDHandle, bool) {
 	idTab.RLock()
 	h, ok := idTab.lookup[id]

@@ -127,6 +127,8 @@ func (s *tupleSorter) Swap(i, j int) {
 // keys exactly when they are equal, which is what per-relation entry maps
 // and index buckets key on. The predicate is deliberately omitted — the
 // containing relation fixes it. Never used on the wire.
+//
+//exspan:hotpath
 func (t Tuple) AppendArgsKey(dst []byte) []byte {
 	for _, a := range t.Args {
 		dst = a.AppendKey(dst)

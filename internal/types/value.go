@@ -294,6 +294,8 @@ func (v Value) Compare(o Value) int {
 // building a key copies no string or digest content, which is why relations
 // and aggregate groups key their maps on it. Keys are meaningless outside
 // this process and never touch the wire — use Encode for canonical bytes.
+//
+//exspan:hotpath
 func (v Value) AppendKey(dst []byte) []byte {
 	w := uint64(v.i)
 	if v.kind.interned() {
